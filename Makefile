@@ -1,0 +1,43 @@
+# Development entry points for the sflow reproduction.
+
+GO ?= go
+
+.PHONY: all build test race cover bench vet fmt figures examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+# Regenerate every reproduced figure (tables + CSV + SVG under results/).
+figures:
+	$(GO) run ./cmd/sflowbench -fig all -trials 30 -csv results -svg results
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/travel
+	$(GO) run ./examples/media
+	$(GO) run ./examples/npcomplete
+	$(GO) run ./examples/provision
+
+clean:
+	rm -rf results cover.out

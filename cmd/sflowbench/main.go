@@ -1,0 +1,150 @@
+// Command sflowbench reproduces the paper's evaluation (Figure 10 panels and
+// the extra ablations) and prints the series as text tables, optionally
+// writing CSV files.
+//
+// Usage:
+//
+//	sflowbench -fig all
+//	sflowbench -fig 10a -sizes 10,20,30,40,50 -trials 20 -csv out/
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"sflow"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sflowbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sflowbench", flag.ContinueOnError)
+	var (
+		fig       = fs.String("fig", "all", "figure to reproduce: 10a, 10b, 10c, 10d, lookahead, reduction, admission, overhead, repair, blocking, hierarchy or all")
+		sizes     = fs.String("sizes", "10,20,30,40,50", "comma-separated network sizes")
+		trials    = fs.Int("trials", 10, "trials per network size")
+		seed      = fs.Int64("seed", 1, "base random seed")
+		services  = fs.Int("services", 6, "required services per scenario")
+		instances = fs.Int("instances", 0, "instances per non-source service (0 scales with network size)")
+		csvDir    = fs.String("csv", "", "directory to write CSV files into (optional)")
+		svgDir    = fs.String("svg", "", "directory to write SVG charts into (optional)")
+		mdPath    = fs.String("md", "", "write a full markdown report of ALL experiments to this file (ignores -fig)")
+		jsonDir   = fs.String("json", "", "directory to write series JSON files into (optional)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sz, err := parseSizes(*sizes)
+	if err != nil {
+		return err
+	}
+	cfg := sflow.ExperimentConfig{
+		Sizes: sz, Trials: *trials, Seed: *seed,
+		Services: *services, Instances: *instances,
+	}
+	if *mdPath != "" {
+		report, err := sflow.ExperimentReport(cfg)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*mdPath, []byte(report), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", *mdPath)
+		return nil
+	}
+
+	var series []*sflow.Series
+	switch *fig {
+	case "all":
+		series, err = sflow.AllExperiments(cfg)
+		if err != nil {
+			return err
+		}
+	case "10a", "10b", "10c", "10d", "lookahead", "reduction", "admission", "overhead", "repair", "blocking", "hierarchy":
+		fns := map[string]func(sflow.ExperimentConfig) (*sflow.Series, error){
+			"10a": sflow.Fig10a, "10b": sflow.Fig10b,
+			"10c": sflow.Fig10c, "10d": sflow.Fig10d,
+			"lookahead": sflow.AblationLookahead, "reduction": sflow.AblationReduction,
+			"admission": sflow.AdmissionCapacity, "overhead": sflow.ProtocolOverhead,
+			"repair": sflow.RepairChurn, "blocking": sflow.BlockingUnderLoad,
+			"hierarchy": sflow.HierarchyCompare,
+		}
+		s, err := fns[*fig](cfg)
+		if err != nil {
+			return err
+		}
+		series = []*sflow.Series{s}
+	default:
+		return fmt.Errorf("unknown figure %q", *fig)
+	}
+
+	for _, s := range series {
+		fmt.Fprintln(out, s.Table())
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(*csvDir, s.ID+".csv")
+			if err := os.WriteFile(path, []byte(s.CSV()), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n\n", path)
+		}
+		if *svgDir != "" {
+			if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(*svgDir, s.ID+".svg")
+			if err := os.WriteFile(path, []byte(sflow.RenderSVG(s)), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n\n", path)
+		}
+		if *jsonDir != "" {
+			if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+				return err
+			}
+			data, err := json.MarshalIndent(s, "", "  ")
+			if err != nil {
+				return err
+			}
+			path := filepath.Join(*jsonDir, s.ID+".json")
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n\n", path)
+		}
+	}
+	return nil
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("bad network size %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no network sizes given")
+	}
+	return out, nil
+}

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func runBench(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	err := run(args, &buf)
+	return buf.String(), err
+}
+
+func TestParseSizes(t *testing.T) {
+	got, err := parseSizes("10, 20,30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{10, 20, 30}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("parseSizes = %v", got)
+	}
+	for _, bad := range []string{"", "abc", "10,1", "0"} {
+		if _, err := parseSizes(bad); err == nil {
+			t.Errorf("parseSizes(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunSingleFigure(t *testing.T) {
+	out, err := runBench(t, "-fig", "10a", "-sizes", "10", "-trials", "2", "-services", "4", "-instances", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fig10a", "sflow", "servicepath", "NetworkSize"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCSVOutput(t *testing.T) {
+	dir := t.TempDir()
+	_, err := runBench(t, "-fig", "10d", "-sizes", "10", "-trials", "2",
+		"-services", "4", "-instances", "2", "-csv", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig10d.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "networksize,optimal,sflow,") {
+		t.Fatalf("csv header wrong: %q", string(data)[:40])
+	}
+}
+
+func TestRunRejections(t *testing.T) {
+	if _, err := runBench(t, "-fig", "nope"); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+	if _, err := runBench(t, "-sizes", "x"); err == nil {
+		t.Fatal("bad sizes accepted")
+	}
+	if _, err := runBench(t, "-notaflag"); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestRunSVGOutput(t *testing.T) {
+	dir := t.TempDir()
+	_, err := runBench(t, "-fig", "10a", "-sizes", "10", "-trials", "2",
+		"-services", "4", "-instances", "2", "-svg", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig10a.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Fatalf("not svg: %q", string(data)[:20])
+	}
+}
+
+func TestRunMarkdownReport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "report.md")
+	_, err := runBench(t, "-sizes", "10", "-trials", "1", "-services", "4",
+		"-instances", "2", "-md", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# sFlow reproduction", "### fig10a", "### blocking"} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	dir := t.TempDir()
+	_, err := runBench(t, "-fig", "10c", "-sizes", "10", "-trials", "2",
+		"-services", "4", "-instances", "2", "-json", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig10c.csv")[:len(filepath.Join(dir, "fig10c.csv"))-4] + ".json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"id": "fig10c"`) {
+		t.Fatalf("json wrong: %s", data[:60])
+	}
+}

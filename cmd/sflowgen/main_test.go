@@ -1,0 +1,60 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sflow"
+)
+
+func TestGenerateBundle(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bundle.json")
+	if err := run([]string{"-seed", "9", "-size", "12", "-services", "4", "-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sc sflow.Scenario
+	if err := json.Unmarshal(data, &sc); err != nil {
+		t.Fatalf("bundle does not decode: %v", err)
+	}
+	if sc.Req.NumServices() != 4 {
+		t.Fatalf("bundle has %d services", sc.Req.NumServices())
+	}
+	// The bundle must federate successfully.
+	if _, err := sflow.Federate(sc.Overlay, sc.Req, sc.SourceNID, sflow.Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateDeterministicBundles(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.json"), filepath.Join(dir, "b.json")
+	for _, p := range []string{a, b} {
+		if err := run([]string{"-seed", "5", "-size", "10", "-services", "4", "-kind", "tree", "-o", p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	da, _ := os.ReadFile(a)
+	db, _ := os.ReadFile(b)
+	if string(da) != string(db) {
+		t.Fatal("same seed produced different bundles")
+	}
+}
+
+func TestGenerateRejections(t *testing.T) {
+	if err := run([]string{"-kind", "bogus"}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if err := run([]string{"-size", "1"}); err == nil {
+		t.Fatal("degenerate size accepted")
+	}
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

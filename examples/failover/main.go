@@ -1,0 +1,76 @@
+// Failover: the "agile" half of the paper's title. A federation is running
+// when the instance serving one of its services fails. Repair re-federates
+// with every unaffected placement pinned, so only the victim moves; the
+// example contrasts that with tearing everything down and federating from
+// scratch on the surviving overlay.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"sflow"
+)
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
+	sc, err := sflow.GenerateScenario(sflow.ScenarioConfig{
+		Seed: 42, NetworkSize: 25, Services: 6,
+		InstancesPerService: 3, Kind: sflow.KindGeneral,
+	})
+	if err != nil {
+		return err
+	}
+	before, err := sflow.Federate(sc.Overlay, sc.Req, sc.SourceNID, sflow.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "failover: repair vs re-federate after an instance failure")
+	fmt.Fprintf(w, "running federation: %v (bandwidth %d Kbit/s)\n\n",
+		before.Flow, before.Metric.Bandwidth)
+
+	// The instance serving the second service in topological order dies.
+	victimSID := sc.Req.TopoOrder()[1]
+	victim, _ := before.Flow.Assigned(victimSID)
+	fmt.Fprintf(w, "FAILURE: instance %d (serving service %d) goes down\n\n", victim, victimSID)
+
+	rep, err := sflow.Repair(sc.Overlay, sc.Req, before.Flow, []int{victim}, sflow.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "repair:   %v\n", rep.Flow)
+	fmt.Fprintf(w, "  affected services %v, moved %v, bandwidth %d Kbit/s\n",
+		rep.Affected, rep.Moved, rep.Metric.Bandwidth)
+
+	// The blunt alternative: forget the old graph and start over on the
+	// surviving overlay.
+	surviving := sc.Overlay.Clone()
+	if err := surviving.RemoveInstance(victim); err != nil {
+		return err
+	}
+	scratch, err := sflow.Federate(surviving, sc.Req, sc.SourceNID, sflow.Options{})
+	if err != nil {
+		return err
+	}
+	moved := 0
+	for _, sid := range sc.Req.Services() {
+		b, _ := before.Flow.Assigned(sid)
+		a, _ := scratch.Flow.Assigned(sid)
+		if a != b {
+			moved++
+		}
+	}
+	fmt.Fprintf(w, "scratch:  %v\n", scratch.Flow)
+	fmt.Fprintf(w, "  %d services moved, bandwidth %d Kbit/s\n\n", moved, scratch.Metric.Bandwidth)
+
+	fmt.Fprintf(w, "repair touched %d service(s); re-federating moved %d — agility with minimal churn\n",
+		len(rep.Moved), moved)
+	return nil
+}

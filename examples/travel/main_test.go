@@ -1,0 +1,33 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTravelOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"travel-agency federation", "TravelEngine", "Agency",
+		"comparison (bandwidth", "optional services (Fig 2)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTravelDOT(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "digraph flowgraph") {
+		t.Fatalf("dot output = %q", buf.String()[:30])
+	}
+}

@@ -1,0 +1,3 @@
+module sflow
+
+go 1.24

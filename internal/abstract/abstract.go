@@ -1,0 +1,146 @@
+// Package abstract builds the service abstract graph of Sec 2.2 / Fig 6:
+// each required service of a requirement is populated with its overlay
+// instances, and instances of adjacent required services are fully connected
+// with edges labelled by the shortest-widest path metric between them in the
+// overlay graph.
+//
+// The abstract graph is the bridge between a service requirement and the
+// overlay: federation algorithms pick one instance per service slot, and the
+// abstract edges tell them what that choice costs.
+package abstract
+
+import (
+	"fmt"
+
+	"sflow/internal/flow"
+	"sflow/internal/overlay"
+	"sflow/internal/qos"
+	"sflow/internal/require"
+)
+
+// Graph is a service abstract graph. It references (does not copy) the
+// overlay and requirement it was built from.
+type Graph struct {
+	req *require.Requirement
+	ov  *overlay.Overlay
+	ap  *qos.AllPairs
+}
+
+// Build constructs the abstract graph for a requirement over an overlay. It
+// fails if some required service has no instance in the overlay.
+func Build(ov *overlay.Overlay, req *require.Requirement) (*Graph, error) {
+	for _, sid := range req.Services() {
+		if len(ov.InstancesOf(sid)) == 0 {
+			return nil, fmt.Errorf("abstract: required service %d has no instance in the overlay", sid)
+		}
+	}
+	return &Graph{req: req, ov: ov, ap: qos.ComputeAllPairs(ov)}, nil
+}
+
+// Requirement returns the requirement the graph was built from.
+func (g *Graph) Requirement() *require.Requirement { return g.req }
+
+// Overlay returns the overlay the graph was built from.
+func (g *Graph) Overlay() *overlay.Overlay { return g.ov }
+
+// Slots returns the instances (NIDs) populating the abstract node of the
+// given required service, ascending.
+func (g *Graph) Slots(sid int) []int { return g.ov.InstancesOf(sid) }
+
+// EdgeMetric returns the shortest-widest metric of the abstract edge from
+// instance `from` to instance `to`. It is qos.Unreachable when the overlay
+// offers no route.
+func (g *Graph) EdgeMetric(from, to int) qos.Metric {
+	if from == to {
+		return qos.Empty
+	}
+	return g.ap.Metric(from, to)
+}
+
+// EdgePath returns the concrete overlay route realising the abstract edge
+// from `from` to `to` (both inclusive), nil if unreachable. The route may
+// pass through instances of services that are not in the requirement — the
+// "bridging" instances of Sec 3.1.
+func (g *Graph) EdgePath(from, to int) []int {
+	if from == to {
+		return []int{from}
+	}
+	return g.ap.Path(from, to)
+}
+
+// AllPairs exposes the underlying all-pairs shortest-widest results.
+func (g *Graph) AllPairs() *qos.AllPairs { return g.ap }
+
+// Realize materialises a complete instance assignment (SID -> NID) as a
+// service flow graph: every requirement edge becomes a flow edge carrying the
+// concrete shortest-widest overlay route between the chosen instances. It
+// fails if the assignment is incomplete, names a wrong-service instance, or
+// induces an unroutable edge.
+func (g *Graph) Realize(assign map[int]int) (*flow.Graph, error) {
+	fg := flow.New()
+	for _, sid := range g.req.Services() {
+		nid, ok := assign[sid]
+		if !ok {
+			return nil, fmt.Errorf("abstract: service %d unassigned", sid)
+		}
+		if got := g.ov.SIDOf(nid); got != sid {
+			return nil, fmt.Errorf("abstract: instance %d provides service %d, not %d", nid, got, sid)
+		}
+		if err := fg.Assign(sid, nid); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range g.req.Edges() {
+		from, to := assign[e[0]], assign[e[1]]
+		m := g.EdgeMetric(from, to)
+		if !m.Reachable() {
+			return nil, fmt.Errorf("abstract: no route from instance %d to %d for edge %d->%d", from, to, e[0], e[1])
+		}
+		if err := fg.AddEdge(flow.Edge{
+			FromSID: e[0], ToSID: e[1],
+			FromNID: from, ToNID: to,
+			Path:   g.EdgePath(from, to),
+			Metric: m,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return fg, nil
+}
+
+// AssignmentMetric evaluates a complete instance assignment (SID -> NID): the
+// bottleneck bandwidth over all abstract edges induced by the requirement and
+// the latency of the critical source-to-sink chain. It returns
+// qos.Unreachable if any induced edge has no route.
+func (g *Graph) AssignmentMetric(assign map[int]int) qos.Metric {
+	width := qos.InfBandwidth
+	for _, e := range g.req.Edges() {
+		from, ok1 := assign[e[0]]
+		to, ok2 := assign[e[1]]
+		if !ok1 || !ok2 {
+			return qos.Unreachable
+		}
+		m := g.EdgeMetric(from, to)
+		if !m.Reachable() {
+			return qos.Unreachable
+		}
+		if m.Bandwidth < width {
+			width = m.Bandwidth
+		}
+	}
+	// Critical-path latency over the requirement DAG with the assignment's
+	// edge latencies.
+	lat, err := g.req.DAG().LongestPathFrom(g.req.Source(), func(u, v int) int64 {
+		return g.EdgeMetric(assign[u], assign[v]).Latency
+	})
+	if err != nil {
+		return qos.Unreachable
+	}
+	var worst int64
+	for _, sink := range g.req.Sinks() {
+		if lat[sink] > worst {
+			worst = lat[sink]
+		}
+	}
+	return qos.Metric{Bandwidth: width, Latency: worst}
+}

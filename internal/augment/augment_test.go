@@ -1,0 +1,231 @@
+package augment
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"sflow/internal/abstract"
+	"sflow/internal/control"
+	"sflow/internal/core"
+	"sflow/internal/overlay"
+	"sflow/internal/qos"
+	"sflow/internal/require"
+	"sflow/internal/scenario"
+)
+
+func TestSparsify(t *testing.T) {
+	s, err := scenario.Generate(scenario.Config{
+		Seed: 4, NetworkSize: 15, Services: 5, InstancesPerService: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	thin, err := Sparsify(s.Overlay, rng, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thin.NumInstances() != s.Overlay.NumInstances() {
+		t.Fatal("sparsify changed instances")
+	}
+	if thin.NumLinks() >= s.Overlay.NumLinks() {
+		t.Fatalf("sparsify kept %d of %d links", thin.NumLinks(), s.Overlay.NumLinks())
+	}
+	// Every surviving link exists in the original with the same metric.
+	for _, l := range thin.Links() {
+		m, ok := s.Overlay.LinkMetric(l.From, l.To)
+		if !ok || m.Bandwidth != l.Bandwidth || m.Latency != l.Latency {
+			t.Fatalf("link %d->%d not from original", l.From, l.To)
+		}
+	}
+	// keep=1 preserves everything.
+	full, err := Sparsify(s.Overlay, rng, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.NumLinks() != s.Overlay.NumLinks() {
+		t.Fatal("keep=1 lost links")
+	}
+	if _, err := Sparsify(s.Overlay, rng, 0); err == nil {
+		t.Fatal("keep=0 accepted")
+	}
+	if _, err := Sparsify(s.Overlay, rng, 1.5); err == nil {
+		t.Fatal("keep>1 accepted")
+	}
+}
+
+// brokenChain builds 1 -> 2 -> 3 where 1 and 3 are compatible but the direct
+// link is missing; the only 1->3 connectivity runs through 2.
+func brokenChain(t *testing.T) (*overlay.Overlay, *overlay.Compatibility) {
+	t.Helper()
+	o := overlay.New()
+	for _, in := range [][2]int{{1, 1}, {2, 2}, {3, 3}} {
+		if err := o.AddInstance(in[0], in[1], -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := o.AddLink(1, 2, 80, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddLink(2, 3, 60, 7); err != nil {
+		t.Fatal(err)
+	}
+	compat := overlay.NewCompatibility()
+	compat.Allow(1, 2)
+	compat.Allow(2, 3)
+	compat.Allow(1, 3)
+	return o, compat
+}
+
+func TestCandidatesAndShortcut(t *testing.T) {
+	o, compat := brokenChain(t)
+	cands := Candidates(o, compat)
+	if len(cands) != 1 {
+		t.Fatalf("candidates = %+v", cands)
+	}
+	c := cands[0]
+	if c.From != 1 || c.To != 3 {
+		t.Fatalf("candidate = %+v", c)
+	}
+	if c.Metric != (qos.Metric{Bandwidth: 60, Latency: 12}) {
+		t.Fatalf("candidate metric = %+v", c.Metric)
+	}
+	added, err := Shortcut(o, compat, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 1 || !o.HasLink(1, 3) {
+		t.Fatalf("added %d, link present %v", added, o.HasLink(1, 3))
+	}
+	// Idempotent: the link now exists, no more candidates.
+	if again, err := Shortcut(o, compat, 0); err != nil || again != 0 {
+		t.Fatalf("second shortcut added %d (%v)", again, err)
+	}
+}
+
+func TestShortcutBudget(t *testing.T) {
+	// A star: hub 0 (service 9) connects 4 sources to 4 sinks; all
+	// source-sink pairs are compatible candidates (16 total).
+	o := overlay.New()
+	if err := o.AddInstance(0, 9, -1); err != nil {
+		t.Fatal(err)
+	}
+	compat := overlay.NewCompatibility()
+	for i := 1; i <= 4; i++ {
+		if err := o.AddInstance(i, 1, -1); err != nil {
+			t.Fatal(err)
+		}
+		if err := o.AddInstance(10+i, 2, -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	compat.Allow(1, 2)
+	for i := 1; i <= 4; i++ {
+		if err := o.AddLink(i, 0, int64(10*i), 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := o.AddLink(0, 10+i, 100, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cands := Candidates(o, compat)
+	if len(cands) != 16 {
+		t.Fatalf("candidates = %d, want 16", len(cands))
+	}
+	// Widest first: the first candidates stem from source 4 (width 40).
+	if cands[0].Metric.Bandwidth != 40 {
+		t.Fatalf("first candidate %+v not widest", cands[0])
+	}
+	added, err := Shortcut(o, compat, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 5 {
+		t.Fatalf("added %d, want budget 5", added)
+	}
+}
+
+func TestShortcutMakesDirectOnlyAlgorithmsFeasible(t *testing.T) {
+	// Requirement 1 -> 3 over the broken chain: the fixed algorithm uses
+	// only direct links, so it is infeasible until the shortcut exists.
+	o, compat := brokenChain(t)
+	req, err := require.NewPath(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ag, err := abstract.Build(o, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := control.Fixed(ag, 1); err == nil {
+		t.Fatal("fixed should be infeasible without the direct link")
+	}
+	if _, err := Shortcut(o, compat, 0); err != nil {
+		t.Fatal(err)
+	}
+	ag, err = abstract.Build(o, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := control.Fixed(ag, 1)
+	if err != nil {
+		t.Fatalf("fixed still infeasible after augmentation: %v", err)
+	}
+	if res.Metric.Bandwidth != 60 {
+		t.Fatalf("fixed metric = %+v", res.Metric)
+	}
+}
+
+func TestDensifyExtendsSFlowLocalViews(t *testing.T) {
+	// Requirement 1 -> 2: the only instance of service 2 sits three relay
+	// hops from the source, beyond its two-hop view, so the distributed
+	// federation is stuck. Densifying the mesh with shortcuts pulls the
+	// instance into view and the federation succeeds.
+	o := overlay.New()
+	for _, in := range [][2]int{{10, 1}, {77, 7}, {88, 8}, {20, 2}} {
+		if err := o.AddInstance(in[0], in[1], -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, l := range [][4]int64{
+		{10, 77, 90, 5}, {77, 88, 80, 5}, {88, 20, 70, 5},
+	} {
+		if err := o.AddLink(int(l[0]), int(l[1]), l[2], l[3]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := require.NewPath(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.Federate(o, req, 10, core.Options{}); !errors.Is(err, core.ErrStuck) {
+		t.Fatalf("err = %v, want ErrStuck before augmentation", err)
+	}
+	// The mesh compatibility allows the helper hand-offs to be shortcut.
+	compat := overlay.NewCompatibility()
+	compat.Allow(1, 7)
+	compat.Allow(7, 8)
+	compat.Allow(8, 2)
+	compat.Allow(1, 8)
+	compat.Allow(7, 2)
+	compat.Allow(1, 2)
+	added, err := Densify(o, compat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added == 0 {
+		t.Fatal("densify added nothing")
+	}
+	res, err := core.Federate(o, req, 10, core.Options{})
+	if err != nil {
+		t.Fatalf("still stuck after densify: %v", err)
+	}
+	if err := res.Flow.Validate(req, o); err != nil {
+		t.Fatal(err)
+	}
+	// The densified mesh carries the composed end-to-end link.
+	if m, ok := o.LinkMetric(10, 20); !ok || m.Bandwidth != 70 || m.Latency != 15 {
+		t.Fatalf("composed shortcut = %+v, %v", m, ok)
+	}
+}

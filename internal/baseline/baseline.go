@@ -1,0 +1,202 @@
+// Package baseline implements the paper's baseline algorithm (Table 1): the
+// polynomial-time exact construction of the optimal service flow graph for a
+// *single-path* service requirement.
+//
+// The steps follow the paper: (1) all-pairs shortest-widest paths over the
+// overlay (done once when the abstract graph is built), (2) construct the
+// service abstract graph, (3) compute the shortest-widest abstract path from
+// the source instance to the best sink instance, (4) expand every abstract
+// edge into the concrete shortest-widest overlay route.
+//
+// Solve additionally accepts pinned instances (a SID -> NID map). Pins are
+// how the reduction heuristics reuse the baseline: a split-and-merge block is
+// solved branch by branch with the splitting and merging instances pinned.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sflow/internal/abstract"
+	"sflow/internal/flow"
+	"sflow/internal/qos"
+)
+
+// ErrNotPath is returned when the requirement is not a single service path.
+var ErrNotPath = errors.New("baseline: requirement is not a single service path")
+
+// ErrInfeasible is returned when no instance assignment connects the source
+// to the sink.
+var ErrInfeasible = errors.New("baseline: no feasible service flow graph")
+
+// Result is the output of the baseline algorithm.
+type Result struct {
+	// Flow is the computed (partial) service flow graph covering exactly
+	// the services of the path requirement.
+	Flow *flow.Graph
+	// Metric is the end-to-end shortest-widest quality of the selected
+	// abstract path.
+	Metric qos.Metric
+}
+
+// Solve runs the baseline algorithm on a path-shaped requirement within the
+// given abstract graph. src is the designated instance of the source service
+// (the node where federation starts); pins force specific instances for
+// specific services (nil for none). The source service is implicitly pinned
+// to src.
+func Solve(ag *abstract.Graph, src int, pins map[int]int) (*Result, error) {
+	chain := ag.Requirement().PathServices()
+	if chain == nil {
+		return nil, ErrNotPath
+	}
+	return SolveChain(ag, chain, src, pins)
+}
+
+// SolveChain runs the baseline algorithm along an explicit chain of services
+// within ag. The chain need not be the whole requirement: the reduction
+// heuristics call SolveChain on each single-path fragment of a general
+// requirement, typically with both endpoints pinned. src is the instance of
+// chain[0]; pins force instances for later chain services.
+func SolveChain(ag *abstract.Graph, chain []int, src int, pins map[int]int) (*Result, error) {
+	if len(chain) < 2 {
+		return nil, fmt.Errorf("baseline: chain %v too short", chain)
+	}
+	if got := ag.Overlay().SIDOf(src); got != chain[0] {
+		return nil, fmt.Errorf("baseline: source instance %d provides service %d, chain starts at %d",
+			src, got, chain[0])
+	}
+	layers, err := buildLayers(ag, chain, src, pins)
+	if err != nil {
+		return nil, err
+	}
+	lg := newLayeredGraph(ag, layers)
+	res := qos.ShortestWidest(lg, src)
+
+	// Best sink instance in the shortest-widest order.
+	best, bestMetric := -1, qos.Unreachable
+	for _, nid := range layers[len(layers)-1] {
+		if m := res.Metric(nid); m.Reachable() && (best == -1 || m.Better(bestMetric)) {
+			best, bestMetric = nid, m
+		}
+	}
+	if best == -1 {
+		return nil, ErrInfeasible
+	}
+	abstractPath := res.PathTo(best)
+	if len(abstractPath) != len(chain) {
+		// Cannot happen: the layered graph only has layer-to-layer arcs.
+		return nil, fmt.Errorf("baseline: abstract path %v does not span %d layers", abstractPath, len(chain))
+	}
+
+	// Step 4: expand abstract edges into concrete overlay routes.
+	fg := flow.New()
+	if err := fg.Assign(chain[0], src); err != nil {
+		return nil, err
+	}
+	for i := 0; i+1 < len(abstractPath); i++ {
+		from, to := abstractPath[i], abstractPath[i+1]
+		e := flow.Edge{
+			FromSID: chain[i], ToSID: chain[i+1],
+			FromNID: from, ToNID: to,
+			Path:   ag.EdgePath(from, to),
+			Metric: ag.EdgeMetric(from, to),
+		}
+		if err := fg.AddEdge(e); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Flow: fg, Metric: bestMetric}, nil
+}
+
+// SolveBestSource runs Solve from every instance of the source service and
+// returns the best result (used when the consumer does not designate a
+// particular source instance).
+func SolveBestSource(ag *abstract.Graph, pins map[int]int) (*Result, error) {
+	req := ag.Requirement()
+	chain := req.PathServices()
+	if chain == nil {
+		return nil, ErrNotPath
+	}
+	sources := ag.Slots(chain[0])
+	if nid, ok := pins[chain[0]]; ok {
+		sources = []int{nid}
+	}
+	var best *Result
+	for _, src := range sources {
+		r, err := Solve(ag, src, pins)
+		if err != nil {
+			if errors.Is(err, ErrInfeasible) {
+				continue
+			}
+			return nil, err
+		}
+		if best == nil || r.Metric.Better(best.Metric) {
+			best = r
+		}
+	}
+	if best == nil {
+		return nil, ErrInfeasible
+	}
+	return best, nil
+}
+
+// buildLayers returns, per chain position, the candidate instances (a single
+// one where pinned).
+func buildLayers(ag *abstract.Graph, chain []int, src int, pins map[int]int) ([][]int, error) {
+	layers := make([][]int, len(chain))
+	for i, sid := range chain {
+		switch {
+		case i == 0:
+			layers[i] = []int{src}
+		default:
+			if nid, ok := pins[sid]; ok {
+				if got := ag.Overlay().SIDOf(nid); got != sid {
+					return nil, fmt.Errorf("baseline: pin %d for service %d provides service %d", nid, sid, got)
+				}
+				layers[i] = []int{nid}
+			} else {
+				layers[i] = ag.Slots(sid)
+			}
+		}
+		if len(layers[i]) == 0 {
+			return nil, fmt.Errorf("baseline: no candidate instance for service %d", sid)
+		}
+	}
+	return layers, nil
+}
+
+// layeredGraph exposes the abstract graph of a path requirement as a
+// qos.Graph whose arcs go from each layer to the next.
+type layeredGraph struct {
+	nodes []int
+	out   map[int][]qos.Arc
+}
+
+func newLayeredGraph(ag *abstract.Graph, layers [][]int) *layeredGraph {
+	lg := &layeredGraph{out: make(map[int][]qos.Arc)}
+	seen := make(map[int]struct{})
+	for i, layer := range layers {
+		for _, nid := range layer {
+			if _, dup := seen[nid]; !dup {
+				seen[nid] = struct{}{}
+				lg.nodes = append(lg.nodes, nid)
+			}
+			if i+1 >= len(layers) {
+				continue
+			}
+			for _, next := range layers[i+1] {
+				m := ag.EdgeMetric(nid, next)
+				if !m.Reachable() || next == nid {
+					continue
+				}
+				lg.out[nid] = append(lg.out[nid], qos.Arc{To: next, Bandwidth: m.Bandwidth, Latency: m.Latency})
+			}
+		}
+	}
+	sort.Ints(lg.nodes)
+	return lg
+}
+
+func (lg *layeredGraph) Nodes() []int        { return lg.nodes }
+func (lg *layeredGraph) Out(u int) []qos.Arc { return lg.out[u] }

@@ -1,0 +1,217 @@
+package choice
+
+import (
+	"errors"
+	"testing"
+
+	"sflow/internal/abstract"
+	"sflow/internal/exact"
+	"sflow/internal/flow"
+	"sflow/internal/overlay"
+	"sflow/internal/qos"
+	"sflow/internal/require"
+)
+
+// fig2Spec is the paper's Fig 2: Travel Engine (1) -> Attraction (2) ->
+// (Map (3) OR Translator (4)) -> Agency (5). Term 99 is the choice slot.
+func fig2Spec(t *testing.T) *Spec {
+	t.Helper()
+	s := NewSpec()
+	for _, term := range [][]int{{1, 1}, {2, 2}, {5, 5}} {
+		if err := s.AddTerm(term[0], term[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.AddTerm(99, 3, 4); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range [][2]int{{1, 2}, {2, 99}, {99, 5}} {
+		if err := s.Connect(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestSpecValidation(t *testing.T) {
+	s := NewSpec()
+	if err := s.AddTerm(1); err == nil {
+		t.Fatal("empty alternatives accepted")
+	}
+	if err := s.AddTerm(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTerm(1, 2); err == nil {
+		t.Fatal("duplicate term accepted")
+	}
+	if err := s.AddTerm(2, 3, 3); err == nil {
+		t.Fatal("repeated alternative accepted")
+	}
+	if err := s.Connect(1, 7); err == nil {
+		t.Fatal("unknown term accepted")
+	}
+	if _, err := NewSpec().Expand(); err == nil {
+		t.Fatal("empty spec expanded")
+	}
+}
+
+func TestExpandFig2(t *testing.T) {
+	s := fig2Spec(t)
+	if got := s.NumExpansions(); got != 2 {
+		t.Fatalf("NumExpansions = %d", got)
+	}
+	reqs, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 2 {
+		t.Fatalf("expanded to %d requirements", len(reqs))
+	}
+	sawMap, sawTranslator := false, false
+	for _, r := range reqs {
+		if r.Has(3) {
+			sawMap = true
+		}
+		if r.Has(4) {
+			sawTranslator = true
+		}
+		if r.Has(3) && r.Has(4) {
+			t.Fatal("expansion contains both alternatives")
+		}
+		if r.Shape() != require.ShapePath {
+			t.Fatalf("expansion shape = %v", r.Shape())
+		}
+	}
+	if !sawMap || !sawTranslator {
+		t.Fatal("missing an alternative expansion")
+	}
+}
+
+func TestExpandSkipsDuplicateSelections(t *testing.T) {
+	// Two choice terms sharing alternative 3: selections picking 3 twice
+	// must be skipped, leaving 9-... combos minus invalid.
+	s := NewSpec()
+	if err := s.AddTerm(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTerm(10, 3, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTerm(11, 3, 5); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range [][2]int{{1, 10}, {1, 11}} {
+		if err := s.Connect(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reqs, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x2 = 4 combos, minus the (3,3) double-booking = 3.
+	if len(reqs) != 3 {
+		t.Fatalf("expanded to %d, want 3", len(reqs))
+	}
+}
+
+// choiceOverlay gives the Map route high bandwidth and the Translator route
+// low, so Best must select the Map expansion.
+func choiceOverlay(t *testing.T) *overlay.Overlay {
+	t.Helper()
+	o := overlay.New()
+	for _, in := range [][2]int{{1, 1}, {2, 2}, {3, 3}, {4, 4}, {5, 5}} {
+		if err := o.AddInstance(in[0], in[1], -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, l := range [][4]int64{
+		{1, 2, 100, 1},
+		{2, 3, 90, 1}, {3, 5, 90, 1}, // via Map: width 90
+		{2, 4, 30, 1}, {4, 5, 30, 1}, // via Translator: width 30
+	} {
+		if err := o.AddLink(int(l[0]), int(l[1]), l[2], l[3]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return o
+}
+
+func optimalSolver(ov *overlay.Overlay, req *require.Requirement, src int) (*flow.Graph, qos.Metric, error) {
+	ag, err := abstract.Build(ov, req)
+	if err != nil {
+		return nil, qos.Unreachable, err
+	}
+	r, err := exact.Solve(ag, src, exact.Options{})
+	if err != nil {
+		return nil, qos.Unreachable, err
+	}
+	return r.Flow, r.Metric, nil
+}
+
+func TestBestPicksBetterAlternative(t *testing.T) {
+	o := choiceOverlay(t)
+	res, err := Best(o, fig2Spec(t), 1, optimalSolver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Req.Has(3) || res.Req.Has(4) {
+		t.Fatalf("selected expansion %v, want the Map alternative", res.Req)
+	}
+	if res.Metric.Bandwidth != 90 {
+		t.Fatalf("metric = %+v", res.Metric)
+	}
+	if res.Considered != 2 || res.Feasible < 1 {
+		t.Fatalf("considered=%d feasible=%d", res.Considered, res.Feasible)
+	}
+	if err := res.Flow.Validate(res.Req, o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBestInfeasible(t *testing.T) {
+	// No Translator instance and no Map links: nothing federates.
+	o := overlay.New()
+	for _, in := range [][2]int{{1, 1}, {2, 2}, {5, 5}} {
+		if err := o.AddInstance(in[0], in[1], -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Only alternative services 3/4 are missing entirely.
+	if _, err := Best(o, fig2Spec(t), 1, optimalSolver); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestBestSkipsWrongSource(t *testing.T) {
+	o := choiceOverlay(t)
+	// Source instance of the wrong service: nothing considered.
+	if _, err := Best(o, fig2Spec(t), 2, optimalSolver); err == nil {
+		t.Fatal("wrong source accepted")
+	}
+}
+
+func TestNumExpansionsCap(t *testing.T) {
+	// 10 terms x 4 alternatives each = ~1M expansions: Expand must refuse.
+	s := NewSpec()
+	if err := s.AddTerm(0, 1000); err != nil {
+		t.Fatal(err)
+	}
+	prev := 0
+	for term := 1; term <= 10; term++ {
+		alts := []int{term * 10, term*10 + 1, term*10 + 2, term*10 + 3}
+		if err := s.AddTerm(term, alts...); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Connect(prev, term); err != nil {
+			t.Fatal(err)
+		}
+		prev = term
+	}
+	if s.NumExpansions() <= maxExpansions {
+		t.Fatalf("NumExpansions = %d, expected above cap", s.NumExpansions())
+	}
+	if _, err := s.Expand(); err == nil {
+		t.Fatal("oversized expansion accepted")
+	}
+}

@@ -1,0 +1,91 @@
+package control
+
+import (
+	"math/rand"
+	"testing"
+
+	"sflow/internal/abstract"
+	"sflow/internal/require"
+	"sflow/internal/scenario"
+)
+
+// buildAbstract is a tiny helper for the extra tests.
+func buildAbstract(t *testing.T, s *scenario.Scenario) (*abstract.Graph, error) {
+	t.Helper()
+	return abstract.Build(s.Overlay, s.Req)
+}
+
+// TestServicePathOnMultiSinkTree: with several sinks, the main chain runs to
+// the deepest one; shallower sinks stay unserved.
+func TestServicePathOnMultiSinkTree(t *testing.T) {
+	// 1 -> 2 -> 3 (deep sink) and 1 -> 4 (shallow sink).
+	req, err := require.FromEdges([][2]int{{1, 2}, {2, 3}, {1, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := mainChain(req)
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("mainChain = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("mainChain = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestRandomSpreadsChoices: over many runs the random algorithm must not
+// always make the same placement (otherwise it is not random).
+func TestRandomSpreadsChoices(t *testing.T) {
+	s, err := scenario.Generate(scenario.Config{
+		Seed: 77, NetworkSize: 15, Services: 5,
+		InstancesPerService: 3, Kind: scenario.KindGeneral,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ag, sErr := buildAbstract(t, s)
+	if sErr != nil {
+		t.Fatal(sErr)
+	}
+	rng := rand.New(rand.NewSource(5))
+	seen := make(map[string]bool)
+	for i := 0; i < 20; i++ {
+		res, err := Random(ag, s.SourceNID, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[res.Flow.String()] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("random produced only %d distinct placements in 20 runs", len(seen))
+	}
+}
+
+// TestFixedDeterministic: the fixed algorithm is deterministic by
+// construction.
+func TestFixedDeterministic(t *testing.T) {
+	s, err := scenario.Generate(scenario.Config{
+		Seed: 78, NetworkSize: 15, Services: 5,
+		InstancesPerService: 3, Kind: scenario.KindGeneral,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ag, sErr := buildAbstract(t, s)
+	if sErr != nil {
+		t.Fatal(sErr)
+	}
+	a, err := Fixed(ag, s.SourceNID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fixed(ag, s.SourceNID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Flow.String() != b.Flow.String() {
+		t.Fatal("fixed is not deterministic")
+	}
+}

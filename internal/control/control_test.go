@@ -1,0 +1,243 @@
+package control
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"sflow/internal/abstract"
+	"sflow/internal/exact"
+	"sflow/internal/overlay"
+	"sflow/internal/require"
+	"sflow/internal/scenario"
+)
+
+func buildScenario(t *testing.T, seed int64, kind scenario.Kind) (*abstract.Graph, *scenario.Scenario) {
+	t.Helper()
+	s, err := scenario.Generate(scenario.Config{
+		Seed: seed, NetworkSize: 15, Services: 6,
+		InstancesPerService: 3, Kind: kind,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ag, err := abstract.Build(s.Overlay, s.Req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ag, s
+}
+
+func TestRandomProducesValidFlows(t *testing.T) {
+	ag, s := buildScenario(t, 1, scenario.KindGeneral)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 10; i++ {
+		res, err := Random(ag, s.SourceNID, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Complete {
+			t.Fatal("random result incomplete")
+		}
+		if err := res.Flow.Validate(s.Req, s.Overlay); err != nil {
+			t.Fatalf("invalid flow: %v", err)
+		}
+		if res.Metric != res.Flow.Quality(s.Req) {
+			t.Fatal("metric mismatch")
+		}
+	}
+}
+
+func TestRandomIsReproducible(t *testing.T) {
+	ag, s := buildScenario(t, 2, scenario.KindGeneral)
+	a, err := Random(ag, s.SourceNID, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Random(ag, s.SourceNID, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Flow.Assignment(), b.Flow.Assignment()) {
+		t.Fatal("same seed produced different placements")
+	}
+}
+
+func TestFixedChoosesWidestDirectLink(t *testing.T) {
+	o := overlay.New()
+	for _, in := range [][2]int{{10, 1}, {20, 2}, {21, 2}, {30, 3}} {
+		if err := o.AddInstance(in[0], in[1], -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 20 has the wider first hop but a terrible second hop — the one-hop
+	// greedy must fall into the trap.
+	for _, l := range [][4]int64{
+		{10, 20, 100, 1}, {20, 30, 10, 1},
+		{10, 21, 50, 1}, {21, 30, 50, 1},
+	} {
+		if err := o.AddLink(int(l[0]), int(l[1]), l[2], l[3]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := require.NewPath(1, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ag, err := abstract.Build(o, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Fixed(ag, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nid, _ := res.Flow.Assigned(2); nid != 20 {
+		t.Fatalf("fixed picked %d, the greedy trap is 20", nid)
+	}
+	if res.Metric.Bandwidth != 10 {
+		t.Fatalf("fixed metric = %+v, want width 10", res.Metric)
+	}
+	// The optimal avoids the trap; fixed must be strictly worse here.
+	opt, err := exact.Solve(ag, 10, exact.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opt.Metric.Better(res.Metric) {
+		t.Fatalf("optimal %+v not better than fixed %+v", opt.Metric, res.Metric)
+	}
+}
+
+func TestFixedAndRandomNeverBeatOptimal(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		ag, s := buildScenario(t, seed, scenario.KindGeneral)
+		opt, err := exact.Solve(ag, s.SourceNID, exact.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fx, err := Fixed(ag, s.SourceNID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fx.Metric.Better(opt.Metric) {
+			t.Fatalf("seed %d: fixed %+v beats optimal %+v", seed, fx.Metric, opt.Metric)
+		}
+		rd, err := Random(ag, s.SourceNID, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rd.Metric.Better(opt.Metric) {
+			t.Fatalf("seed %d: random %+v beats optimal %+v", seed, rd.Metric, opt.Metric)
+		}
+		if err := fx.Flow.Validate(s.Req, s.Overlay); err != nil {
+			t.Fatalf("seed %d: fixed flow invalid: %v", seed, err)
+		}
+	}
+}
+
+func TestServicePathExactOnPathRequirements(t *testing.T) {
+	ag, s := buildScenario(t, 4, scenario.KindPath)
+	res, err := ServicePath(ag, s.SourceNID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatal("service path incomplete on a path requirement")
+	}
+	opt, err := exact.Solve(ag, s.SourceNID, exact.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metric != opt.Metric {
+		t.Fatalf("service path %+v != optimal %+v on a path", res.Metric, opt.Metric)
+	}
+}
+
+func TestServicePathIncompleteOnDAG(t *testing.T) {
+	ag, s := buildScenario(t, 5, scenario.KindGeneral)
+	res, err := ServicePath(ag, s.SourceNID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complete {
+		t.Fatal("service path claims completeness on a DAG")
+	}
+	if res.Metric.Reachable() {
+		t.Fatal("incomplete result reports a reachable metric")
+	}
+	// Even if the main chain happens to visit every service, the parallel
+	// streams of the DAG are not realised.
+	if res.Flow.Complete(s.Req) {
+		t.Fatal("flow graph claims to realise the full DAG requirement")
+	}
+	// The services it placed must form the main chain: source and the
+	// final sink are both covered.
+	if _, ok := res.Flow.Assigned(s.Req.Source()); !ok {
+		t.Fatal("source unplaced")
+	}
+	placedSink := false
+	for _, sink := range s.Req.Sinks() {
+		if _, ok := res.Flow.Assigned(sink); ok {
+			placedSink = true
+		}
+	}
+	if !placedSink {
+		t.Fatal("no sink placed")
+	}
+}
+
+func TestWrongSourceRejected(t *testing.T) {
+	ag, s := buildScenario(t, 6, scenario.KindGeneral)
+	other := -1
+	for _, inst := range s.Overlay.Instances() {
+		if inst.SID != s.Req.Source() {
+			other = inst.NID
+			break
+		}
+	}
+	if _, err := Fixed(ag, other); err == nil {
+		t.Fatal("fixed accepted wrong source")
+	}
+	if _, err := Random(ag, other, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("random accepted wrong source")
+	}
+}
+
+func TestInfeasiblePlacement(t *testing.T) {
+	// Service 3 has an instance, but no direct link reaches it.
+	o := overlay.New()
+	for _, in := range [][2]int{{1, 1}, {2, 2}, {3, 3}} {
+		if err := o.AddInstance(in[0], in[1], -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := o.AddLink(1, 2, 5, 1); err != nil {
+		t.Fatal(err)
+	}
+	req, err := require.NewPath(1, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ag, err := abstract.Build(o, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Fixed(ag, 1); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestMainChainDeterministic(t *testing.T) {
+	req, err := require.FromEdges([][2]int{{1, 2}, {1, 3}, {2, 4}, {3, 4}, {3, 5}, {4, 6}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := mainChain(req)
+	// Longest chains have 4 hops: 1-2-4-6? (3 hops) vs 1-3-4-6 (3) vs
+	// 1-3-5-6 (3). All 3 hops; smallest-SID tie-breaking selects 1-2-4-6.
+	want := []int{1, 2, 4, 6}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("mainChain = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"sflow/internal/overlay"
+	"sflow/internal/require"
+)
+
+// mustInstances populates an overlay from (NID, SID) pairs.
+func mustInstances(t *testing.T, o *overlay.Overlay, pairs [][2]int) {
+	t.Helper()
+	for _, in := range pairs {
+		if err := o.AddInstance(in[0], in[1], -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// mustLinks populates links from (from, to, bw, lat) rows.
+func mustLinks(t *testing.T, o *overlay.Overlay, rows [][4]int64) {
+	t.Helper()
+	for _, l := range rows {
+		if err := o.AddLink(int(l[0]), int(l[1]), l[2], l[3]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestFederateStuckWhenClaimWinnerInvisible: two branches merge at service 4,
+// but each branch can only reach a different instance of it. Whoever loses
+// the claim race must use the winner's instance — which it cannot even see —
+// so the federation is structurally stuck. The engine must diagnose this
+// rather than deadlock.
+func TestFederateStuckWhenClaimWinnerInvisible(t *testing.T) {
+	o := overlay.New()
+	mustInstances(t, o, [][2]int{{10, 1}, {20, 2}, {30, 3}, {40, 4}, {41, 4}})
+	mustLinks(t, o, [][4]int64{
+		{10, 20, 100, 10}, {10, 30, 100, 10},
+		{20, 40, 100, 10}, // branch via 2 reaches only instance 40
+		{30, 41, 100, 10}, // branch via 3 reaches only instance 41
+	})
+	req, err := require.FromEdges([][2]int{{1, 2}, {1, 3}, {2, 4}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 1-hop views the source cannot arbitrate the merge upfront.
+	if _, err := Federate(o, req, 10, Options{Hops: 1}); !errors.Is(err, ErrStuck) {
+		t.Fatalf("err = %v, want ErrStuck", err)
+	}
+	// With 2-hop views the source sees both branches dead-end on
+	// different instances — the requirement simply has no flow graph, so
+	// the source's own local solve reports it.
+	if _, err := Federate(o, req, 10, Options{}); !errors.Is(err, ErrStuck) {
+		t.Fatalf("2-hop err = %v, want ErrStuck", err)
+	}
+}
+
+// TestFederateExcludesInvisibleDeepClaim: two 3-level branches merge at
+// service 6. Branch A (2 -> 3 -> 6) claims the merge instance 60 first;
+// branch B's splitter-side node (service 4) cannot see 60 at all — it is
+// three hops away on B's side — so after losing the claim it must truncate
+// the merge from its local horizon and proceed; the node performing service
+// 5 then reaches 60 through a bridging relay.
+func TestFederateExcludesInvisibleDeepClaim(t *testing.T) {
+	o := overlay.New()
+	mustInstances(t, o, [][2]int{
+		{10, 1},
+		{20, 2}, {30, 3}, // branch A
+		{40, 4}, {50, 5}, // branch B
+		{60, 6}, {61, 6}, // merge instances: 60 on A's side, 61 a decoy on B's
+		{99, 9}, // bridging relay on branch B's last hop
+	})
+	mustLinks(t, o, [][4]int64{
+		{10, 20, 100, 10}, {10, 40, 100, 10},
+		{20, 30, 100, 10}, {30, 60, 100, 10}, // A reaches only 60
+		{40, 50, 100, 10},
+		{50, 61, 200, 10},                    // the decoy: wide and tempting for B
+		{50, 99, 100, 10}, {99, 60, 100, 10}, // ...but 60 is reachable via the relay
+	})
+	req, err := require.FromEdges([][2]int{
+		{1, 2}, {2, 3}, {3, 6},
+		{1, 4}, {4, 5}, {5, 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Federate(o, req, 10, Options{Hops: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Flow.Validate(req, o); err != nil {
+		t.Fatalf("invalid flow: %v", err)
+	}
+	// Branch A (node 20, processed first) claims 60. Node 40's two-hop
+	// view contains the decoy 61 but not 60, so after losing the claim it
+	// must truncate the merge from its horizon; node 50 then loses its own
+	// claim attempt for 61 and recomputes onto 60 through the relay.
+	if nid, _ := res.Flow.Assigned(6); nid != 60 {
+		t.Fatalf("merge on %d, want A's claim 60", nid)
+	}
+	e, ok := res.Flow.Edge(5, 6)
+	if !ok || len(e.Path) != 3 || e.Path[1] != 99 {
+		t.Fatalf("branch B final stream = %+v", e)
+	}
+	if res.Stats.Recomputations == 0 {
+		t.Fatal("expected re-computations from the lost deep claim")
+	}
+}
+
+// TestFederateThreeWayMerge exercises a merge of three parallel branches
+// with claims under 1-hop views: exactly one instance must win and all three
+// branches must converge on it.
+func TestFederateThreeWayMerge(t *testing.T) {
+	o := overlay.New()
+	mustInstances(t, o, [][2]int{
+		{10, 1}, {20, 2}, {30, 3}, {40, 4}, {50, 5}, {51, 5},
+	})
+	rows := [][4]int64{
+		{10, 20, 100, 10}, {10, 30, 100, 10}, {10, 40, 100, 10},
+	}
+	// Every branch end reaches both merge candidates, with different
+	// preferences.
+	for i, branch := range []int64{20, 30, 40} {
+		rows = append(rows,
+			[4]int64{branch, 50, 50 + int64(i)*30, 10},
+			[4]int64{branch, 51, 110 - int64(i)*30, 10},
+		)
+	}
+	mustLinks(t, o, rows)
+	req, err := require.FromEdges([][2]int{
+		{1, 2}, {1, 3}, {1, 4}, {2, 5}, {3, 5}, {4, 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Federate(o, req, 10, Options{Hops: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Flow.Validate(req, o); err != nil {
+		t.Fatalf("invalid flow: %v", err)
+	}
+	nid, ok := res.Flow.Assigned(5)
+	if !ok || (nid != 50 && nid != 51) {
+		t.Fatalf("merge on %d", nid)
+	}
+	// All three streams end at the same instance.
+	for _, from := range []int{2, 3, 4} {
+		e, ok := res.Flow.Edge(from, 5)
+		if !ok || e.ToNID != nid {
+			t.Fatalf("branch %d stream = %+v, want merge at %d", from, e, nid)
+		}
+	}
+	// With conflicting preferences at 1 hop, somebody recomputed.
+	if res.Stats.Recomputations == 0 {
+		t.Fatal("expected recomputations in the three-way race")
+	}
+}

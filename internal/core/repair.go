@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"sflow/internal/flow"
+	"sflow/internal/overlay"
+	"sflow/internal/require"
+)
+
+// RepairResult is the outcome of repairing a federation after failures.
+type RepairResult struct {
+	// Result is the re-federated flow graph over the surviving overlay.
+	*Result
+	// Affected lists the services whose placement had to be reconsidered,
+	// ascending.
+	Affected []int
+	// Moved lists the services whose instance actually changed, ascending.
+	Moved []int
+}
+
+// Repair re-federates a previously computed flow graph after a set of
+// instances failed. Placements untouched by the failures are pinned so the
+// repair is minimally disruptive: only services placed on failed instances —
+// or whose streams were routed through them — are reconsidered. The source
+// instance cannot be repaired away; its failure is an error.
+func Repair(ov *overlay.Overlay, req *require.Requirement, prev *flow.Graph, failed []int, opts Options) (*RepairResult, error) {
+	if len(failed) == 0 {
+		return nil, fmt.Errorf("core: repair called with no failed instances")
+	}
+	failedSet := make(map[int]bool, len(failed))
+	for _, nid := range failed {
+		if _, ok := ov.Instance(nid); !ok {
+			return nil, fmt.Errorf("core: failed instance %d is not in the overlay", nid)
+		}
+		failedSet[nid] = true
+	}
+	src, ok := prev.Assigned(req.Source())
+	if !ok {
+		return nil, fmt.Errorf("core: previous flow graph does not place the source service")
+	}
+	if failedSet[src] {
+		return nil, fmt.Errorf("core: source instance %d failed; the consumer must re-issue the request", src)
+	}
+
+	// A service is affected when its instance failed or one of its
+	// incident streams crossed a failed instance.
+	affected := make(map[int]bool)
+	for _, sid := range req.Services() {
+		nid, ok := prev.Assigned(sid)
+		if !ok || failedSet[nid] {
+			affected[sid] = true
+		}
+	}
+	for _, e := range prev.Edges() {
+		for _, hop := range e.Path {
+			if failedSet[hop] {
+				affected[e.FromSID] = affected[e.FromSID] || failedSet[e.FromNID]
+				affected[e.ToSID] = affected[e.ToSID] || failedSet[e.ToNID]
+				// A relay failure only forces re-routing, which the
+				// re-federation does anyway; the endpoints stay
+				// pinned unless they themselves failed.
+			}
+		}
+	}
+
+	// Surviving overlay.
+	surviving := ov.Clone()
+	for nid := range failedSet {
+		if err := surviving.RemoveInstance(nid); err != nil {
+			return nil, err
+		}
+	}
+
+	// Pin everything unaffected (the source is implicitly pinned by being
+	// the entry point).
+	pins := make(map[int]int)
+	for _, sid := range req.Services() {
+		if sid == req.Source() || affected[sid] {
+			continue
+		}
+		if nid, ok := prev.Assigned(sid); ok {
+			pins[sid] = nid
+		}
+	}
+	opts.Pins = pins
+
+	res, err := Federate(surviving, req, src, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: repair federation: %w", err)
+	}
+
+	out := &RepairResult{Result: res}
+	for sid := range affected {
+		out.Affected = append(out.Affected, sid)
+	}
+	sort.Ints(out.Affected)
+	for _, sid := range req.Services() {
+		before, hadBefore := prev.Assigned(sid)
+		after, _ := res.Flow.Assigned(sid)
+		if hadBefore && before != after {
+			out.Moved = append(out.Moved, sid)
+		}
+	}
+	sort.Ints(out.Moved)
+	return out, nil
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+
+	"sflow/internal/scenario"
+)
+
+func TestRepairAfterInstanceFailure(t *testing.T) {
+	repairedSomewhere := false
+	for seed := int64(0); seed < 8; seed++ {
+		s, err := scenario.Generate(scenario.Config{
+			Seed: seed, NetworkSize: 20, Services: 6,
+			InstancesPerService: 3, Kind: scenario.KindGeneral,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Federate(s.Overlay, s.Req, s.SourceNID, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Fail the instance serving the second service in topo order.
+		victimSID := s.Req.TopoOrder()[1]
+		victim, _ := res.Flow.Assigned(victimSID)
+
+		rep, err := Repair(s.Overlay, s.Req, res.Flow, []int{victim}, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		repairedSomewhere = true
+		// The repaired graph is valid on the surviving overlay — and in
+		// particular never uses the failed instance, not even as relay.
+		for _, e := range rep.Flow.Edges() {
+			for _, hop := range e.Path {
+				if hop == victim {
+					t.Fatalf("seed %d: repaired flow routes through failed instance %d", seed, victim)
+				}
+			}
+		}
+		if err := rep.Flow.Validate(s.Req, s.Overlay); err != nil {
+			t.Fatalf("seed %d: repaired flow invalid on original overlay: %v", seed, err)
+		}
+		if nid, _ := rep.Flow.Assigned(victimSID); nid == victim {
+			t.Fatalf("seed %d: victim service still on failed instance", seed)
+		}
+		// Unaffected services kept their placement.
+		for _, sid := range s.Req.Services() {
+			if containsInt(rep.Affected, sid) {
+				continue
+			}
+			before, _ := res.Flow.Assigned(sid)
+			after, _ := rep.Flow.Assigned(sid)
+			if before != after {
+				t.Fatalf("seed %d: unaffected service %d moved %d -> %d", seed, sid, before, after)
+			}
+		}
+		// Moved ⊆ Affected.
+		for _, sid := range rep.Moved {
+			if !containsInt(rep.Affected, sid) {
+				t.Fatalf("seed %d: service %d moved but not affected", seed, sid)
+			}
+		}
+		if !containsInt(rep.Affected, victimSID) {
+			t.Fatalf("seed %d: victim service not in affected set %v", seed, rep.Affected)
+		}
+	}
+	if !repairedSomewhere {
+		t.Fatal("no repair exercised")
+	}
+}
+
+func TestRepairValidation(t *testing.T) {
+	o, req := diamondOverlay(t)
+	res, err := Federate(o, req, 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Repair(o, req, res.Flow, nil, Options{}); err == nil {
+		t.Fatal("empty failure set accepted")
+	}
+	if _, err := Repair(o, req, res.Flow, []int{999}, Options{}); err == nil {
+		t.Fatal("unknown instance accepted")
+	}
+	// Source failure cannot be repaired.
+	if _, err := Repair(o, req, res.Flow, []int{10}, Options{}); err == nil {
+		t.Fatal("source failure accepted")
+	}
+}
+
+func TestRepairMergeInstanceFailure(t *testing.T) {
+	// Fail the chosen merge instance 41 of the diamond: repair must fall
+	// back to instance 40 and re-pin both branches onto it.
+	o, req := diamondOverlay(t)
+	res, err := Federate(o, req, 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nid, _ := res.Flow.Assigned(4); nid != 41 {
+		t.Fatalf("setup: merge on %d", nid)
+	}
+	rep, err := Repair(o, req, res.Flow, []int{41}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nid, _ := rep.Flow.Assigned(4); nid != 40 {
+		t.Fatalf("repair placed merge on %d, want 40", nid)
+	}
+	if rep.Metric.Bandwidth != 10 {
+		t.Fatalf("repaired metric %+v (the surviving merge is narrow)", rep.Metric)
+	}
+	// Services 2 and 3 were unaffected and must not move.
+	for _, sid := range []int{2, 3} {
+		before, _ := res.Flow.Assigned(sid)
+		after, _ := rep.Flow.Assigned(sid)
+		if before != after {
+			t.Fatalf("service %d moved", sid)
+		}
+	}
+}
+
+func TestRepairPinValidationInFederate(t *testing.T) {
+	o, req := diamondOverlay(t)
+	// A pin naming a wrong-service instance is rejected by Federate.
+	if _, err := Federate(o, req, 10, Options{Pins: map[int]int{2: 30}}); err == nil {
+		t.Fatal("wrong-service pin accepted")
+	}
+	// A correct pin steers the merge even against quality.
+	res, err := Federate(o, req, 10, Options{Pins: map[int]int{4: 40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nid, _ := res.Flow.Assigned(4); nid != 40 {
+		t.Fatalf("pin ignored: merge on %d", nid)
+	}
+}

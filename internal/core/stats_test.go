@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"sflow/internal/overlay"
+	"sflow/internal/require"
+	"sflow/internal/scenario"
+)
+
+// TestStatsAccounting pins down the bookkeeping of a deterministic run.
+func TestStatsAccounting(t *testing.T) {
+	o, req := diamondOverlay(t)
+	res, err := Federate(o, req, 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats
+	// Nodes 10, 20, 30 compute; the sink 40/41 only reports.
+	if s.LocalComputations != 3 {
+		t.Fatalf("local computations = %d, want 3", s.LocalComputations)
+	}
+	if s.Recomputations != 0 {
+		t.Fatalf("recomputations = %d", s.Recomputations)
+	}
+	if s.ComputeTime <= 0 {
+		t.Fatal("compute time not measured")
+	}
+	// Virtual completion time: user->1 (0) + two hops of 10us each + the
+	// zero-latency report = 20us.
+	if s.VirtualTime != 20 {
+		t.Fatalf("virtual time = %d, want 20", s.VirtualTime)
+	}
+}
+
+// TestMultiSinkStats checks sink accounting on a two-sink tree.
+func TestMultiSinkStats(t *testing.T) {
+	o := overlay.New()
+	for _, in := range [][2]int{{10, 1}, {20, 2}, {30, 3}} {
+		if err := o.AddInstance(in[0], in[1], -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := o.AddLink(10, 20, 50, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddLink(10, 30, 60, 9); err != nil {
+		t.Fatal(err)
+	}
+	req, err := require.FromEdges([][2]int{{1, 2}, {1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Federate(o, req, 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Messages: inject + 2 sfederate + 2 reports = 5.
+	if res.Stats.Messages != 5 {
+		t.Fatalf("messages = %d, want 5", res.Stats.Messages)
+	}
+	if res.Stats.NodesInvolved != 3 {
+		t.Fatalf("nodes = %d, want 3", res.Stats.NodesInvolved)
+	}
+	// Quality: bottleneck min(50,60)=50; critical path max(7,9)=9.
+	if res.Metric.Bandwidth != 50 || res.Metric.Latency != 9 {
+		t.Fatalf("metric = %+v", res.Metric)
+	}
+	// Virtual time ends at the later sink report.
+	if res.Stats.VirtualTime != 9 {
+		t.Fatalf("virtual time = %d, want 9", res.Stats.VirtualTime)
+	}
+}
+
+// TestLinkLatencyFallback: streams expanded through bridging instances send
+// sfederate over a route with no direct link; the DES must still deliver.
+func TestLinkLatencyFallback(t *testing.T) {
+	o := overlay.New()
+	for _, in := range [][2]int{{10, 1}, {99, 9}, {20, 2}} {
+		if err := o.AddInstance(in[0], in[1], -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 1 reaches 2 only through the relay 99.
+	if err := o.AddLink(10, 99, 40, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddLink(99, 20, 40, 4); err != nil {
+		t.Fatal(err)
+	}
+	req, err := require.NewPath(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Federate(o, req, 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := res.Flow.Edge(1, 2)
+	if !ok || len(e.Path) != 3 {
+		t.Fatalf("edge = %+v", e)
+	}
+	if res.Metric.Bandwidth != 40 || res.Metric.Latency != 7 {
+		t.Fatalf("metric = %+v", res.Metric)
+	}
+}
+
+// TestFederateLinkStateWithSmallerRadius combines LinkState views with a
+// non-default hop radius.
+func TestFederateLinkStateWithSmallerRadius(t *testing.T) {
+	s, err := scenario.Generate(scenario.Config{
+		Seed: 13, NetworkSize: 15, Services: 5,
+		InstancesPerService: 2, Kind: scenario.KindGeneral,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := Federate(s.Overlay, s.Req, s.SourceNID, Options{Hops: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := Federate(s.Overlay, s.Req, s.SourceNID, Options{Hops: 1, LinkState: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oracle.Metric != ls.Metric {
+		t.Fatalf("1-hop link-state run differs: %+v vs %+v", oracle.Metric, ls.Metric)
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"sflow/internal/flow"
+	"sflow/internal/overlay"
+	"sflow/internal/require"
+	"sflow/internal/transport"
+)
+
+// newTestEngine builds a minimal engine for white-box handler tests.
+func newTestEngine(t *testing.T) *engine {
+	t.Helper()
+	o, req := diamondOverlay(t)
+	e := &engine{
+		ov:     o,
+		req:    req,
+		opts:   Options{}.withDefaults(),
+		claims: make(map[int]int),
+		nodes:  make(map[int]*nodeState),
+		sinks:  make(map[int]*flow.Graph),
+	}
+	e.tr = transport.NewDES(e.linkLatency, e.handle)
+	return e
+}
+
+func TestHandleUnknownMessage(t *testing.T) {
+	e := newTestEngine(t)
+	e.handle(0, 1, 42)
+	if e.err == nil || !strings.Contains(e.err.Error(), "unknown message") {
+		t.Fatalf("err = %v", e.err)
+	}
+	// fail keeps the first error.
+	e.fail(errStub("later"))
+	if !strings.Contains(e.err.Error(), "unknown message") {
+		t.Fatal("fail overwrote the first error")
+	}
+}
+
+type errStub string
+
+func (e errStub) Error() string { return string(e) }
+
+func TestOnReportDuplicateSink(t *testing.T) {
+	e := newTestEngine(t)
+	e.onReport(report{sinkSID: 4, partial: flow.New()})
+	if e.err != nil {
+		t.Fatal(e.err)
+	}
+	e.onReport(report{sinkSID: 4, partial: flow.New()})
+	if e.err == nil || !strings.Contains(e.err.Error(), "duplicate report") {
+		t.Fatalf("err = %v", e.err)
+	}
+}
+
+func TestOnSfederateTooManyArrivals(t *testing.T) {
+	e := newTestEngine(t)
+	msg := sfederate{partial: flow.New(), pins: map[int]int{}}
+	// Node 20 (service 2) expects exactly one arrival.
+	e.onSfederate(20, msg)
+	if e.err != nil {
+		t.Fatal(e.err)
+	}
+	e.onSfederate(20, msg)
+	if e.err == nil || !strings.Contains(e.err.Error(), "expected") {
+		t.Fatalf("err = %v", e.err)
+	}
+}
+
+func TestOnSfederateMergeConflict(t *testing.T) {
+	e := newTestEngine(t)
+	// Two branch partials that disagree on service 2's instance: the merge
+	// at the receiving node must surface the conflict.
+	a := flow.New()
+	if err := a.Assign(2, 20); err != nil {
+		t.Fatal(err)
+	}
+	b := flow.New()
+	if err := b.Assign(2, 21); err != nil {
+		t.Fatal(err)
+	}
+	// Node 40 (service 4) expects two arrivals, so the second merge runs.
+	e.onSfederate(40, sfederate{partial: a, pins: map[int]int{}})
+	if e.err != nil {
+		t.Fatal(e.err)
+	}
+	e.onSfederate(40, sfederate{partial: b, pins: map[int]int{}})
+	if e.err == nil || !strings.Contains(e.err.Error(), "merging branches") {
+		t.Fatalf("err = %v", e.err)
+	}
+}
+
+// TestGreedyFallbackToViewRoute: in the reductions-disabled ablation, a
+// pinned instance without a direct link must be reached through the view's
+// shortest-widest route.
+func TestGreedyFallbackToViewRoute(t *testing.T) {
+	o := overlay.New()
+	for _, in := range [][2]int{{10, 1}, {99, 9}, {20, 2}, {21, 2}} {
+		if err := o.AddInstance(in[0], in[1], -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 20 is only reachable via the relay; 21 has a direct (narrow) link.
+	for _, l := range [][4]int64{
+		{10, 99, 100, 1}, {99, 20, 100, 1}, {10, 21, 10, 1},
+	} {
+		if err := o.AddLink(int(l[0]), int(l[1]), l[2], l[3]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := require.NewPath(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Federate(o, req, 10, Options{DisableReductions: true, Pins: map[int]int{2: 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := res.Flow.Edge(1, 2)
+	if !ok || len(e.Path) != 3 || e.Path[1] != 99 {
+		t.Fatalf("greedy pinned route = %+v", e)
+	}
+	// And with no route at all to the pin, the federation is stuck.
+	o2 := o.Clone()
+	if err := o2.RemoveInstance(99); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Federate(o2, req, 10, Options{DisableReductions: true, Pins: map[int]int{2: 20}}); err == nil {
+		t.Fatal("unreachable pin accepted")
+	}
+}

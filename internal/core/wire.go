@@ -1,0 +1,56 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"sflow/internal/flow"
+)
+
+// wireMessage is the serialised form of the protocol messages for
+// byte-oriented transports (the loopback TCP transport). The partial flow
+// graph reuses flow.Graph's JSON representation.
+type wireMessage struct {
+	Kind    string      `json:"kind"` // "sfederate" or "report"
+	Pins    map[int]int `json:"pins,omitempty"`
+	SinkSID int         `json:"sinkSID,omitempty"`
+	Partial *flow.Graph `json:"partial"`
+}
+
+// wireCodec encodes/decodes the protocol messages as JSON frames.
+type wireCodec struct{}
+
+// Encode implements transport.Codec.
+func (wireCodec) Encode(msg any) ([]byte, error) {
+	switch m := msg.(type) {
+	case sfederate:
+		return json.Marshal(wireMessage{Kind: "sfederate", Pins: m.pins, Partial: m.partial})
+	case report:
+		return json.Marshal(wireMessage{Kind: "report", SinkSID: m.sinkSID, Partial: m.partial})
+	default:
+		return nil, fmt.Errorf("core: cannot encode message %T", msg)
+	}
+}
+
+// Decode implements transport.Codec.
+func (wireCodec) Decode(data []byte) (any, error) {
+	var w wireMessage
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("core: decode frame: %w", err)
+	}
+	if w.Partial == nil {
+		w.Partial = flow.New()
+	}
+	switch w.Kind {
+	case "sfederate":
+		pins := w.Pins
+		if pins == nil {
+			pins = map[int]int{}
+		}
+		return sfederate{partial: w.Partial, pins: pins}, nil
+	case "report":
+		return report{sinkSID: w.SinkSID, partial: w.Partial}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown wire kind %q", w.Kind)
+	}
+}

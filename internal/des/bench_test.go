@@ -1,0 +1,32 @@
+package des
+
+import "testing"
+
+func BenchmarkScheduleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New()
+		for j := 0; j < 1000; j++ {
+			d := int64((j * 37) % 500)
+			if err := s.Schedule(d, func() {}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if got := s.Run(); got != 1000 {
+			b.Fatalf("ran %d events", got)
+		}
+	}
+}
+
+func BenchmarkCascade(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New()
+		var hop func(depth int)
+		hop = func(depth int) {
+			if depth < 1000 {
+				_ = s.Schedule(1, func() { hop(depth + 1) })
+			}
+		}
+		_ = s.Schedule(0, func() { hop(0) })
+		s.Run()
+	}
+}

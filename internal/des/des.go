@@ -1,0 +1,133 @@
+// Package des is a deterministic discrete-event simulator: a virtual clock
+// in microseconds and an event queue ordered by (time, insertion sequence).
+// The paper's evaluation simulates all network communication with
+// event-driven simulation; this engine is the Go equivalent.
+package des
+
+import "fmt"
+
+// Simulator is a single-threaded discrete-event simulator. The zero value is
+// not usable; use New. Simulators are not safe for concurrent use: events
+// run on the goroutine that calls Run.
+type Simulator struct {
+	now  int64
+	seq  uint64
+	heap []event
+}
+
+type event struct {
+	time int64
+	seq  uint64
+	fn   func()
+}
+
+// New returns a simulator at virtual time zero.
+func New() *Simulator { return &Simulator{} }
+
+// Now returns the current virtual time in microseconds.
+func (s *Simulator) Now() int64 { return s.now }
+
+// Pending returns the number of scheduled events not yet executed.
+func (s *Simulator) Pending() int { return len(s.heap) }
+
+// Schedule runs fn after the given virtual delay (microseconds). Events with
+// equal firing time run in scheduling order (FIFO), which makes runs
+// deterministic.
+func (s *Simulator) Schedule(delay int64, fn func()) error {
+	if delay < 0 {
+		return fmt.Errorf("des: negative delay %d", delay)
+	}
+	return s.ScheduleAt(s.now+delay, fn)
+}
+
+// ScheduleAt runs fn at the given absolute virtual time.
+func (s *Simulator) ScheduleAt(t int64, fn func()) error {
+	if t < s.now {
+		return fmt.Errorf("des: schedule at %d is in the past (now %d)", t, s.now)
+	}
+	if fn == nil {
+		return fmt.Errorf("des: nil event function")
+	}
+	s.push(event{time: t, seq: s.seq, fn: fn})
+	s.seq++
+	return nil
+}
+
+// Step executes the single earliest event. It reports whether an event ran.
+func (s *Simulator) Step() bool {
+	if len(s.heap) == 0 {
+		return false
+	}
+	e := s.pop()
+	s.now = e.time
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue is empty and returns the number of
+// events executed. Event functions may schedule further events.
+func (s *Simulator) Run() int {
+	n := 0
+	for s.Step() {
+		n++
+	}
+	return n
+}
+
+// RunUntil executes events with firing time <= t, then advances the clock to
+// t. It returns the number of events executed.
+func (s *Simulator) RunUntil(t int64) int {
+	n := 0
+	for len(s.heap) > 0 && s.heap[0].time <= t {
+		s.Step()
+		n++
+	}
+	if t > s.now {
+		s.now = t
+	}
+	return n
+}
+
+func (s *Simulator) less(i, j int) bool {
+	if s.heap[i].time != s.heap[j].time {
+		return s.heap[i].time < s.heap[j].time
+	}
+	return s.heap[i].seq < s.heap[j].seq
+}
+
+func (s *Simulator) push(e event) {
+	s.heap = append(s.heap, e)
+	i := len(s.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.less(i, p) {
+			break
+		}
+		s.heap[p], s.heap[i] = s.heap[i], s.heap[p]
+		i = p
+	}
+}
+
+func (s *Simulator) pop() event {
+	top := s.heap[0]
+	last := len(s.heap) - 1
+	s.heap[0] = s.heap[last]
+	s.heap = s.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < len(s.heap) && s.less(l, best) {
+			best = l
+		}
+		if r < len(s.heap) && s.less(r, best) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		s.heap[i], s.heap[best] = s.heap[best], s.heap[i]
+		i = best
+	}
+	return top
+}

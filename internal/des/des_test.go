@@ -1,0 +1,161 @@
+package des
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestScheduleAndRunOrder(t *testing.T) {
+	s := New()
+	var order []int
+	s.Schedule(30, func() { order = append(order, 3) })
+	s.Schedule(10, func() { order = append(order, 1) })
+	s.Schedule(20, func() { order = append(order, 2) })
+	if n := s.Run(); n != 3 {
+		t.Fatalf("Run executed %d events", n)
+	}
+	if want := []int{1, 2, 3}; !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != 30 {
+		t.Fatalf("Now = %d, want 30", s.Now())
+	}
+}
+
+func TestFIFOAtEqualTime(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(5, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+}
+
+func TestCascadingEvents(t *testing.T) {
+	s := New()
+	var times []int64
+	var chain func(depth int)
+	chain = func(depth int) {
+		times = append(times, s.Now())
+		if depth < 3 {
+			s.Schedule(7, func() { chain(depth + 1) })
+		}
+	}
+	s.Schedule(1, func() { chain(0) })
+	s.Run()
+	if want := []int64{1, 8, 15, 22}; !reflect.DeepEqual(times, want) {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	s := New()
+	if err := s.Schedule(-1, func() {}); err == nil {
+		t.Fatal("negative delay accepted")
+	}
+	if err := s.Schedule(1, nil); err == nil {
+		t.Fatal("nil fn accepted")
+	}
+	s.Schedule(10, func() {})
+	s.Run()
+	if err := s.ScheduleAt(5, func() {}); err == nil {
+		t.Fatal("past schedule accepted")
+	}
+}
+
+func TestStepAndPending(t *testing.T) {
+	s := New()
+	if s.Step() {
+		t.Fatal("Step on empty queue")
+	}
+	ran := false
+	s.Schedule(3, func() { ran = true })
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d", s.Pending())
+	}
+	if !s.Step() || !ran {
+		t.Fatal("Step did not run event")
+	}
+	if s.Pending() != 0 {
+		t.Fatal("Pending after run")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var got []int64
+	for _, d := range []int64{5, 10, 15, 20} {
+		d := d
+		s.Schedule(d, func() { got = append(got, d) })
+	}
+	if n := s.RunUntil(12); n != 2 {
+		t.Fatalf("RunUntil executed %d", n)
+	}
+	if s.Now() != 12 {
+		t.Fatalf("Now = %d, want 12", s.Now())
+	}
+	if want := []int64{5, 10}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+	s.Run()
+	if want := []int64{5, 10, 15, 20}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("final %v", got)
+	}
+}
+
+func TestRandomisedOrderingProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		s := New()
+		n := 50
+		delays := make([]int64, n)
+		var fired []int64
+		for i := range delays {
+			d := int64(rng.Intn(1000))
+			delays[i] = d
+			s.Schedule(d, func() { fired = append(fired, s.Now()) })
+		}
+		s.Run()
+		if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+			t.Fatalf("trial %d: events fired out of order: %v", trial, fired)
+		}
+		sort.Slice(delays, func(i, j int) bool { return delays[i] < delays[j] })
+		if !reflect.DeepEqual(fired, delays) {
+			t.Fatalf("trial %d: fired times %v != scheduled %v", trial, fired, delays)
+		}
+	}
+}
+
+func TestStepRunUntilInterleave(t *testing.T) {
+	s := New()
+	var got []int64
+	for _, d := range []int64{3, 6, 9} {
+		d := d
+		if err := s.Schedule(d, func() { got = append(got, d) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.Step() {
+		t.Fatal("step failed")
+	}
+	if n := s.RunUntil(6); n != 1 {
+		t.Fatalf("RunUntil ran %d", n)
+	}
+	// Scheduling relative to the advanced clock lands after existing work.
+	if err := s.Schedule(1, func() { got = append(got, 7) }); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	want := []int64{3, 6, 7, 9}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+}

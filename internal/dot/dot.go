@@ -1,0 +1,118 @@
+// Package dot renders requirements, overlays and service flow graphs in
+// Graphviz DOT format, mirroring the paper's figures: service nodes labelled
+// SID/NID, service links labelled (bandwidth, latency), and the selected
+// flow graph highlighted inside the overlay.
+package dot
+
+import (
+	"fmt"
+	"strings"
+
+	"sflow/internal/abstract"
+	"sflow/internal/flow"
+	"sflow/internal/overlay"
+	"sflow/internal/require"
+)
+
+// Requirement renders a service requirement DAG.
+func Requirement(req *require.Requirement) string {
+	var b strings.Builder
+	b.WriteString("digraph requirement {\n  rankdir=LR;\n  node [shape=circle];\n")
+	for _, sid := range req.Services() {
+		shape := "circle"
+		switch {
+		case sid == req.Source():
+			shape = "doublecircle"
+		case req.OutDegree(sid) == 0:
+			shape = "doubleoctagon"
+		}
+		fmt.Fprintf(&b, "  s%d [label=\"%d\" shape=%s];\n", sid, sid, shape)
+	}
+	for _, e := range req.Edges() {
+		fmt.Fprintf(&b, "  s%d -> s%d;\n", e[0], e[1])
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Overlay renders a service overlay graph with SID/NID node labels and
+// (bandwidth, latency) edge labels, as in Fig 4 of the paper.
+func Overlay(ov *overlay.Overlay) string {
+	var b strings.Builder
+	b.WriteString("digraph overlay {\n  rankdir=LR;\n  node [shape=ellipse];\n")
+	writeOverlayBody(&b, ov, nil)
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Flow renders the overlay with the selected service flow graph highlighted:
+// chosen instances are filled, streams are drawn bold.
+func Flow(ov *overlay.Overlay, fg *flow.Graph) string {
+	var b strings.Builder
+	b.WriteString("digraph flowgraph {\n  rankdir=LR;\n  node [shape=ellipse];\n")
+	writeOverlayBody(&b, ov, fg)
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Abstract renders a service abstract graph in the style of Fig 6: one
+// cluster per required service populated with its instances, and edges
+// between instances of adjacent required services labelled with the
+// shortest-widest metric between them.
+func Abstract(ag *abstract.Graph) string {
+	req := ag.Requirement()
+	var b strings.Builder
+	b.WriteString("digraph abstract {\n  rankdir=LR;\n  node [shape=ellipse];\n")
+	for _, sid := range req.Services() {
+		fmt.Fprintf(&b, "  subgraph cluster_s%d {\n    label=\"service %d\";\n", sid, sid)
+		for _, nid := range ag.Slots(sid) {
+			fmt.Fprintf(&b, "    n%d [label=\"%d/%d\"];\n", nid, sid, nid)
+		}
+		b.WriteString("  }\n")
+	}
+	for _, e := range req.Edges() {
+		for _, from := range ag.Slots(e[0]) {
+			for _, to := range ag.Slots(e[1]) {
+				m := ag.EdgeMetric(from, to)
+				if !m.Reachable() {
+					continue
+				}
+				fmt.Fprintf(&b, "  n%d -> n%d [label=\"(%d,%d)\"];\n",
+					from, to, m.Bandwidth, m.Latency)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func writeOverlayBody(b *strings.Builder, ov *overlay.Overlay, fg *flow.Graph) {
+	chosen := make(map[int]bool)
+	onStream := make(map[[2]int]bool)
+	if fg != nil {
+		for _, nid := range fg.Assignment() {
+			chosen[nid] = true
+		}
+		for _, e := range fg.Edges() {
+			for i := 0; i+1 < len(e.Path); i++ {
+				onStream[[2]int{e.Path[i], e.Path[i+1]}] = true
+			}
+		}
+	}
+	for _, inst := range ov.Instances() {
+		attrs := ""
+		if chosen[inst.NID] {
+			attrs = " style=filled fillcolor=gray85 penwidth=2"
+		}
+		fmt.Fprintf(b, "  n%d [label=\"%d/%d\"%s];\n", inst.NID, inst.SID, inst.NID, attrs)
+	}
+	for _, l := range ov.Links() {
+		attrs := ""
+		if onStream[[2]int{l.From, l.To}] {
+			attrs = " penwidth=2.5 color=black"
+		} else if fg != nil {
+			attrs = " color=gray70"
+		}
+		fmt.Fprintf(b, "  n%d -> n%d [label=\"(%d,%d)\"%s];\n", l.From, l.To, l.Bandwidth, l.Latency, attrs)
+	}
+}

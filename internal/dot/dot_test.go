@@ -1,0 +1,92 @@
+package dot
+
+import (
+	"strings"
+	"testing"
+
+	"sflow/internal/abstract"
+	"sflow/internal/flow"
+	"sflow/internal/overlay"
+	"sflow/internal/qos"
+	"sflow/internal/require"
+)
+
+func fixtures(t *testing.T) (*overlay.Overlay, *require.Requirement, *flow.Graph) {
+	t.Helper()
+	o := overlay.New()
+	for _, in := range [][2]int{{10, 1}, {20, 2}, {21, 2}} {
+		if err := o.AddInstance(in[0], in[1], -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := o.AddLink(10, 20, 100, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddLink(10, 21, 50, 2); err != nil {
+		t.Fatal(err)
+	}
+	req, err := require.NewPath(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fg := flow.New()
+	if err := fg.AddEdge(flow.Edge{
+		FromSID: 1, ToSID: 2, FromNID: 10, ToNID: 20,
+		Path: []int{10, 20}, Metric: qos.Metric{Bandwidth: 100, Latency: 5},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return o, req, fg
+}
+
+func TestRequirementDOT(t *testing.T) {
+	_, req, _ := fixtures(t)
+	out := Requirement(req)
+	for _, want := range []string{"digraph requirement", "s1 -> s2", "doublecircle", "doubleoctagon"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestOverlayDOT(t *testing.T) {
+	o, _, _ := fixtures(t)
+	out := Overlay(o)
+	for _, want := range []string{"digraph overlay", `label="1/10"`, `label="(100,5)"`, "n10 -> n20"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "filled") {
+		t.Fatal("plain overlay should not highlight")
+	}
+}
+
+func TestFlowDOT(t *testing.T) {
+	o, _, fg := fixtures(t)
+	out := Flow(o, fg)
+	if !strings.Contains(out, "fillcolor=gray85") {
+		t.Fatalf("chosen instances not highlighted:\n%s", out)
+	}
+	if !strings.Contains(out, "penwidth=2.5") {
+		t.Fatalf("streams not bold:\n%s", out)
+	}
+	// The unused link 10->21 must be dimmed.
+	if !strings.Contains(out, "color=gray70") {
+		t.Fatalf("unused links not dimmed:\n%s", out)
+	}
+}
+
+func TestAbstractDOT(t *testing.T) {
+	o, req, _ := fixtures(t)
+	ag, err := abstract.Build(o, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Abstract(ag)
+	for _, want := range []string{"digraph abstract", "cluster_s1", "cluster_s2", `label="2/20"`, "n10 -> n20"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}

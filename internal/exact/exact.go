@@ -1,0 +1,142 @@
+// Package exact computes the globally optimal service flow graph by
+// exhaustive enumeration of instance assignments with branch-and-bound
+// pruning on the bottleneck bandwidth. The paper uses exactly this
+// global-optimal construction as the benchmark for the correctness
+// coefficient (Sec 5); Theorem 1 shows no polynomial algorithm is expected,
+// so this solver is intended for the evaluation's small networks.
+package exact
+
+import (
+	"errors"
+	"fmt"
+
+	"sflow/internal/abstract"
+	"sflow/internal/flow"
+	"sflow/internal/qos"
+)
+
+// ErrInfeasible is returned when no assignment connects the requirement.
+var ErrInfeasible = errors.New("exact: no feasible service flow graph")
+
+// ErrBudget is returned when the search exceeds the configured budget.
+var ErrBudget = errors.New("exact: search budget exhausted")
+
+// Options tunes the search.
+type Options struct {
+	// Budget bounds the number of explored (partial) assignments;
+	// 0 means unlimited.
+	Budget int
+}
+
+// Result is the outcome of the exhaustive search.
+type Result struct {
+	// Flow is the globally optimal service flow graph.
+	Flow *flow.Graph
+	// Metric is its end-to-end quality.
+	Metric qos.Metric
+	// Explored counts the partial assignments visited (a proxy for the
+	// paper's "computation time" of the global optimal algorithm).
+	Explored int
+}
+
+// Solve finds the optimal flow graph with the source service pinned to the
+// given instance. Pass src < 0 to let the solver also choose the source
+// instance.
+func Solve(ag *abstract.Graph, src int, opts Options) (*Result, error) {
+	req := ag.Requirement()
+	order := req.TopoOrder()
+	if len(order) == 0 {
+		return nil, fmt.Errorf("exact: requirement has no topological order")
+	}
+	if src >= 0 {
+		if got := ag.Overlay().SIDOf(src); got != req.Source() {
+			return nil, fmt.Errorf("exact: source instance %d provides service %d, requirement starts at %d",
+				src, got, req.Source())
+		}
+	}
+
+	var (
+		bestAssign map[int]int
+		bestMetric = qos.Unreachable
+		explored   = 0
+		assign     = make(map[int]int, len(order))
+		overBudget = false
+	)
+
+	// candidates returns the instances to try for the service at position
+	// i of the topological order.
+	candidates := func(i int) []int {
+		sid := order[i]
+		if i == 0 && src >= 0 {
+			return []int{src}
+		}
+		return ag.Slots(sid)
+	}
+
+	var walk func(i int, width int64)
+	walk = func(i int, width int64) {
+		if overBudget {
+			return
+		}
+		explored++
+		if opts.Budget > 0 && explored > opts.Budget {
+			overBudget = true
+			return
+		}
+		if i == len(order) {
+			m := ag.AssignmentMetric(assign)
+			if m.Reachable() && (bestAssign == nil || m.Better(bestMetric)) {
+				bestMetric = m
+				bestAssign = make(map[int]int, len(assign))
+				for k, v := range assign {
+					bestAssign[k] = v
+				}
+			}
+			return
+		}
+		sid := order[i]
+		for _, nid := range candidates(i) {
+			// Incremental bottleneck over edges from already-assigned
+			// upstream services; prune when it falls strictly below
+			// the best width found so far.
+			w := width
+			feasible := true
+			for _, up := range req.Upstream(sid) {
+				upNID, ok := assign[up]
+				if !ok {
+					continue // upstream later in topo order cannot happen
+				}
+				m := ag.EdgeMetric(upNID, nid)
+				if !m.Reachable() {
+					feasible = false
+					break
+				}
+				if m.Bandwidth < w {
+					w = m.Bandwidth
+				}
+			}
+			if !feasible {
+				continue
+			}
+			if bestAssign != nil && w < bestMetric.Bandwidth {
+				continue // cannot beat the incumbent width
+			}
+			assign[sid] = nid
+			walk(i+1, w)
+			delete(assign, sid)
+		}
+	}
+	walk(0, qos.InfBandwidth)
+
+	if overBudget {
+		return nil, fmt.Errorf("%w (explored %d)", ErrBudget, explored)
+	}
+	if bestAssign == nil {
+		return nil, ErrInfeasible
+	}
+	fg, err := ag.Realize(bestAssign)
+	if err != nil {
+		return nil, fmt.Errorf("exact: realize optimal assignment: %w", err)
+	}
+	return &Result{Flow: fg, Metric: bestMetric, Explored: explored}, nil
+}

@@ -1,0 +1,200 @@
+package exact
+
+import (
+	"errors"
+	"testing"
+
+	"sflow/internal/abstract"
+	"sflow/internal/overlay"
+	"sflow/internal/qos"
+	"sflow/internal/require"
+	"sflow/internal/scenario"
+)
+
+// naiveBest enumerates every complete assignment with no pruning.
+func naiveBest(ag *abstract.Graph, src int) (map[int]int, qos.Metric) {
+	req := ag.Requirement()
+	order := req.TopoOrder()
+	assign := make(map[int]int)
+	var bestAssign map[int]int
+	best := qos.Unreachable
+	var walk func(i int)
+	walk = func(i int) {
+		if i == len(order) {
+			m := ag.AssignmentMetric(assign)
+			if m.Reachable() && (bestAssign == nil || m.Better(best)) {
+				best = m
+				bestAssign = make(map[int]int, len(assign))
+				for k, v := range assign {
+					bestAssign[k] = v
+				}
+			}
+			return
+		}
+		sid := order[i]
+		cands := ag.Slots(sid)
+		if i == 0 && src >= 0 {
+			cands = []int{src}
+		}
+		for _, nid := range cands {
+			assign[sid] = nid
+			walk(i + 1)
+		}
+		delete(assign, sid)
+	}
+	walk(0)
+	return bestAssign, best
+}
+
+func buildScenario(t *testing.T, seed int64, kind scenario.Kind) (*abstract.Graph, *scenario.Scenario) {
+	t.Helper()
+	s, err := scenario.Generate(scenario.Config{
+		Seed: seed, NetworkSize: 12, Services: 5,
+		InstancesPerService: 2, Kind: kind,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ag, err := abstract.Build(s.Overlay, s.Req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ag, s
+}
+
+func TestSolveMatchesNaiveEnumeration(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		for _, kind := range []scenario.Kind{scenario.KindPath, scenario.KindGeneral} {
+			ag, s := buildScenario(t, seed, kind)
+			_, want := naiveBest(ag, s.SourceNID)
+			res, err := Solve(ag, s.SourceNID, Options{})
+			if err != nil {
+				if errors.Is(err, ErrInfeasible) && !want.Reachable() {
+					continue
+				}
+				t.Fatalf("seed %d %v: %v (naive found %+v)", seed, kind, err, want)
+			}
+			if res.Metric != want {
+				t.Fatalf("seed %d %v: exact %+v, naive %+v", seed, kind, res.Metric, want)
+			}
+			if err := res.Flow.Validate(s.Req, s.Overlay); err != nil {
+				t.Fatalf("seed %d %v: invalid optimal flow: %v", seed, kind, err)
+			}
+			if got := res.Flow.Quality(s.Req); got != res.Metric {
+				t.Fatalf("seed %d %v: quality %+v != metric %+v", seed, kind, got, res.Metric)
+			}
+		}
+	}
+}
+
+func TestSolveFreeSource(t *testing.T) {
+	// With a free source the solver may only do better than with a pinned
+	// one.
+	ag, s := buildScenario(t, 3, scenario.KindGeneral)
+	pinned, err := Solve(ag, s.SourceNID, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := Solve(ag, -1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pinned.Metric.Better(free.Metric) {
+		t.Fatalf("free source %+v worse than pinned %+v", free.Metric, pinned.Metric)
+	}
+}
+
+func TestSolveBudget(t *testing.T) {
+	ag, s := buildScenario(t, 1, scenario.KindGeneral)
+	if _, err := Solve(ag, s.SourceNID, Options{Budget: 2}); !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	// A generous budget succeeds.
+	if _, err := Solve(ag, s.SourceNID, Options{Budget: 1_000_000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveRejectsWrongSource(t *testing.T) {
+	ag, s := buildScenario(t, 2, scenario.KindPath)
+	other := -1
+	for _, inst := range s.Overlay.Instances() {
+		if inst.SID != s.Req.Source() {
+			other = inst.NID
+			break
+		}
+	}
+	if _, err := Solve(ag, other, Options{}); err == nil {
+		t.Fatal("wrong-service source accepted")
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	o := overlay.New()
+	for _, in := range [][2]int{{1, 1}, {2, 2}, {3, 3}} {
+		if err := o.AddInstance(in[0], in[1], -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := o.AddLink(1, 2, 5, 1); err != nil {
+		t.Fatal(err)
+	}
+	req, err := require.NewPath(1, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ag, err := abstract.Build(o, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Solve(ag, 1, Options{}); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestPruningDoesNotChangeResultButExploresLess(t *testing.T) {
+	ag, s := buildScenario(t, 7, scenario.KindGeneral)
+	res, err := Solve(ag, s.SourceNID, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The naive search visits every complete assignment; the pruned search
+	// must visit no more partial assignments than the full tree size.
+	total := 1
+	for _, sid := range s.Req.Services() {
+		if sid == s.Req.Source() {
+			continue
+		}
+		total *= len(ag.Slots(sid))
+	}
+	if res.Explored <= 0 {
+		t.Fatal("explored count not reported")
+	}
+	// Sanity bound: the number of internal nodes of the assignment tree
+	// is at most services * total + 1.
+	if res.Explored > s.Req.NumServices()*total+total+1 {
+		t.Fatalf("explored %d exceeds tree bound", res.Explored)
+	}
+}
+
+func TestSolveDeterministicAndBudgetBoundary(t *testing.T) {
+	ag, s := buildScenario(t, 9, scenario.KindGeneral)
+	a, err := Solve(ag, s.SourceNID, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(ag, s.SourceNID, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Explored != b.Explored || a.Metric != b.Metric {
+		t.Fatalf("exact solver not deterministic: %+v vs %+v", a, b)
+	}
+	// A budget of exactly Explored succeeds; Explored-1 does not.
+	if _, err := Solve(ag, s.SourceNID, Options{Budget: a.Explored}); err != nil {
+		t.Fatalf("budget == explored rejected: %v", err)
+	}
+	if _, err := Solve(ag, s.SourceNID, Options{Budget: a.Explored - 1}); !errors.Is(err, ErrBudget) {
+		t.Fatalf("budget boundary wrong: %v", err)
+	}
+}

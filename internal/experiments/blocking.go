@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"sflow/internal/des"
+	"sflow/internal/provision"
+	"sflow/internal/scenario"
+)
+
+// blockingArrivals is the number of requests offered per simulation run.
+const blockingArrivals = 150
+
+// blockingHolding is the mean holding time of an admitted request in virtual
+// microseconds.
+const blockingHolding = 1_000_000
+
+// Blocking measures the blocking probability of each federation algorithm
+// under Poisson churn (experiment A8 of DESIGN.md): requests arrive with
+// exponential inter-arrival times, hold their reserved bandwidth for an
+// exponential duration, and depart. The x axis is the offered load — the
+// expected number of concurrently held requests (arrival rate times mean
+// holding time) — on a fixed 30-node network; the value is the fraction of
+// requests rejected.
+func Blocking(cfg Config) (*Series, error) {
+	cfg = cfg.withDefaults()
+	loads := []int{2, 5, 10, 20, 40}
+	cols := []string{"sflow", "fixed", "random"}
+
+	// One scenario per trial, shared across every load level, so the load
+	// sweep is a controlled comparison.
+	scenarios := make([]*scenario.Scenario, cfg.Trials)
+	for trial := range scenarios {
+		s, err := scenario.Generate(scenario.Config{
+			Seed:                trialSeed(cfg.Seed, 997, trial),
+			NetworkSize:         30,
+			Services:            cfg.Services,
+			InstancesPerService: cfg.instancesFor(30),
+			Kind:                mixedKind(trial),
+		})
+		if err != nil {
+			return nil, err
+		}
+		scenarios[trial] = s
+	}
+
+	points := make([]Point, 0, len(loads))
+	for _, load := range loads {
+		sums := make(map[string]float64, len(cols))
+		for trial := 0; trial < cfg.Trials; trial++ {
+			s := scenarios[trial]
+			algs := map[string]provision.Algorithm{
+				"sflow": federateAlg,
+				"fixed": fixedAlg,
+				"random": randomAlg(rand.New(rand.NewSource(
+					trialSeed(cfg.Seed, load, trial) + 17))),
+			}
+			for name, alg := range algs {
+				p, err := blockingRun(s, alg, load,
+					rand.New(rand.NewSource(trialSeed(cfg.Seed, load, trial)+31)))
+				if err != nil {
+					return nil, fmt.Errorf("experiments: blocking %s load %d trial %d: %w",
+						name, load, trial, err)
+				}
+				sums[name] += p
+			}
+		}
+		pt := Point{X: load, Values: make(map[string]float64, len(cols))}
+		for _, c := range cols {
+			pt.Values[c] = sums[c] / float64(cfg.Trials)
+		}
+		points = append(points, pt)
+	}
+	return &Series{
+		ID:      "blocking",
+		Title:   "Blocking probability under Poisson churn (30-node network, demand 150 Kbit/s)",
+		XLabel:  "OfferedLoad",
+		YLabel:  "blocking probability",
+		Columns: cols,
+		Points:  points,
+	}, nil
+}
+
+// blockingRun simulates one Poisson arrival/departure process over a shared
+// overlay and returns the fraction of blocked requests.
+func blockingRun(s *scenario.Scenario, alg provision.Algorithm, load int, rng *rand.Rand) (float64, error) {
+	sim := des.New()
+	mgr := provision.NewManager(s.Overlay)
+	interarrival := float64(blockingHolding) / float64(load)
+
+	var (
+		offered, blocked int
+		failure          error
+	)
+	var arrive func()
+	arrive = func() {
+		if failure != nil {
+			return
+		}
+		offered++
+		adm, err := mgr.Admit(s.Req, s.SourceNID, admissionDemand, alg)
+		switch {
+		case err == nil:
+			hold := int64(rng.ExpFloat64() * blockingHolding)
+			if err := sim.Schedule(hold, func() {
+				if err := mgr.Release(adm); err != nil && failure == nil {
+					failure = err
+				}
+			}); err != nil {
+				failure = err
+				return
+			}
+		case errors.Is(err, provision.ErrRejected):
+			blocked++
+		default:
+			failure = err
+			return
+		}
+		if offered < blockingArrivals {
+			gap := int64(rng.ExpFloat64() * interarrival)
+			if err := sim.Schedule(gap, arrive); err != nil {
+				failure = err
+			}
+		}
+	}
+	if err := sim.Schedule(0, arrive); err != nil {
+		return 0, err
+	}
+	sim.Run()
+	if failure != nil {
+		return 0, failure
+	}
+	return float64(blocked) / float64(offered), nil
+}

@@ -1,0 +1,364 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// smallCfg keeps the sweeps fast in unit tests.
+func smallCfg() Config {
+	return Config{Sizes: []int{10, 20}, Trials: 3, Seed: 1, Services: 5, Instances: 2}
+}
+
+func TestFig10aShape(t *testing.T) {
+	s, err := Fig10a(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 2 {
+		t.Fatalf("points = %d", len(s.Points))
+	}
+	for _, p := range s.Points {
+		for _, alg := range []string{"sflow", "fixed", "random", "servicepath"} {
+			v, ok := p.Values[alg]
+			if !ok {
+				t.Fatalf("missing %s at size %d", alg, p.X)
+			}
+			if v < 0 || v > 1 {
+				t.Fatalf("%s correctness %v out of [0,1]", alg, v)
+			}
+		}
+		// The headline claim: sFlow dominates the controls.
+		if p.Values["sflow"] < p.Values["random"] {
+			t.Fatalf("size %d: sflow %.3f below random %.3f",
+				p.X, p.Values["sflow"], p.Values["random"])
+		}
+		if p.Values["sflow"] < p.Values["servicepath"] {
+			t.Fatalf("size %d: sflow below servicepath", p.X)
+		}
+	}
+}
+
+func TestFig10bShape(t *testing.T) {
+	s, err := Fig10b(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range s.Points {
+		if p.Values["sflow"] <= 0 || p.Values["optimal"] <= 0 {
+			t.Fatalf("non-positive computation time at size %d: %+v", p.X, p.Values)
+		}
+	}
+}
+
+func TestFig10cShape(t *testing.T) {
+	s, err := Fig10c(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range s.Points {
+		for _, alg := range []string{"sflow", "fixed", "random"} {
+			if p.Values[alg] <= 0 {
+				t.Fatalf("size %d: %s latency %v", p.X, alg, p.Values[alg])
+			}
+		}
+	}
+}
+
+func TestFig10dShape(t *testing.T) {
+	s, err := Fig10d(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range s.Points {
+		if p.Values["optimal"] < p.Values["sflow"] {
+			t.Fatalf("size %d: optimal below sflow", p.X)
+		}
+		if p.Values["sflow"] < p.Values["random"] {
+			t.Fatalf("size %d: sflow bandwidth %v below random %v",
+				p.X, p.Values["sflow"], p.Values["random"])
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	look, err := AblationLookahead(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range look.Points {
+		for _, c := range look.Columns {
+			if v := p.Values[c]; v < 0 || v > 1 {
+				t.Fatalf("%s = %v out of range", c, v)
+			}
+		}
+	}
+	red, err := AblationReduction(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range red.Points {
+		if p.Values["full"] > 1.0001 || p.Values["greedy"] > 1.0001 {
+			t.Fatalf("normalised bandwidth above 1: %+v", p.Values)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Fig10a(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig10a(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Table() != b.Table() {
+		t.Fatal("same config produced different results")
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	s, err := Fig10a(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := s.Table()
+	if !strings.Contains(tbl, "fig10a") || !strings.Contains(tbl, "sflow") {
+		t.Fatalf("table missing headers:\n%s", tbl)
+	}
+	csv := s.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 1+len(s.Points) {
+		t.Fatalf("csv has %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "networksize,") {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+}
+
+func TestAdmissionShape(t *testing.T) {
+	s, err := Admission(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range s.Points {
+		for _, alg := range []string{"sflow", "fixed", "random"} {
+			if p.Values[alg] < 0 || p.Values[alg] > admissionCap {
+				t.Fatalf("size %d: %s admitted %v out of range", p.X, alg, p.Values[alg])
+			}
+		}
+		// The QoS-aware algorithms must not be beaten by random blundering.
+		if p.Values["sflow"] < p.Values["random"] {
+			t.Fatalf("size %d: sflow admits %v < random %v",
+				p.X, p.Values["sflow"], p.Values["random"])
+		}
+	}
+}
+
+func TestOverheadShape(t *testing.T) {
+	s, err := Overhead(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range s.Points {
+		if p.Values["messages"] <= 0 || p.Values["virtualtime_us"] <= 0 {
+			t.Fatalf("size %d: degenerate overhead %+v", p.X, p.Values)
+		}
+		// Computations include re-computations.
+		if p.Values["computations"] < p.Values["recomputations"] {
+			t.Fatalf("size %d: computations < recomputations", p.X)
+		}
+	}
+}
+
+func TestRepairChurnShape(t *testing.T) {
+	s, err := RepairChurn(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range s.Points {
+		// Minimal-churn repair must not move more services than a full
+		// re-federation changes... it may tie, never exceed grossly; the
+		// hard invariant is that repair moves at least the victim.
+		if p.Values["moved_repair"] < 1 {
+			t.Fatalf("size %d: repair moved %v services, victim must move", p.X, p.Values["moved_repair"])
+		}
+		if p.Values["bandwidth_ratio"] <= 0 {
+			t.Fatalf("size %d: bandwidth ratio %v", p.X, p.Values["bandwidth_ratio"])
+		}
+	}
+}
+
+func TestBlockingShape(t *testing.T) {
+	s, err := Blocking(Config{Trials: 2, Seed: 3, Services: 5, Instances: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) == 0 {
+		t.Fatal("no points")
+	}
+	for _, p := range s.Points {
+		for _, alg := range s.Columns {
+			v := p.Values[alg]
+			if v < 0 || v > 1 {
+				t.Fatalf("load %d: %s blocking %v out of [0,1]", p.X, alg, v)
+			}
+		}
+	}
+	// At the highest load random must block at least as much as sflow.
+	last := s.Points[len(s.Points)-1]
+	if last.Values["random"] < last.Values["sflow"] {
+		t.Fatalf("random blocks less than sflow at peak load: %+v", last.Values)
+	}
+}
+
+func TestMarkdownRendering(t *testing.T) {
+	s, err := Fig10a(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := s.Markdown()
+	if !strings.Contains(md, "### fig10a") || !strings.Contains(md, "| NetworkSize | sflow |") {
+		t.Fatalf("markdown wrong:\n%s", md)
+	}
+	lines := strings.Split(strings.TrimSpace(md), "\n")
+	// Header + separator + 2 data rows + title + blank.
+	if len(lines) < 5 {
+		t.Fatalf("markdown too short:\n%s", md)
+	}
+}
+
+func TestHierarchyShape(t *testing.T) {
+	s, err := Hierarchy(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range s.Points {
+		for _, c := range s.Columns {
+			if v := p.Values[c]; v < 0 || v > 1 {
+				t.Fatalf("size %d: %s = %v out of [0,1]", p.X, c, v)
+			}
+		}
+	}
+}
+
+func TestAllAndReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep")
+	}
+	cfg := Config{Sizes: []int{10}, Trials: 1, Seed: 9, Services: 4, Instances: 2}
+	series, err := All(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make(map[string]bool, len(series))
+	for _, s := range series {
+		ids[s.ID] = true
+	}
+	for _, want := range []string{
+		"fig10a", "fig10b", "fig10c", "fig10d",
+		"ablation-lookahead", "ablation-reduction",
+		"admission", "overhead", "repair", "blocking", "hierarchy",
+	} {
+		if !ids[want] {
+			t.Fatalf("All missing %q (got %v)", want, ids)
+		}
+	}
+	report, err := Report(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report, "# sFlow reproduction") || !strings.Contains(report, "### hierarchy") {
+		t.Fatalf("report incomplete")
+	}
+}
+
+func TestInstancesFor(t *testing.T) {
+	c := Config{}.withDefaults()
+	if got := c.instancesFor(10); got != 2 {
+		t.Fatalf("instancesFor(10) = %d", got)
+	}
+	if got := c.instancesFor(50); got != 5 {
+		t.Fatalf("instancesFor(50) = %d", got)
+	}
+	fixed := Config{Instances: 7}
+	if got := fixed.instancesFor(50); got != 7 {
+		t.Fatalf("explicit instances ignored: %d", got)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if len(c.Sizes) != 5 || c.Trials != 10 || c.Services != 6 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	custom := Config{Sizes: []int{7}, Trials: 3, Services: 4}.withDefaults()
+	if len(custom.Sizes) != 1 || custom.Trials != 3 || custom.Services != 4 {
+		t.Fatalf("custom config clobbered: %+v", custom)
+	}
+}
+
+func TestMixedKindCycles(t *testing.T) {
+	seen := make(map[string]bool)
+	for trial := 0; trial < 6; trial++ {
+		seen[mixedKind(trial).String()] = true
+	}
+	for _, want := range []string{"general", "disjoint", "split-merge"} {
+		if !seen[want] {
+			t.Fatalf("mixedKind never produced %s", want)
+		}
+	}
+}
+
+func TestPointsCarryStd(t *testing.T) {
+	s, err := Fig10d(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawSpread := false
+	for _, p := range s.Points {
+		for _, c := range s.Columns {
+			std, ok := p.Std[c]
+			if !ok || std < 0 {
+				t.Fatalf("size %d %s: std = %v, %v", p.X, c, std, ok)
+			}
+			if std > 0 {
+				sawSpread = true
+			}
+		}
+	}
+	if !sawSpread {
+		t.Fatal("all standard deviations zero across trials")
+	}
+	md := s.Markdown()
+	if !strings.Contains(md, "±") {
+		t.Fatalf("markdown lacks deviations:\n%s", md)
+	}
+}
+
+func TestSeriesJSONRoundTrip(t *testing.T) {
+	s, err := Fig10a(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Series
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != s.ID || len(back.Points) != len(s.Points) {
+		t.Fatal("round trip changed series")
+	}
+	if back.Table() != s.Table() {
+		t.Fatal("rendered tables differ after round trip")
+	}
+	var bad Series
+	if err := json.Unmarshal([]byte("{"), &bad); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sflow/internal/core"
+)
+
+// Overhead measures the distributed protocol's cost as the network grows
+// (experiment A6 of DESIGN.md): sfederate messages delivered, local
+// computations, re-computations caused by lost merge claims, and the virtual
+// completion time of the federation on the DES transport.
+func Overhead(cfg Config) (*Series, error) {
+	cfg = cfg.withDefaults()
+	cols := []string{"messages", "computations", "recomputations", "recomputations@1hop", "virtualtime_us"}
+	points, err := run(cfg, cols, func(size, trial int) (map[string]float64, error) {
+		s, _, err := generalScenario(cfg, size, trial, mixedKind(trial))
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.Federate(s.Overlay, s.Req, s.SourceNID, core.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("sflow: %w", err)
+		}
+		// With the default two-hop view the splitting node usually sees
+		// the merge and pins it; a one-hop view forces the claim races
+		// whose re-computations the paper attributes the Fig 10(b) gap to.
+		oneHop, err := core.Federate(s.Overlay, s.Req, s.SourceNID, core.Options{Hops: 1})
+		if err != nil {
+			return nil, fmt.Errorf("sflow hops=1: %w", err)
+		}
+		return map[string]float64{
+			"messages":            float64(res.Stats.Messages),
+			"computations":        float64(res.Stats.LocalComputations),
+			"recomputations":      float64(res.Stats.Recomputations),
+			"recomputations@1hop": float64(oneHop.Stats.Recomputations),
+			"virtualtime_us":      float64(res.Stats.VirtualTime),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Series{
+		ID:      "overhead",
+		Title:   "sFlow protocol overhead vs network size",
+		XLabel:  "NetworkSize",
+		YLabel:  "count / microseconds",
+		Columns: cols,
+		Points:  points,
+	}, nil
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sflow/internal/core"
+)
+
+// RepairChurn measures agility under failure (experiment A7 of DESIGN.md):
+// after a federation completes, the instance serving one mid-requirement
+// service fails. Repair re-federates with every unaffected placement pinned;
+// the alternative re-federates from scratch on the surviving overlay. The
+// series reports how many services moved under each strategy and the
+// bandwidth of the repaired graph relative to the from-scratch one.
+func RepairChurn(cfg Config) (*Series, error) {
+	cfg = cfg.withDefaults()
+	cols := []string{"moved_repair", "moved_scratch", "bandwidth_ratio"}
+	points, err := run(cfg, cols, func(size, trial int) (map[string]float64, error) {
+		s, _, err := generalScenario(cfg, size, trial, mixedKind(trial))
+		if err != nil {
+			return nil, err
+		}
+		before, err := core.Federate(s.Overlay, s.Req, s.SourceNID, core.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("sflow: %w", err)
+		}
+		victimSID := s.Req.TopoOrder()[1]
+		victim, _ := before.Flow.Assigned(victimSID)
+
+		rep, err := core.Repair(s.Overlay, s.Req, before.Flow, []int{victim}, core.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("repair: %w", err)
+		}
+
+		surviving := s.Overlay.Clone()
+		if err := surviving.RemoveInstance(victim); err != nil {
+			return nil, err
+		}
+		scratch, err := core.Federate(surviving, s.Req, s.SourceNID, core.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("scratch: %w", err)
+		}
+		movedScratch := 0
+		for _, sid := range s.Req.Services() {
+			b, _ := before.Flow.Assigned(sid)
+			a, _ := scratch.Flow.Assigned(sid)
+			if a != b {
+				movedScratch++
+			}
+		}
+		return map[string]float64{
+			"moved_repair":    float64(len(rep.Moved)),
+			"moved_scratch":   float64(movedScratch),
+			"bandwidth_ratio": float64(rep.Metric.Bandwidth) / float64(scratch.Metric.Bandwidth),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Series{
+		ID:      "repair",
+		Title:   "Failure repair: services moved and bandwidth vs re-federating from scratch",
+		XLabel:  "NetworkSize",
+		YLabel:  "count / ratio",
+		Columns: cols,
+		Points:  points,
+	}, nil
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Markdown renders a series as a GitHub-flavoured markdown table.
+func (s *Series) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", s.ID, s.Title)
+	b.WriteString("| " + s.XLabel)
+	for _, c := range s.Columns {
+		b.WriteString(" | " + c)
+	}
+	b.WriteString(" |\n|")
+	for i := 0; i <= len(s.Columns); i++ {
+		b.WriteString("---|")
+	}
+	b.WriteByte('\n')
+	for _, p := range s.Points {
+		fmt.Fprintf(&b, "| %d", p.X)
+		for _, c := range s.Columns {
+			if std, ok := p.Std[c]; ok && std > 0 {
+				fmt.Fprintf(&b, " | %.4f ± %.4f", p.Values[c], std)
+			} else {
+				fmt.Fprintf(&b, " | %.4f", p.Values[c])
+			}
+		}
+		b.WriteString(" |\n")
+	}
+	return b.String()
+}
+
+// Report runs every experiment with one config and assembles a single
+// markdown document — the regenerable data behind EXPERIMENTS.md.
+func Report(cfg Config) (string, error) {
+	series, err := All(cfg)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("# sFlow reproduction — measured results\n\n")
+	fmt.Fprintf(&b, "Configuration: sizes %v, %d trials per size, seed %d, %d services.\n\n",
+		cfg.withDefaults().Sizes, cfg.withDefaults().Trials, cfg.Seed, cfg.withDefaults().Services)
+	for _, s := range series {
+		b.WriteString(s.Markdown())
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// seriesJSON is the wire form of a Series.
+type seriesJSON struct {
+	ID      string   `json:"id"`
+	Title   string   `json:"title"`
+	XLabel  string   `json:"xLabel"`
+	YLabel  string   `json:"yLabel"`
+	Columns []string `json:"columns"`
+	Points  []Point  `json:"points"`
+}
+
+// MarshalJSON encodes the series for downstream plotting tools.
+func (s *Series) MarshalJSON() ([]byte, error) {
+	return json.Marshal(seriesJSON{
+		ID: s.ID, Title: s.Title, XLabel: s.XLabel, YLabel: s.YLabel,
+		Columns: s.Columns, Points: s.Points,
+	})
+}
+
+// UnmarshalJSON decodes a series.
+func (s *Series) UnmarshalJSON(data []byte) error {
+	var w seriesJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("experiments: decode series: %w", err)
+	}
+	*s = Series{
+		ID: w.ID, Title: w.Title, XLabel: w.XLabel, YLabel: w.YLabel,
+		Columns: w.Columns, Points: w.Points,
+	}
+	return nil
+}

@@ -1,0 +1,312 @@
+package flow
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"sflow/internal/overlay"
+	"sflow/internal/qos"
+	"sflow/internal/require"
+)
+
+// diamondFixture: requirement 1 -> {2,3} -> 4 on an overlay with one
+// instance per service (NID = SID*10) and a relay instance 99.
+func diamondFixture(t *testing.T) (*overlay.Overlay, *require.Requirement) {
+	t.Helper()
+	o := overlay.New()
+	for _, in := range [][2]int{{10, 1}, {20, 2}, {30, 3}, {40, 4}, {99, 9}} {
+		if err := o.AddInstance(in[0], in[1], -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, l := range [][4]int64{
+		{10, 20, 100, 1}, {10, 30, 80, 2},
+		{20, 40, 60, 3}, {30, 99, 70, 1}, {99, 40, 90, 1},
+	} {
+		if err := o.AddLink(int(l[0]), int(l[1]), l[2], l[3]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := require.FromEdges([][2]int{{1, 2}, {1, 3}, {2, 4}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o, req
+}
+
+// completeDiamond builds the full flow graph for the diamond fixture.
+func completeDiamond(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	edges := []Edge{
+		{FromSID: 1, ToSID: 2, FromNID: 10, ToNID: 20, Path: []int{10, 20}, Metric: qos.Metric{Bandwidth: 100, Latency: 1}},
+		{FromSID: 1, ToSID: 3, FromNID: 10, ToNID: 30, Path: []int{10, 30}, Metric: qos.Metric{Bandwidth: 80, Latency: 2}},
+		{FromSID: 2, ToSID: 4, FromNID: 20, ToNID: 40, Path: []int{20, 40}, Metric: qos.Metric{Bandwidth: 60, Latency: 3}},
+		{FromSID: 3, ToSID: 4, FromNID: 30, ToNID: 40, Path: []int{30, 99, 40}, Metric: qos.Metric{Bandwidth: 70, Latency: 2}},
+	}
+	for _, e := range edges {
+		if err := g.AddEdge(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestAssignConflict(t *testing.T) {
+	g := New()
+	if err := g.Assign(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Assign(1, 10); err != nil {
+		t.Fatal("re-assigning same instance must be fine")
+	}
+	if err := g.Assign(1, 11); err == nil {
+		t.Fatal("conflicting assignment accepted")
+	}
+	if nid, ok := g.Assigned(1); !ok || nid != 10 {
+		t.Fatalf("Assigned(1) = %d, %v", nid, ok)
+	}
+	if _, ok := g.Assigned(2); ok {
+		t.Fatal("unassigned service reported assigned")
+	}
+	a := g.Assignment()
+	a[1] = 99
+	if got, _ := g.Assigned(1); got != 10 {
+		t.Fatal("Assignment leaked internal map")
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New()
+	bad := Edge{FromSID: 1, ToSID: 2, FromNID: 10, ToNID: 20, Path: []int{10, 30}}
+	if err := g.AddEdge(bad); err == nil {
+		t.Fatal("path not ending at ToNID accepted")
+	}
+	if err := g.AddEdge(Edge{FromSID: 1, ToSID: 2, FromNID: 10, ToNID: 20, Path: nil}); err == nil {
+		t.Fatal("empty path accepted")
+	}
+	good := Edge{FromSID: 1, ToSID: 2, FromNID: 10, ToNID: 20, Path: []int{10, 20}, Metric: qos.Metric{Bandwidth: 5, Latency: 1}}
+	if err := g.AddEdge(good); err != nil {
+		t.Fatal(err)
+	}
+	// Same edge again: idempotent.
+	if err := g.AddEdge(good); err != nil {
+		t.Fatalf("idempotent re-add rejected: %v", err)
+	}
+	// Same requirement edge, different realisation: conflict.
+	other := good
+	other.Path = []int{10, 99, 20}
+	if err := g.AddEdge(other); err == nil {
+		t.Fatal("conflicting realisation accepted")
+	}
+	// Edge implying a conflicting assignment.
+	if err := g.AddEdge(Edge{FromSID: 1, ToSID: 3, FromNID: 11, ToNID: 30, Path: []int{11, 30}}); err == nil {
+		t.Fatal("edge with conflicting FromNID accepted")
+	}
+}
+
+func TestCompleteAndValidate(t *testing.T) {
+	o, req := diamondFixture(t)
+	g := completeDiamond(t)
+	if !g.Complete(req) {
+		t.Fatal("complete graph reported incomplete")
+	}
+	if err := g.Validate(req, o); err != nil {
+		t.Fatalf("valid flow graph rejected: %v", err)
+	}
+	// Removing one edge makes it incomplete.
+	partial := New()
+	e, _ := g.Edge(1, 2)
+	if err := partial.AddEdge(e); err != nil {
+		t.Fatal(err)
+	}
+	if partial.Complete(req) {
+		t.Fatal("partial graph reported complete")
+	}
+	if err := partial.Validate(req, o); err == nil {
+		t.Fatal("partial graph validated")
+	}
+}
+
+func TestValidateCatchesLies(t *testing.T) {
+	o, req := diamondFixture(t)
+
+	// Wrong metric.
+	g := completeDiamond(t)
+	e, _ := g.Edge(1, 2)
+	bad := New()
+	e.Metric = qos.Metric{Bandwidth: 999, Latency: 1}
+	if err := bad.AddEdge(e); err != nil {
+		t.Fatal(err)
+	}
+	for _, rest := range []([2]int){{1, 3}, {2, 4}, {3, 4}} {
+		re, _ := g.Edge(rest[0], rest[1])
+		if err := bad.AddEdge(re); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bad.Validate(req, o); err == nil {
+		t.Fatal("lying metric validated")
+	}
+
+	// Nonexistent overlay link in path.
+	g2 := New()
+	if err := g2.AddEdge(Edge{FromSID: 1, ToSID: 2, FromNID: 10, ToNID: 20, Path: []int{10, 99, 20}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Validate(req, o); err == nil {
+		t.Fatal("phantom path validated")
+	}
+
+	// Instance providing the wrong service.
+	g3 := completeDiamond(t)
+	g3.assign[1] = 99 // direct poke: service 1 "assigned" to a svc-9 instance
+	if err := g3.Validate(req, o); err == nil {
+		t.Fatal("wrong-service assignment validated")
+	}
+}
+
+func TestPathMetric(t *testing.T) {
+	o, _ := diamondFixture(t)
+	m, err := PathMetric(o, []int{10, 30, 99, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != (qos.Metric{Bandwidth: 70, Latency: 4}) {
+		t.Fatalf("PathMetric = %+v", m)
+	}
+	if _, err := PathMetric(o, []int{10, 40}); err == nil {
+		t.Fatal("missing link accepted")
+	}
+	if _, err := PathMetric(o, nil); err == nil {
+		t.Fatal("empty path accepted")
+	}
+	// Single node path: the empty metric.
+	m, err = PathMetric(o, []int{10})
+	if err != nil || m != qos.Empty {
+		t.Fatalf("single-node PathMetric = %+v, %v", m, err)
+	}
+}
+
+func TestQuality(t *testing.T) {
+	_, req := diamondFixture(t)
+	g := completeDiamond(t)
+	// Bottleneck = min(100,80,60,70) = 60; critical path latency =
+	// max(1+3, 2+2) = 4.
+	if got := g.Quality(req); got != (qos.Metric{Bandwidth: 60, Latency: 4}) {
+		t.Fatalf("Quality = %+v", got)
+	}
+	if New().Quality(req).Reachable() {
+		t.Fatal("empty graph quality should be unreachable")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	g := completeDiamond(t)
+	half1, half2 := New(), New()
+	for i, e := range g.Edges() {
+		dst := half1
+		if i%2 == 1 {
+			dst = half2
+		}
+		if err := dst.AddEdge(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged := New()
+	if err := merged.Merge(half1); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.Merge(half2); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(merged.Edges(), g.Edges()) {
+		t.Fatal("merge lost edges")
+	}
+	// Conflicting merge.
+	conflict := New()
+	if err := conflict.Assign(1, 777); err != nil {
+		t.Fatal(err)
+	}
+	if err := conflict.Merge(g); err == nil {
+		t.Fatal("conflicting merge accepted")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := completeDiamond(t)
+	c := g.Clone()
+	if !reflect.DeepEqual(g.Edges(), c.Edges()) {
+		t.Fatal("clone differs")
+	}
+	if err := c.Assign(9, 99); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.Assigned(9); ok {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestCorrectnessCoefficient(t *testing.T) {
+	opt := New()
+	for sid, nid := range map[int]int{1: 10, 2: 20, 3: 30, 4: 40} {
+		if err := opt.Assign(sid, nid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	same := opt.Clone()
+	if got := same.CorrectnessCoefficient(opt); got != 1.0 {
+		t.Fatalf("identical = %v, want 1", got)
+	}
+	half := New()
+	half.Assign(1, 10)
+	half.Assign(2, 21) // wrong instance
+	half.Assign(3, 30)
+	if got := half.CorrectnessCoefficient(opt); got != 0.5 {
+		t.Fatalf("half = %v, want 0.5", got)
+	}
+	if got := New().CorrectnessCoefficient(opt); got != 0 {
+		t.Fatalf("empty = %v, want 0", got)
+	}
+	if got := opt.CorrectnessCoefficient(New()); got != 0 {
+		t.Fatalf("empty reference = %v, want 0", got)
+	}
+}
+
+func TestNumAssignedAndString(t *testing.T) {
+	g := completeDiamond(t)
+	if g.NumAssigned() != 4 {
+		t.Fatalf("NumAssigned = %d", g.NumAssigned())
+	}
+	if s := g.String(); s == "" || s == "flow{}" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := completeDiamond(t)
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Graph
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g.Edges(), back.Edges()) {
+		t.Fatal("edges differ after round trip")
+	}
+	if !reflect.DeepEqual(g.Assignment(), back.Assignment()) {
+		t.Fatal("assignment differs after round trip")
+	}
+}
+
+func TestJSONRejectsInconsistent(t *testing.T) {
+	var g Graph
+	bad := `{"assign":[{"SID":1,"NID":10},{"SID":1,"NID":11}],"edges":[]}`
+	// Duplicate SID with different NID: second Assign must fail.
+	if err := json.Unmarshal([]byte(bad), &g); err == nil {
+		t.Fatal("conflicting assignment accepted")
+	}
+}

@@ -1,0 +1,47 @@
+package flow
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+type assignJSON struct {
+	SID, NID int
+}
+
+type flowJSON struct {
+	Assign []assignJSON `json:"assign"`
+	Edges  []Edge       `json:"edges"`
+}
+
+// MarshalJSON encodes the flow graph as a sorted assignment plus edge list.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	as := make([]assignJSON, 0, len(g.assign))
+	for sid, nid := range g.assign {
+		as = append(as, assignJSON{SID: sid, NID: nid})
+	}
+	sort.Slice(as, func(i, j int) bool { return as[i].SID < as[j].SID })
+	return json.Marshal(flowJSON{Assign: as, Edges: g.Edges()})
+}
+
+// UnmarshalJSON decodes a flow graph, re-validating internal consistency.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var w flowJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("flow: decode: %w", err)
+	}
+	dec := New()
+	for _, a := range w.Assign {
+		if err := dec.Assign(a.SID, a.NID); err != nil {
+			return err
+		}
+	}
+	for _, e := range w.Edges {
+		if err := dec.AddEdge(e); err != nil {
+			return err
+		}
+	}
+	*g = *dec
+	return nil
+}

@@ -1,0 +1,40 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkTopoSort(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomDAG(rng, 200, 0.05)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.TopoSort(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReachable(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomDAG(rng, 200, 0.05)
+	nodes := g.Nodes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Reachable(nodes[i%len(nodes)])
+	}
+}
+
+func BenchmarkLongestPath(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomDAG(rng, 200, 0.05)
+	src := g.Nodes()[0]
+	w := func(u, v int) int64 { return int64(u + v) }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.LongestPathFrom(src, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

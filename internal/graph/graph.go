@@ -1,0 +1,404 @@
+// Package graph provides directed-graph primitives shared by every other
+// subsystem: adjacency bookkeeping, topological ordering, cycle detection,
+// reachability and induced subgraphs.
+//
+// Node identifiers are plain ints so that overlay node identifiers (NIDs) and
+// requirement service identifiers (SIDs) can be used directly. All accessors
+// return nodes in sorted order so that algorithms built on top of the package
+// are deterministic.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Digraph is a simple directed graph (no parallel edges, no self-loops by
+// construction unless explicitly added). The zero value is not usable; use New.
+type Digraph struct {
+	succ map[int]map[int]struct{}
+	pred map[int]map[int]struct{}
+}
+
+// New returns an empty directed graph.
+func New() *Digraph {
+	return &Digraph{
+		succ: make(map[int]map[int]struct{}),
+		pred: make(map[int]map[int]struct{}),
+	}
+}
+
+// AddNode inserts node n if not already present.
+func (g *Digraph) AddNode(n int) {
+	if _, ok := g.succ[n]; ok {
+		return
+	}
+	g.succ[n] = make(map[int]struct{})
+	g.pred[n] = make(map[int]struct{})
+}
+
+// HasNode reports whether n is a node of g.
+func (g *Digraph) HasNode(n int) bool {
+	_, ok := g.succ[n]
+	return ok
+}
+
+// AddEdge inserts the edge u -> v, adding the endpoints as needed.
+func (g *Digraph) AddEdge(u, v int) {
+	g.AddNode(u)
+	g.AddNode(v)
+	g.succ[u][v] = struct{}{}
+	g.pred[v][u] = struct{}{}
+}
+
+// HasEdge reports whether the edge u -> v exists.
+func (g *Digraph) HasEdge(u, v int) bool {
+	s, ok := g.succ[u]
+	if !ok {
+		return false
+	}
+	_, ok = s[v]
+	return ok
+}
+
+// RemoveEdge deletes the edge u -> v if present. The endpoints remain.
+func (g *Digraph) RemoveEdge(u, v int) {
+	if s, ok := g.succ[u]; ok {
+		delete(s, v)
+	}
+	if p, ok := g.pred[v]; ok {
+		delete(p, u)
+	}
+}
+
+// RemoveNode deletes node n and all incident edges.
+func (g *Digraph) RemoveNode(n int) {
+	for v := range g.succ[n] {
+		delete(g.pred[v], n)
+	}
+	for u := range g.pred[n] {
+		delete(g.succ[u], n)
+	}
+	delete(g.succ, n)
+	delete(g.pred, n)
+}
+
+// NumNodes returns the number of nodes.
+func (g *Digraph) NumNodes() int { return len(g.succ) }
+
+// NumEdges returns the number of edges.
+func (g *Digraph) NumEdges() int {
+	n := 0
+	for _, s := range g.succ {
+		n += len(s)
+	}
+	return n
+}
+
+// Nodes returns all nodes in ascending order.
+func (g *Digraph) Nodes() []int {
+	out := make([]int, 0, len(g.succ))
+	for n := range g.succ {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Succ returns the successors of n in ascending order.
+func (g *Digraph) Succ(n int) []int { return sortedKeys(g.succ[n]) }
+
+// Pred returns the predecessors of n in ascending order.
+func (g *Digraph) Pred(n int) []int { return sortedKeys(g.pred[n]) }
+
+// OutDegree returns the out-degree of n.
+func (g *Digraph) OutDegree(n int) int { return len(g.succ[n]) }
+
+// InDegree returns the in-degree of n.
+func (g *Digraph) InDegree(n int) int { return len(g.pred[n]) }
+
+// Sources returns all nodes with in-degree zero, ascending.
+func (g *Digraph) Sources() []int {
+	var out []int
+	for n, p := range g.pred {
+		if len(p) == 0 {
+			out = append(out, n)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Sinks returns all nodes with out-degree zero, ascending.
+func (g *Digraph) Sinks() []int {
+	var out []int
+	for n, s := range g.succ {
+		if len(s) == 0 {
+			out = append(out, n)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Edges returns all edges as [2]int{u, v} pairs in lexicographic order.
+func (g *Digraph) Edges() [][2]int {
+	out := make([][2]int, 0, g.NumEdges())
+	for _, u := range g.Nodes() {
+		for _, v := range g.Succ(u) {
+			out = append(out, [2]int{u, v})
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of g.
+func (g *Digraph) Clone() *Digraph {
+	c := New()
+	for n := range g.succ {
+		c.AddNode(n)
+	}
+	for u, s := range g.succ {
+		for v := range s {
+			c.AddEdge(u, v)
+		}
+	}
+	return c
+}
+
+// Reverse returns a copy of g with every edge direction flipped.
+func (g *Digraph) Reverse() *Digraph {
+	r := New()
+	for n := range g.succ {
+		r.AddNode(n)
+	}
+	for u, s := range g.succ {
+		for v := range s {
+			r.AddEdge(v, u)
+		}
+	}
+	return r
+}
+
+// InducedSubgraph returns the subgraph of g induced by the given node set.
+func (g *Digraph) InducedSubgraph(nodes []int) *Digraph {
+	keep := make(map[int]struct{}, len(nodes))
+	for _, n := range nodes {
+		if g.HasNode(n) {
+			keep[n] = struct{}{}
+		}
+	}
+	sub := New()
+	for n := range keep {
+		sub.AddNode(n)
+	}
+	for u := range keep {
+		for v := range g.succ[u] {
+			if _, ok := keep[v]; ok {
+				sub.AddEdge(u, v)
+			}
+		}
+	}
+	return sub
+}
+
+// TopoSort returns a topological order of g, preferring smaller node
+// identifiers first (deterministic Kahn's algorithm). It returns an error if
+// the graph contains a cycle.
+func (g *Digraph) TopoSort() ([]int, error) {
+	indeg := make(map[int]int, len(g.succ))
+	for n, p := range g.pred {
+		indeg[n] = len(p)
+	}
+	var ready intHeap
+	for n, d := range indeg {
+		if d == 0 {
+			ready.push(n)
+		}
+	}
+	order := make([]int, 0, len(g.succ))
+	for ready.len() > 0 {
+		n := ready.pop()
+		order = append(order, n)
+		for _, v := range g.Succ(n) {
+			indeg[v]--
+			if indeg[v] == 0 {
+				ready.push(v)
+			}
+		}
+	}
+	if len(order) != len(g.succ) {
+		return nil, fmt.Errorf("graph: cycle detected (%d of %d nodes ordered)", len(order), len(g.succ))
+	}
+	return order, nil
+}
+
+// IsDAG reports whether g is acyclic.
+func (g *Digraph) IsDAG() bool {
+	_, err := g.TopoSort()
+	return err == nil
+}
+
+// Reachable returns the set of nodes reachable from src (including src),
+// ascending.
+func (g *Digraph) Reachable(src int) []int {
+	if !g.HasNode(src) {
+		return nil
+	}
+	seen := map[int]struct{}{src: {}}
+	stack := []int{src}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for v := range g.succ[u] {
+			if _, ok := seen[v]; !ok {
+				seen[v] = struct{}{}
+				stack = append(stack, v)
+			}
+		}
+	}
+	return sortedKeys(seen)
+}
+
+// CanReach reports whether there is a directed path from src to dst.
+func (g *Digraph) CanReach(src, dst int) bool {
+	if !g.HasNode(src) || !g.HasNode(dst) {
+		return false
+	}
+	if src == dst {
+		return true
+	}
+	seen := map[int]struct{}{src: {}}
+	stack := []int{src}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for v := range g.succ[u] {
+			if v == dst {
+				return true
+			}
+			if _, ok := seen[v]; !ok {
+				seen[v] = struct{}{}
+				stack = append(stack, v)
+			}
+		}
+	}
+	return false
+}
+
+// WithinHops returns all nodes reachable from src by following at most h
+// edges forward (including src), ascending.
+func (g *Digraph) WithinHops(src, h int) []int {
+	if !g.HasNode(src) {
+		return nil
+	}
+	dist := map[int]int{src: 0}
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if dist[u] == h {
+			continue
+		}
+		for v := range g.succ[u] {
+			if _, ok := dist[v]; !ok {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return sortedKeys2(dist)
+}
+
+// Equal reports whether g and o have identical node and edge sets.
+func (g *Digraph) Equal(o *Digraph) bool {
+	if g.NumNodes() != o.NumNodes() || g.NumEdges() != o.NumEdges() {
+		return false
+	}
+	for n := range g.succ {
+		if !o.HasNode(n) {
+			return false
+		}
+		for v := range g.succ[n] {
+			if !o.HasEdge(n, v) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the graph as "n: succ..." lines, for debugging.
+func (g *Digraph) String() string {
+	var b strings.Builder
+	for _, n := range g.Nodes() {
+		fmt.Fprintf(&b, "%d:", n)
+		for _, v := range g.Succ(n) {
+			fmt.Fprintf(&b, " %d", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func sortedKeys(m map[int]struct{}) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func sortedKeys2(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// intHeap is a tiny min-heap of ints used by TopoSort for deterministic
+// tie-breaking.
+type intHeap struct{ a []int }
+
+func (h *intHeap) len() int { return len(h.a) }
+
+func (h *intHeap) push(x int) {
+	h.a = append(h.a, x)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.a[p] <= h.a[i] {
+			break
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+func (h *intHeap) pop() int {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h.a) && h.a[l] < h.a[small] {
+			small = l
+		}
+		if r < len(h.a) && h.a[r] < h.a[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.a[i], h.a[small] = h.a[small], h.a[i]
+		i = small
+	}
+	return top
+}

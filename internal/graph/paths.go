@@ -1,0 +1,105 @@
+package graph
+
+import "fmt"
+
+// LongestPathFrom computes, on a DAG, the maximum total weight of any directed
+// path from src to each reachable node, where weight gives the (non-negative)
+// weight of each edge. Unreachable nodes are absent from the result. It
+// returns an error if g has a cycle.
+func (g *Digraph) LongestPathFrom(src int, weight func(u, v int) int64) (map[int]int64, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	dist := map[int]int64{src: 0}
+	for _, u := range order {
+		du, ok := dist[u]
+		if !ok {
+			continue
+		}
+		for _, v := range g.Succ(u) {
+			w := du + weight(u, v)
+			if cur, ok := dist[v]; !ok || w > cur {
+				dist[v] = w
+			}
+		}
+	}
+	return dist, nil
+}
+
+// AllPaths enumerates every simple directed path from src to dst, up to limit
+// paths (limit <= 0 means no limit). Intended for small graphs (tests and the
+// exhaustive solver); the number of paths can be exponential.
+func (g *Digraph) AllPaths(src, dst, limit int) [][]int {
+	if !g.HasNode(src) || !g.HasNode(dst) {
+		return nil
+	}
+	var (
+		out  [][]int
+		path []int
+		walk func(u int) bool
+	)
+	onPath := make(map[int]bool)
+	walk = func(u int) bool {
+		path = append(path, u)
+		onPath[u] = true
+		defer func() {
+			path = path[:len(path)-1]
+			onPath[u] = false
+		}()
+		if u == dst {
+			cp := make([]int, len(path))
+			copy(cp, path)
+			out = append(out, cp)
+			return limit > 0 && len(out) >= limit
+		}
+		for _, v := range g.Succ(u) {
+			if onPath[v] {
+				continue
+			}
+			if walk(v) {
+				return true
+			}
+		}
+		return false
+	}
+	walk(src)
+	return out
+}
+
+// ChainFrom follows the unique successor chain starting at n: it returns the
+// maximal sequence n, s1, s2, ... such that every node before the last has
+// exactly one successor and every node after the first has exactly one
+// predecessor. It is the building block of the path-reduction heuristic.
+func (g *Digraph) ChainFrom(n int) []int {
+	if !g.HasNode(n) {
+		return nil
+	}
+	chain := []int{n}
+	cur := n
+	for g.OutDegree(cur) == 1 {
+		next := g.Succ(cur)[0]
+		if g.InDegree(next) != 1 {
+			break
+		}
+		if next == n { // cycle guard
+			break
+		}
+		chain = append(chain, next)
+		cur = next
+	}
+	return chain
+}
+
+// ValidatePath reports whether nodes form a directed path in g.
+func (g *Digraph) ValidatePath(nodes []int) error {
+	if len(nodes) == 0 {
+		return fmt.Errorf("graph: empty path")
+	}
+	for i := 0; i+1 < len(nodes); i++ {
+		if !g.HasEdge(nodes[i], nodes[i+1]) {
+			return fmt.Errorf("graph: missing edge %d -> %d", nodes[i], nodes[i+1])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+// Package linkstate implements the scoped link-state dissemination that
+// underpins sFlow's local-knowledge assumption: the paper adopts the
+// link-state approach of Wang and Crowcroft and assumes "all service nodes
+// are aware of the portion of the overall overlay graph within a two-hop
+// vicinity". This package makes that assumption operational instead of
+// axiomatic: every node starts knowing only its own identity and out-links,
+// floods that advertisement with a hop-scoped TTL on the discrete-event
+// simulator, and reconstructs its local view from the advertisements it
+// receives.
+//
+// The reconstruction is proven (by tests) equivalent to the oracle
+// overlay.LocalView used by the protocol engine.
+package linkstate
+
+import (
+	"fmt"
+	"sort"
+
+	"sflow/internal/des"
+	"sflow/internal/overlay"
+)
+
+// Advertisement is one node's link-state announcement.
+type Advertisement struct {
+	// Origin identifies the advertising instance.
+	Origin overlay.Instance
+	// Links are the origin's outgoing service links.
+	Links []overlay.Link
+}
+
+// advertise builds a node's own announcement from the ground-truth overlay.
+func advertise(ov *overlay.Overlay, nid int) Advertisement {
+	inst, _ := ov.Instance(nid)
+	ad := Advertisement{Origin: inst}
+	for _, a := range ov.Out(nid) {
+		ad.Links = append(ad.Links, overlay.Link{
+			From: nid, To: a.To, Bandwidth: a.Bandwidth, Latency: a.Latency,
+		})
+	}
+	sort.Slice(ad.Links, func(i, j int) bool { return ad.Links[i].To < ad.Links[j].To })
+	return ad
+}
+
+// Database is the per-node collection of received advertisements.
+type Database struct {
+	node int
+	ads  map[int]Advertisement
+}
+
+// Node returns the owning instance.
+func (db *Database) Node() int { return db.node }
+
+// Known returns the NIDs the database has advertisements for, ascending.
+func (db *Database) Known() []int {
+	out := make([]int, 0, len(db.ads))
+	for nid := range db.ads {
+		out = append(out, nid)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// View reconstructs the node's local overlay from its database: all
+// advertised instances, plus the links among them. Links pointing at
+// instances outside the database are dropped — the node cannot reason about
+// endpoints it has not heard of.
+func (db *Database) View() (*overlay.Overlay, error) {
+	view := overlay.New()
+	for _, nid := range db.Known() {
+		inst := db.ads[nid].Origin
+		if err := view.AddInstance(inst.NID, inst.SID, inst.Host); err != nil {
+			return nil, err
+		}
+	}
+	for _, nid := range db.Known() {
+		for _, l := range db.ads[nid].Links {
+			if _, known := db.ads[l.To]; !known {
+				continue
+			}
+			if err := view.AddLink(l.From, l.To, l.Bandwidth, l.Latency); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return view, nil
+}
+
+// flooded is the wire form of an advertisement in flight.
+type flooded struct {
+	ad  Advertisement
+	ttl int
+}
+
+// Exchange floods every node's advertisement over the overlay's links on a
+// discrete-event simulation and returns each node's database. An
+// advertisement travels *against* link direction with the link's latency —
+// a node must learn about its downstream neighbourhood, so announcements
+// propagate from instances back to the nodes that can reach them — and dies
+// when its TTL (the hop radius) is exhausted. Duplicate arrivals are
+// absorbed; higher-TTL copies are re-flooded so shortest-hop scoping is
+// exact. The returned map is keyed by NID.
+func Exchange(ov *overlay.Overlay, hops int) (map[int]*Database, error) {
+	if hops < 1 {
+		return nil, fmt.Errorf("linkstate: hop radius %d < 1", hops)
+	}
+	sim := des.New()
+	dbs := make(map[int]*Database, ov.NumInstances())
+	bestTTL := make(map[int]map[int]int) // node -> origin -> best ttl seen
+
+	var deliver func(nid int, msg flooded)
+	forward := func(nid int, msg flooded) {
+		if msg.ttl == 0 {
+			return
+		}
+		// Flood backwards: to every node with a link INTO nid.
+		for _, in := range ov.In(nid) {
+			up := in.To
+			lat := in.Latency
+			next := flooded{ad: msg.ad, ttl: msg.ttl - 1}
+			if err := sim.Schedule(lat, func() { deliver(up, next) }); err != nil {
+				panic(err) // non-negative latency is validated by overlay
+			}
+		}
+	}
+	deliver = func(nid int, msg flooded) {
+		origin := msg.ad.Origin.NID
+		if prev, seen := bestTTL[nid][origin]; seen && prev >= msg.ttl {
+			return
+		}
+		bestTTL[nid][origin] = msg.ttl
+		dbs[nid].ads[origin] = msg.ad
+		forward(nid, msg)
+	}
+
+	for _, nid := range ov.Nodes() {
+		dbs[nid] = &Database{node: nid, ads: make(map[int]Advertisement)}
+		bestTTL[nid] = make(map[int]int)
+	}
+	// Every node seeds its own advertisement with the full TTL.
+	for _, nid := range ov.Nodes() {
+		msg := flooded{ad: advertise(ov, nid), ttl: hops}
+		nid := nid
+		if err := sim.Schedule(0, func() { deliver(nid, msg) }); err != nil {
+			return nil, err
+		}
+	}
+	sim.Run()
+	return dbs, nil
+}

@@ -1,0 +1,150 @@
+package linkstate
+
+import (
+	"reflect"
+	"testing"
+
+	"sflow/internal/overlay"
+	"sflow/internal/scenario"
+)
+
+func TestExchangeMatchesOracleLocalView(t *testing.T) {
+	// The reconstructed views must equal the oracle overlay.LocalView for
+	// every node, every radius, on random scenarios.
+	for seed := int64(0); seed < 6; seed++ {
+		s, err := scenario.Generate(scenario.Config{
+			Seed: seed, NetworkSize: 15, Services: 5,
+			InstancesPerService: 3, Kind: scenario.KindGeneral,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for hops := 1; hops <= 3; hops++ {
+			dbs, err := Exchange(s.Overlay, hops)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, nid := range s.Overlay.Nodes() {
+				oracle := s.Overlay.LocalView(nid, hops)
+				view, err := dbs[nid].View()
+				if err != nil {
+					t.Fatalf("seed %d hops %d node %d: %v", seed, hops, nid, err)
+				}
+				if !reflect.DeepEqual(view.Nodes(), oracle.Nodes()) {
+					t.Fatalf("seed %d hops %d node %d: nodes %v != oracle %v",
+						seed, hops, nid, view.Nodes(), oracle.Nodes())
+				}
+				if !reflect.DeepEqual(view.Links(), oracle.Links()) {
+					t.Fatalf("seed %d hops %d node %d: links differ from oracle",
+						seed, hops, nid)
+				}
+			}
+		}
+	}
+}
+
+func TestExchangeSmallChain(t *testing.T) {
+	// 1 -> 2 -> 3: with one hop, node 1 knows {1,2}, node 2 knows {2,3}.
+	o := overlay.New()
+	for _, in := range [][2]int{{1, 1}, {2, 2}, {3, 3}} {
+		if err := o.AddInstance(in[0], in[1], -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := o.AddLink(1, 2, 10, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddLink(2, 3, 10, 5); err != nil {
+		t.Fatal(err)
+	}
+	dbs, err := Exchange(o, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{1, 2}; !reflect.DeepEqual(dbs[1].Known(), want) {
+		t.Fatalf("node 1 knows %v", dbs[1].Known())
+	}
+	if want := []int{2, 3}; !reflect.DeepEqual(dbs[2].Known(), want) {
+		t.Fatalf("node 2 knows %v", dbs[2].Known())
+	}
+	if want := []int{3}; !reflect.DeepEqual(dbs[3].Known(), want) {
+		t.Fatalf("node 3 knows %v", dbs[3].Known())
+	}
+	// Node 1's one-hop view contains the 1->2 link but not 2->3 (endpoint
+	// 3 unknown).
+	view, err := dbs[1].View()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !view.HasLink(1, 2) || view.HasLink(2, 3) {
+		t.Fatalf("node 1 view links wrong: %v", view.Links())
+	}
+	if dbs[1].Node() != 1 {
+		t.Fatal("Node accessor wrong")
+	}
+}
+
+func TestExchangeValidation(t *testing.T) {
+	o := overlay.New()
+	if err := o.AddInstance(1, 1, -1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Exchange(o, 0); err == nil {
+		t.Fatal("zero hop radius accepted")
+	}
+	// A single isolated node still learns about itself.
+	dbs, err := Exchange(o, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{1}; !reflect.DeepEqual(dbs[1].Known(), want) {
+		t.Fatalf("isolated node knows %v", dbs[1].Known())
+	}
+}
+
+func TestAdvertisementContents(t *testing.T) {
+	o := overlay.New()
+	for _, in := range [][2]int{{1, 7}, {2, 8}, {3, 9}} {
+		if err := o.AddInstance(in[0], in[1], 42); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := o.AddLink(1, 3, 10, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddLink(1, 2, 20, 6); err != nil {
+		t.Fatal(err)
+	}
+	ad := advertise(o, 1)
+	if ad.Origin.SID != 7 || ad.Origin.Host != 42 {
+		t.Fatalf("origin = %+v", ad.Origin)
+	}
+	// Links sorted by destination.
+	if len(ad.Links) != 2 || ad.Links[0].To != 2 || ad.Links[1].To != 3 {
+		t.Fatalf("links = %+v", ad.Links)
+	}
+}
+
+func TestExchangeLargeRadiusCoversReachableSet(t *testing.T) {
+	s, err := scenario.Generate(scenario.Config{
+		Seed: 9, NetworkSize: 12, Services: 4, InstancesPerService: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A radius beyond any path length yields the full forward-reachable set.
+	dbs, err := Exchange(s.Overlay, s.Overlay.NumInstances()+5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nid := range s.Overlay.Nodes() {
+		oracle := s.Overlay.LocalView(nid, s.Overlay.NumInstances()+5)
+		view, err := dbs[nid].View()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(view.Nodes(), oracle.Nodes()) {
+			t.Fatalf("node %d: full-radius view differs", nid)
+		}
+	}
+}

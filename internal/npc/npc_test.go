@@ -1,0 +1,159 @@
+package npc
+
+import (
+	"math/rand"
+	"testing"
+
+	"sflow/internal/sat"
+)
+
+func formula(t *testing.T, numVars int, clauses ...[]sat.Literal) *sat.Formula {
+	t.Helper()
+	f := sat.New(numVars)
+	for _, cl := range clauses {
+		if err := f.AddClause(cl...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+func TestReduceGadgetShape(t *testing.T) {
+	// (x | y) & (!x | y): 2 clauses, 4 literal instances.
+	f := formula(t, 2, []sat.Literal{1, 2}, []sat.Literal{-1, 2})
+	in, err := Reduce(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Overlay.NumInstances() != 4 {
+		t.Fatalf("instances = %d, want 4", in.Overlay.NumInstances())
+	}
+	// 2x2 inter-clause edges.
+	if in.Overlay.NumLinks() != 4 {
+		t.Fatalf("links = %d, want 4", in.Overlay.NumLinks())
+	}
+	// x (NID 0) vs !x (NID 2): complementary, weight 1.
+	if m, ok := in.Overlay.LinkMetric(0, 2); !ok || m.Bandwidth != 1 {
+		t.Fatalf("complementary edge = %+v, %v", m, ok)
+	}
+	// x (NID 0) vs y (NID 3): compatible, weight K.
+	if m, ok := in.Overlay.LinkMetric(0, 3); !ok || m.Bandwidth != K {
+		t.Fatalf("compatible edge = %+v, %v", m, ok)
+	}
+	// Requirement is the complete DAG on 2 clause services.
+	if in.Req.NumServices() != 2 || in.Req.NumDependencies() != 1 {
+		t.Fatalf("requirement = %v", in.Req)
+	}
+}
+
+func TestReduceRejections(t *testing.T) {
+	if _, err := Reduce(formula(t, 1, []sat.Literal{1})); err == nil {
+		t.Fatal("single-clause formula accepted")
+	}
+	f := sat.New(1)
+	if err := f.AddClause(); err != nil { // empty clause
+		t.Fatal(err)
+	}
+	if err := f.AddClause(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Reduce(f); err == nil {
+		t.Fatal("empty clause accepted")
+	}
+}
+
+func TestDecideSatisfiable(t *testing.T) {
+	f := formula(t, 2, []sat.Literal{1, 2}, []sat.Literal{-1, 2})
+	in, err := Reduce(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, chosen, assign := in.Decide()
+	if !ok {
+		t.Fatal("satisfiable gadget reported infeasible")
+	}
+	if len(chosen) != 2 {
+		t.Fatalf("chose %d instances", len(chosen))
+	}
+	if !f.Satisfies(assign) {
+		t.Fatalf("extracted assignment %v does not satisfy %v", assign, f)
+	}
+}
+
+func TestDecideUnsatisfiable(t *testing.T) {
+	// (x) & (!x): any selection picks complementary literals.
+	f := formula(t, 1, []sat.Literal{1}, []sat.Literal{-1})
+	in, err := Reduce(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _, _ := in.Decide(); ok {
+		t.Fatal("UNSAT gadget reported feasible")
+	}
+}
+
+func TestPaperTransformationExample(t *testing.T) {
+	// Fig 7: U = {x, y, z, w},
+	// C = {{x,y,z,w}, {!x,y,!z}, {x,!y,w}, {!y,z}}.
+	f := formula(t, 4,
+		[]sat.Literal{1, 2, 3, 4},
+		[]sat.Literal{-1, 2, -3},
+		[]sat.Literal{1, -2, 4},
+		[]sat.Literal{-2, 3},
+	)
+	in, err := Reduce(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4+3+3+2 = 12 literal instances.
+	if in.Overlay.NumInstances() != 12 {
+		t.Fatalf("instances = %d, want 12", in.Overlay.NumInstances())
+	}
+	ok, _, assign := in.Decide()
+	if !ok {
+		t.Fatal("paper example gadget infeasible")
+	}
+	if !f.Satisfies(assign) {
+		t.Fatalf("assignment %v does not satisfy paper formula", assign)
+	}
+	// Cross-check with the DPLL solver.
+	if _, sat := f.Solve(); !sat {
+		t.Fatal("DPLL disagrees: formula should be satisfiable")
+	}
+}
+
+func TestTheoremBothDirectionsOnRandomFormulas(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 120; trial++ {
+		n := 2 + rng.Intn(5)
+		m := 2 + rng.Intn(5)
+		f := sat.New(n)
+		for c := 0; c < m; c++ {
+			k := 1 + rng.Intn(3)
+			lits := make([]sat.Literal, 0, k)
+			for j := 0; j < k; j++ {
+				l := sat.Literal(1 + rng.Intn(n))
+				if rng.Intn(2) == 0 {
+					l = -l
+				}
+				lits = append(lits, l)
+			}
+			if err := f.AddClause(lits...); err != nil {
+				t.Fatal(err)
+			}
+		}
+		in, err := Reduce(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gadgetSAT, _, assign := in.Decide()
+		_, dpllSAT := f.Solve()
+		if gadgetSAT != dpllSAT {
+			t.Fatalf("trial %d: gadget says %v, DPLL says %v for %v",
+				trial, gadgetSAT, dpllSAT, f)
+		}
+		if gadgetSAT && !f.Satisfies(assign) {
+			t.Fatalf("trial %d: gadget witness does not satisfy %v", trial, f)
+		}
+	}
+}

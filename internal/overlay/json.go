@@ -1,0 +1,38 @@
+package overlay
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// overlayJSON is the wire form of an Overlay.
+type overlayJSON struct {
+	Instances []Instance `json:"instances"`
+	Links     []Link     `json:"links"`
+}
+
+// MarshalJSON encodes the overlay as sorted instance and link lists.
+func (o *Overlay) MarshalJSON() ([]byte, error) {
+	return json.Marshal(overlayJSON{Instances: o.Instances(), Links: o.Links()})
+}
+
+// UnmarshalJSON decodes an overlay, re-validating every instance and link.
+func (o *Overlay) UnmarshalJSON(data []byte) error {
+	var w overlayJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("overlay: decode: %w", err)
+	}
+	dec := New()
+	for _, inst := range w.Instances {
+		if err := dec.AddInstance(inst.NID, inst.SID, inst.Host); err != nil {
+			return err
+		}
+	}
+	for _, l := range w.Links {
+		if err := dec.AddLink(l.From, l.To, l.Bandwidth, l.Latency); err != nil {
+			return err
+		}
+	}
+	*o = *dec
+	return nil
+}

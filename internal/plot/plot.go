@@ -1,0 +1,151 @@
+// Package plot renders experiment series as standalone SVG line charts with
+// nothing but the standard library — axes, ticks, one polyline per
+// algorithm, and a legend — so the reproduced figures can be eyeballed next
+// to the paper's.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"sflow/internal/experiments"
+)
+
+// Canvas geometry (viewbox units).
+const (
+	width   = 640
+	height  = 420
+	marginL = 70
+	marginR = 150
+	marginT = 48
+	marginB = 56
+)
+
+// palette holds the series colours, cycled in column order.
+var palette = []string{"#1f6feb", "#d33f49", "#2e9e44", "#8957e5", "#b08800", "#0598a8"}
+
+// SVG renders one series as a complete SVG document.
+func SVG(s *experiments.Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 %d %d" font-family="sans-serif" font-size="12">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-size="14" font-weight="bold">%s</text>`+"\n", marginL, escape(s.Title))
+
+	xs, lo, hi := bounds(s)
+	plotW := width - marginL - marginR
+	plotH := height - marginT - marginB
+	xPos := func(x int) float64 {
+		if len(xs) == 1 {
+			return marginL + float64(plotW)/2
+		}
+		frac := float64(x-xs[0]) / float64(xs[len(xs)-1]-xs[0])
+		return marginL + frac*float64(plotW)
+	}
+	yPos := func(v float64) float64 {
+		if hi == lo {
+			return marginT + float64(plotH)/2
+		}
+		frac := (v - lo) / (hi - lo)
+		return float64(marginT) + (1-frac)*float64(plotH)
+	}
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, height-marginB, width-marginR, height-marginB)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, height-marginB)
+
+	// X ticks: one per point.
+	for _, x := range xs {
+		px := xPos(x)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="black"/>`+"\n",
+			px, height-marginB, px, height-marginB+5)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%d</text>`+"\n",
+			px, height-marginB+20, x)
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">%s</text>`+"\n",
+		marginL+plotW/2, height-12, escape(s.XLabel))
+
+	// Y ticks: five levels.
+	for i := 0; i <= 4; i++ {
+		v := lo + (hi-lo)*float64(i)/4
+		py := yPos(v)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="black"/>`+"\n",
+			marginL-5, py, marginL, py)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#dddddd"/>`+"\n",
+			marginL, py, width-marginR, py)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end" dy="4">%s</text>`+"\n",
+			marginL-8, py, formatTick(v))
+	}
+	fmt.Fprintf(&b, `<text x="16" y="%d" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		marginT+plotH/2, marginT+plotH/2, escape(s.YLabel))
+
+	// One polyline + markers per column.
+	for ci, col := range s.Columns {
+		color := palette[ci%len(palette)]
+		var pts []string
+		for _, p := range s.Points {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", xPos(p.X), yPos(p.Values[col])))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.Join(pts, " "), color)
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3.5" fill="%s"/>`+"\n",
+				xPos(p.X), yPos(p.Values[col]), color)
+		}
+		// Legend entry.
+		ly := marginT + 18*ci
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			width-marginR+12, ly, width-marginR+36, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" dy="4">%s</text>`+"\n",
+			width-marginR+42, ly, escape(col))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// bounds returns the sorted x positions and padded y range of a series.
+func bounds(s *experiments.Series) (xs []int, lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, p := range s.Points {
+		xs = append(xs, p.X)
+		for _, col := range s.Columns {
+			v := p.Values[col]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if math.IsInf(lo, 1) {
+		lo, hi = 0, 1
+	}
+	if lo > 0 && lo < hi && lo/hi < 0.5 {
+		lo = 0 // anchor at zero when the data spans most of the range
+	}
+	if lo == hi {
+		hi = lo + 1
+	}
+	return xs, lo, hi
+}
+
+// formatTick renders an axis value compactly.
+func formatTick(v float64) string {
+	switch {
+	case math.Abs(v) >= 10000:
+		return fmt.Sprintf("%.0fk", v/1000)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// escape makes a string safe for SVG text content.
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

@@ -1,0 +1,84 @@
+package plot
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"sflow/internal/experiments"
+)
+
+func sampleSeries() *experiments.Series {
+	return &experiments.Series{
+		ID:      "fig10x",
+		Title:   "Title with <angle> & ampersand",
+		XLabel:  "NetworkSize",
+		YLabel:  "value",
+		Columns: []string{"sflow", "fixed"},
+		Points: []experiments.Point{
+			{X: 10, Values: map[string]float64{"sflow": 0.9, "fixed": 0.7}},
+			{X: 20, Values: map[string]float64{"sflow": 0.95, "fixed": 0.6}},
+			{X: 30, Values: map[string]float64{"sflow": 0.85, "fixed": 0.65}},
+		},
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	out := SVG(sampleSeries())
+	if !strings.HasPrefix(out, "<svg") {
+		t.Fatalf("not an svg: %q", out[:20])
+	}
+	// The output must be valid XML (escaping worked).
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v", err)
+		}
+	}
+	// One polyline per column, one legend entry each.
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Fatalf("polylines = %d, want 2", got)
+	}
+	for _, want := range []string{"sflow", "fixed", "NetworkSize", "&amp;", "&lt;angle&gt;"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q", want)
+		}
+	}
+	// Markers: columns x points.
+	if got := strings.Count(out, "<circle"); got != 6 {
+		t.Fatalf("markers = %d, want 6", got)
+	}
+}
+
+func TestSVGDegenerateSeries(t *testing.T) {
+	s := &experiments.Series{
+		ID: "flat", Title: "flat", XLabel: "x", YLabel: "y",
+		Columns: []string{"only"},
+		Points:  []experiments.Point{{X: 5, Values: map[string]float64{"only": 3}}},
+	}
+	out := SVG(s)
+	if !strings.Contains(out, "<polyline") {
+		t.Fatal("no polyline for single point")
+	}
+	empty := &experiments.Series{ID: "e", Title: "e", XLabel: "x", YLabel: "y"}
+	if out := SVG(empty); !strings.HasPrefix(out, "<svg") {
+		t.Fatal("empty series did not render")
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	tests := []struct {
+		v    float64
+		want string
+	}{
+		{25000, "25k"}, {150, "150"}, {0.5, "0.50"}, {-12000, "-12k"},
+	}
+	for _, tt := range tests {
+		if got := formatTick(tt.v); got != tt.want {
+			t.Errorf("formatTick(%v) = %q, want %q", tt.v, got, tt.want)
+		}
+	}
+}

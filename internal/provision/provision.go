@@ -1,0 +1,214 @@
+// Package provision admits successive federation requests over one shared
+// service overlay, maintaining residual link bandwidth — the
+// "resource-efficient" half of the paper's title taken to its operational
+// conclusion. Every admitted flow graph reserves its demanded bandwidth on
+// each overlay link its streams cross; saturated links disappear from the
+// residual overlay, so later requests see only what is left. Comparing how
+// many requests each federation algorithm can admit measures how frugally it
+// spends the network.
+package provision
+
+import (
+	"errors"
+	"fmt"
+
+	"sflow/internal/flow"
+	"sflow/internal/overlay"
+	"sflow/internal/qos"
+	"sflow/internal/require"
+)
+
+// ErrRejected is returned when a request cannot be admitted with its
+// demanded bandwidth.
+var ErrRejected = errors.New("provision: request rejected")
+
+// Algorithm federates a requirement over (the residual) overlay from a
+// source instance. The facade's Heuristic/Fixed/... functions have this
+// shape; the distributed Federate is adapted trivially.
+type Algorithm func(ov *overlay.Overlay, req *require.Requirement, src int) (*flow.Graph, qos.Metric, error)
+
+// Admission records one accepted request.
+type Admission struct {
+	Req    *require.Requirement
+	Flow   *flow.Graph
+	Metric qos.Metric
+	Demand int64
+
+	// reserved maps each (from, to) link to the bandwidth this admission
+	// holds on it and the link's latency (needed to re-create a link that
+	// saturated away when the admission is released).
+	reserved map[[2]int]reservation
+	released bool
+}
+
+// reservation is one admission's hold on one link.
+type reservation struct {
+	amount  int64
+	latency int64
+}
+
+// Manager tracks the residual overlay across admissions.
+type Manager struct {
+	residual *overlay.Overlay
+	admitted []*Admission
+	// capacity bounds how many concurrent admissions an instance may serve
+	// (0 = unlimited); inUse counts the active admissions per instance.
+	capacity int
+	inUse    map[int]int
+}
+
+// NewManager starts provisioning on a copy of the given overlay; the
+// original is never modified.
+func NewManager(ov *overlay.Overlay) *Manager {
+	return &Manager{residual: ov.Clone(), inUse: make(map[int]int)}
+}
+
+// SetInstanceCapacity bounds the number of concurrent admissions each
+// service instance may serve — the computing-resource half of the paper's
+// resource model (0 restores unlimited). Instances at capacity are hidden
+// from the federation algorithm for subsequent admissions.
+func (m *Manager) SetInstanceCapacity(capacity int) { m.capacity = capacity }
+
+// InstanceLoad returns how many active admissions instance nid serves.
+func (m *Manager) InstanceLoad(nid int) int { return m.inUse[nid] }
+
+// Residual returns the live residual overlay (shared, do not modify).
+func (m *Manager) Residual() *overlay.Overlay { return m.residual }
+
+// Admitted returns snapshots of the accepted requests in admission order.
+// Release takes the live pointer returned by Admit, not these copies.
+func (m *Manager) Admitted() []Admission {
+	out := make([]Admission, 0, len(m.admitted))
+	for _, a := range m.admitted {
+		out = append(out, *a)
+	}
+	return out
+}
+
+// NumAdmitted returns the number of accepted requests.
+func (m *Manager) NumAdmitted() int { return len(m.admitted) }
+
+// AggregateDemand returns the total bandwidth demand of all admissions.
+func (m *Manager) AggregateDemand() int64 {
+	var sum int64
+	for _, a := range m.admitted {
+		sum += a.Demand
+	}
+	return sum
+}
+
+// Admit federates req over the residual overlay using alg and, if the
+// resulting flow graph sustains the demanded bandwidth on every stream,
+// reserves that bandwidth along each stream's route. A request is rejected
+// (ErrRejected) when the algorithm fails on the residual overlay or the
+// achieved bottleneck falls short of the demand; rejection leaves the
+// residual overlay untouched.
+func (m *Manager) Admit(req *require.Requirement, src int, demand int64, alg Algorithm) (*Admission, error) {
+	if demand <= 0 {
+		return nil, fmt.Errorf("provision: non-positive demand %d", demand)
+	}
+	view := m.residual
+	if m.capacity > 0 {
+		if m.inUse[src] >= m.capacity {
+			return nil, fmt.Errorf("%w: source instance %d at compute capacity", ErrRejected, src)
+		}
+		view = m.residual.Clone()
+		for nid, n := range m.inUse {
+			if n >= m.capacity && nid != src {
+				if err := view.RemoveInstance(nid); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	fg, metric, err := alg(view, req, src)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRejected, err)
+	}
+	if !metric.Reachable() || metric.Bandwidth < demand {
+		return nil, fmt.Errorf("%w: achievable bandwidth %d below demand %d",
+			ErrRejected, metric.Bandwidth, demand)
+	}
+	if err := fg.Validate(req, view); err != nil {
+		return nil, fmt.Errorf("provision: algorithm returned invalid flow: %w", err)
+	}
+	// A link crossed by k streams is charged k times; aggregate first so a
+	// request whose own streams jointly oversubscribe a link is rejected
+	// before anything is reserved (per-stream bottlenecks cannot see this
+	// intra-request sharing).
+	needs := make(map[[2]int]int64)
+	for _, e := range fg.Edges() {
+		for i := 0; i+1 < len(e.Path); i++ {
+			needs[[2]int{e.Path[i], e.Path[i+1]}] += demand
+		}
+	}
+	reserved := make(map[[2]int]reservation, len(needs))
+	for link, need := range needs {
+		cur, ok := m.residual.LinkMetric(link[0], link[1])
+		if !ok || cur.Bandwidth < need {
+			return nil, fmt.Errorf("%w: link %d->%d carries %d streams needing %d, has %d",
+				ErrRejected, link[0], link[1], need/demand, need, cur.Bandwidth)
+		}
+		reserved[link] = reservation{amount: need, latency: cur.Latency}
+	}
+	for link, need := range needs {
+		if err := m.residual.ReduceLinkBandwidth(link[0], link[1], need); err != nil {
+			return nil, fmt.Errorf("provision: reserve %d on %d->%d: %w",
+				need, link[0], link[1], err)
+		}
+	}
+	for _, nid := range fg.Assignment() {
+		m.inUse[nid]++
+	}
+	a := &Admission{Req: req, Flow: fg, Metric: metric, Demand: demand, reserved: reserved}
+	m.admitted = append(m.admitted, a)
+	return a, nil
+}
+
+// Release returns an admission's reserved bandwidth to the residual overlay
+// (the request departed). Pass the pointer Admit returned. Links that
+// saturated away are re-created with their original latency. Releasing the
+// same admission twice is an error.
+func (m *Manager) Release(a *Admission) error {
+	if a == nil || a.reserved == nil {
+		return fmt.Errorf("provision: release of an admission without reservations")
+	}
+	if a.released {
+		return fmt.Errorf("provision: admission already released")
+	}
+	a.released = true
+	for _, nid := range a.Flow.Assignment() {
+		if m.inUse[nid] > 0 {
+			m.inUse[nid]--
+		}
+	}
+	for link, r := range a.reserved {
+		if _, ok := m.residual.LinkMetric(link[0], link[1]); ok {
+			if err := m.residual.GrowLinkBandwidth(link[0], link[1], r.amount); err != nil {
+				return err
+			}
+			continue
+		}
+		// The link saturated away: re-create it with the returned
+		// capacity.
+		if err := m.residual.AddLink(link[0], link[1], r.amount, r.latency); err != nil {
+			return fmt.Errorf("provision: restore link %d->%d: %w", link[0], link[1], err)
+		}
+	}
+	return nil
+}
+
+// AdmitUntilRejected submits up to maxRequests identical requests and stops
+// at the first rejection, returning how many were admitted. It is the
+// admission-capacity probe used by the evaluation harness.
+func (m *Manager) AdmitUntilRejected(req *require.Requirement, src int, demand int64, alg Algorithm, maxRequests int) (int, error) {
+	for i := 0; i < maxRequests; i++ {
+		if _, err := m.Admit(req, src, demand, alg); err != nil {
+			if errors.Is(err, ErrRejected) {
+				return i, nil
+			}
+			return i, err
+		}
+	}
+	return maxRequests, nil
+}

@@ -1,0 +1,37 @@
+package qos
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func benchGraph(n int) *testGraph {
+	rng := rand.New(rand.NewSource(int64(n)))
+	return randomGraph(rng, n, 0.2)
+}
+
+func BenchmarkShortestWidest(b *testing.B) {
+	for _, n := range []int{20, 50, 100} {
+		g := benchGraph(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ShortestWidest(g, i%n)
+			}
+		})
+	}
+}
+
+func BenchmarkShortestLatency(b *testing.B) {
+	g := benchGraph(100)
+	for i := 0; i < b.N; i++ {
+		ShortestLatency(g, i%100)
+	}
+}
+
+func BenchmarkComputeAllPairs(b *testing.B) {
+	g := benchGraph(50)
+	for i := 0; i < b.N; i++ {
+		ComputeAllPairs(g)
+	}
+}

@@ -1,0 +1,380 @@
+// Package qos implements quality-of-service routing on weighted directed
+// graphs, specifically the shortest-widest path algorithm of Wang and
+// Crowcroft (JSAC 1996) that the paper adopts: among all paths, select the
+// one with the greatest bottleneck bandwidth (the widest path), and among
+// equally wide paths, the one with the smallest total latency (the shortest).
+//
+// The computation is two-phase, as in the original algorithm. A single
+// lexicographic Dijkstra is not correct here: a prefix that is narrower but
+// much shorter can still yield the shortest path among the widest ones when a
+// later link lowers the bottleneck anyway. Phase one is a max-bottleneck
+// Dijkstra that finds each node's achievable width; phase two is a
+// latency-only Dijkstra restricted, per width class, to links at least that
+// wide.
+//
+// Bandwidth is in Kbit/s and latency in microseconds, both int64, so the
+// quality order is exact.
+package qos
+
+import (
+	"math"
+	"sort"
+)
+
+// InfBandwidth is the bandwidth of the empty path: wider than any link.
+const InfBandwidth int64 = math.MaxInt64
+
+// Arc is one weighted out-edge of a graph node.
+type Arc struct {
+	To        int
+	Bandwidth int64 // Kbit/s, must be > 0 for a usable link
+	Latency   int64 // microseconds, must be >= 0
+}
+
+// Graph is the read-only view of a weighted digraph that routing operates on.
+// Nodes must return identifiers in a deterministic order; Out must return the
+// out-arcs of a node in a deterministic order.
+type Graph interface {
+	Nodes() []int
+	Out(u int) []Arc
+}
+
+// Metric is the quality of a path: bottleneck bandwidth and total latency.
+// The zero value (Bandwidth 0) means "unreachable".
+type Metric struct {
+	Bandwidth int64
+	Latency   int64
+}
+
+// Unreachable is the metric of a non-existent path.
+var Unreachable = Metric{}
+
+// Empty is the metric of the empty path (a node to itself).
+var Empty = Metric{Bandwidth: InfBandwidth}
+
+// Reachable reports whether m describes an actual path.
+func (m Metric) Reachable() bool { return m.Bandwidth > 0 }
+
+// Better reports whether m is strictly better than o in the shortest-widest
+// order: wider wins; at equal width, lower latency wins.
+func (m Metric) Better(o Metric) bool {
+	if m.Bandwidth != o.Bandwidth {
+		return m.Bandwidth > o.Bandwidth
+	}
+	return m.Latency < o.Latency
+}
+
+// Extend returns the metric of a path with quality m extended by one link of
+// the given bandwidth and latency.
+func (m Metric) Extend(bw, lat int64) Metric {
+	return Metric{Bandwidth: min64(m.Bandwidth, bw), Latency: m.Latency + lat}
+}
+
+// Concat returns the metric of the concatenation of two paths.
+func (m Metric) Concat(o Metric) Metric {
+	if !m.Reachable() || !o.Reachable() {
+		return Unreachable
+	}
+	return Metric{Bandwidth: min64(m.Bandwidth, o.Bandwidth), Latency: m.Latency + o.Latency}
+}
+
+// Result holds the output of a single-source shortest-widest computation.
+type Result struct {
+	Source int
+	// Dist maps each reachable node to the quality of the shortest-widest
+	// path from Source. Unreachable nodes are absent.
+	Dist map[int]Metric
+	// paths maps each reachable node to the selected concrete path
+	// (Source first, node last).
+	paths map[int][]int
+}
+
+// Metric returns the path quality from the source to dst (Unreachable if
+// there is no path).
+func (r *Result) Metric(dst int) Metric { return r.Dist[dst] }
+
+// PathTo returns the selected path from the source to dst, inclusive of both
+// endpoints. It returns nil if dst is unreachable. The returned slice must
+// not be modified.
+func (r *Result) PathTo(dst int) []int { return r.paths[dst] }
+
+// ShortestWidest computes shortest-widest paths from src to every node of g.
+// Arcs with non-positive bandwidth are ignored.
+func ShortestWidest(g Graph, src int) *Result {
+	res := &Result{
+		Source: src,
+		Dist:   map[int]Metric{src: Empty},
+		paths:  map[int][]int{src: {src}},
+	}
+
+	// Phase 1: maximum bottleneck bandwidth to every node.
+	width := widestDijkstra(g, src)
+
+	// Group nodes by achievable width; one phase-2 run per distinct width.
+	byWidth := make(map[int64][]int)
+	for n, w := range width {
+		if n == src {
+			continue
+		}
+		byWidth[w] = append(byWidth[w], n)
+	}
+	widths := make([]int64, 0, len(byWidth))
+	for w := range byWidth {
+		widths = append(widths, w)
+	}
+	sort.Slice(widths, func(i, j int) bool { return widths[i] > widths[j] })
+
+	// Phase 2: for each width class w, find minimum-latency paths using
+	// only links of bandwidth >= w; nodes whose widest width is exactly w
+	// take their final answer from this run.
+	for _, w := range widths {
+		lat, prev := latencyDijkstra(g, src, w)
+		for _, n := range byWidth[w] {
+			l, ok := lat[n]
+			if !ok {
+				// Cannot happen: the widest path itself uses only
+				// links >= w. Guard anyway.
+				continue
+			}
+			res.Dist[n] = Metric{Bandwidth: w, Latency: l}
+			res.paths[n] = rebuild(prev, src, n)
+		}
+	}
+	return res
+}
+
+// widestDijkstra returns the maximum bottleneck bandwidth from src to every
+// reachable node. The source maps to InfBandwidth.
+func widestDijkstra(g Graph, src int) map[int]int64 {
+	width := map[int]int64{src: InfBandwidth}
+	done := make(map[int]bool)
+	h := &nodeHeap{better: func(a, b heapEntry) bool {
+		if a.key != b.key {
+			return a.key > b.key // wider first
+		}
+		return a.node < b.node
+	}}
+	h.push(heapEntry{node: src, key: InfBandwidth})
+	for h.len() > 0 {
+		e := h.pop()
+		if done[e.node] || width[e.node] != e.key {
+			continue
+		}
+		done[e.node] = true
+		for _, a := range g.Out(e.node) {
+			if a.Bandwidth <= 0 || done[a.To] {
+				continue
+			}
+			cand := min64(e.key, a.Bandwidth)
+			if cur, ok := width[a.To]; !ok || cand > cur {
+				width[a.To] = cand
+				h.push(heapEntry{node: a.To, key: cand})
+			}
+		}
+	}
+	return width
+}
+
+// latencyDijkstra returns minimum total latency from src using only arcs with
+// bandwidth >= minBW, plus the predecessor map for path reconstruction.
+func latencyDijkstra(g Graph, src int, minBW int64) (map[int]int64, map[int]int) {
+	lat := map[int]int64{src: 0}
+	prev := make(map[int]int)
+	done := make(map[int]bool)
+	h := &nodeHeap{better: func(a, b heapEntry) bool {
+		if a.key != b.key {
+			return a.key < b.key // shorter first
+		}
+		return a.node < b.node
+	}}
+	h.push(heapEntry{node: src, key: 0})
+	for h.len() > 0 {
+		e := h.pop()
+		if done[e.node] || lat[e.node] != e.key {
+			continue
+		}
+		done[e.node] = true
+		for _, a := range g.Out(e.node) {
+			if a.Bandwidth < minBW || a.Bandwidth <= 0 || done[a.To] {
+				continue
+			}
+			cand := e.key + a.Latency
+			if cur, ok := lat[a.To]; !ok || cand < cur {
+				lat[a.To] = cand
+				prev[a.To] = e.node
+				h.push(heapEntry{node: a.To, key: cand})
+			}
+		}
+	}
+	return lat, prev
+}
+
+func rebuild(prev map[int]int, src, dst int) []int {
+	var rev []int
+	for n := dst; ; {
+		rev = append(rev, n)
+		if n == src {
+			break
+		}
+		n = prev[n]
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// ShortestLatency computes minimum-latency paths from src, the metric an
+// IP-style underlay actually routes by. The returned metrics carry the
+// bottleneck bandwidth of the selected minimum-latency path — which is NOT
+// in general the widest available, exactly the gap QoS routing exploits.
+func ShortestLatency(g Graph, src int) *Result {
+	lat, prev := latencyDijkstra(g, src, 1)
+	res := &Result{
+		Source: src,
+		Dist:   make(map[int]Metric, len(lat)),
+		paths:  make(map[int][]int, len(lat)),
+	}
+	for n := range lat {
+		path := rebuild(prev, src, n)
+		width := InfBandwidth
+		for i := 0; i+1 < len(path); i++ {
+			if bw := arcBandwidth(g, path[i], path[i+1]); bw < width {
+				width = bw
+			}
+		}
+		res.Dist[n] = Metric{Bandwidth: width, Latency: lat[n]}
+		res.paths[n] = path
+	}
+	return res
+}
+
+// arcBandwidth returns the bandwidth of the lowest-latency (then widest) arc
+// from u to v.
+func arcBandwidth(g Graph, u, v int) int64 {
+	var (
+		found   bool
+		bestLat int64
+		bestBW  int64
+	)
+	for _, a := range g.Out(u) {
+		if a.To != v || a.Bandwidth <= 0 {
+			continue
+		}
+		if !found || a.Latency < bestLat || (a.Latency == bestLat && a.Bandwidth > bestBW) {
+			found, bestLat, bestBW = true, a.Latency, a.Bandwidth
+		}
+	}
+	if !found {
+		return 0
+	}
+	return bestBW
+}
+
+// AllPairs holds shortest-widest results from every node of a graph.
+type AllPairs struct {
+	results map[int]*Result
+}
+
+// ComputeAllPairs runs ShortestWidest from every node of g. The paper's
+// baseline algorithm starts with exactly this computation.
+func ComputeAllPairs(g Graph) *AllPairs {
+	ap := &AllPairs{results: make(map[int]*Result)}
+	for _, n := range g.Nodes() {
+		ap.results[n] = ShortestWidest(g, n)
+	}
+	return ap
+}
+
+// Metric returns the shortest-widest quality from src to dst.
+func (ap *AllPairs) Metric(src, dst int) Metric {
+	r, ok := ap.results[src]
+	if !ok {
+		return Unreachable
+	}
+	return r.Metric(dst)
+}
+
+// Path returns the selected shortest-widest path from src to dst (nil if
+// unreachable).
+func (ap *AllPairs) Path(src, dst int) []int {
+	r, ok := ap.results[src]
+	if !ok {
+		return nil
+	}
+	return r.PathTo(dst)
+}
+
+// From returns the single-source result rooted at src (nil if src was not a
+// node of the graph the all-pairs run saw).
+func (ap *AllPairs) From(src int) *Result { return ap.results[src] }
+
+// Sources returns the sources for which results exist, ascending.
+func (ap *AllPairs) Sources() []int {
+	out := make([]int, 0, len(ap.results))
+	for n := range ap.results {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// heapEntry is one entry of nodeHeap; key is either a width (maximised) or a
+// latency (minimised) depending on the heap's comparator.
+type heapEntry struct {
+	node int
+	key  int64
+}
+
+// nodeHeap is a binary heap with a pluggable strict order, breaking full ties
+// by node id inside the comparator for determinism.
+type nodeHeap struct {
+	a      []heapEntry
+	better func(a, b heapEntry) bool
+}
+
+func (h *nodeHeap) len() int { return len(h.a) }
+
+func (h *nodeHeap) push(x heapEntry) {
+	h.a = append(h.a, x)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.better(h.a[i], h.a[p]) {
+			break
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+func (h *nodeHeap) pop() heapEntry {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < len(h.a) && h.better(h.a[l], h.a[best]) {
+			best = l
+		}
+		if r < len(h.a) && h.better(h.a[r], h.a[best]) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		h.a[i], h.a[best] = h.a[best], h.a[i]
+		i = best
+	}
+	return top
+}

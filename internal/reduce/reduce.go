@@ -1,0 +1,432 @@
+// Package reduce implements the reduction heuristics of Sec 3.4 that extend
+// the polynomial baseline algorithm from single service paths to general DAG
+// requirements:
+//
+//   - Path reduction decomposes the requirement into maximal single-path
+//     fragments (chains) between junction services — the services where
+//     streams split or merge, plus the source and the sinks.
+//   - Split-and-merge reduction isolates the parallel branches between a
+//     splitting and a merging junction; once each branch is solved (by the
+//     baseline algorithm with the junction instances pinned), the whole block
+//     behaves like one edge between the junctions.
+//
+// Solve combines the two: the requirement collapses to its junction
+// skeleton, junction instances are chosen by bounded exhaustive search over
+// the skeleton (greedy topological scoring beyond the bound), and with all
+// junctions fixed every fragment is solved optimally by the baseline and the
+// pieces merged into the final service flow graph. As the paper notes, the
+// reductions are best-effort heuristics — the underlying problem is
+// NP-complete (Theorem 1) — but each fragment is individually optimal.
+package reduce
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sflow/internal/abstract"
+	"sflow/internal/baseline"
+	"sflow/internal/flow"
+	"sflow/internal/graph"
+	"sflow/internal/qos"
+	"sflow/internal/require"
+)
+
+// ErrInfeasible is returned when no instance assignment connects the
+// requirement under the heuristic's choices.
+var ErrInfeasible = errors.New("reduce: no feasible service flow graph")
+
+// Chain is one single-path fragment of a requirement produced by path
+// reduction: From and To are junction services, Via the intermediate
+// (non-junction) services in order.
+type Chain struct {
+	From, To int
+	Via      []int
+}
+
+// Services returns the full service chain including both junctions.
+func (c Chain) Services() []int {
+	out := make([]int, 0, len(c.Via)+2)
+	out = append(out, c.From)
+	out = append(out, c.Via...)
+	out = append(out, c.To)
+	return out
+}
+
+// PathReduction decomposes a validated requirement into its chain fragments
+// between junctions. Every requirement edge belongs to exactly one chain;
+// every non-junction service appears in exactly one chain's Via list. The
+// result is sorted by (From, To, first Via).
+func PathReduction(req *require.Requirement) []Chain {
+	junction := make(map[int]bool)
+	for _, j := range req.Junctions() {
+		junction[j] = true
+	}
+	var chains []Chain
+	for _, j := range req.Junctions() {
+		for _, next := range req.Downstream(j) {
+			c := Chain{From: j}
+			cur := next
+			for !junction[cur] {
+				c.Via = append(c.Via, cur)
+				cur = req.Downstream(cur)[0] // non-junction: out-degree exactly 1
+			}
+			c.To = cur
+			chains = append(chains, c)
+		}
+	}
+	sort.Slice(chains, func(i, k int) bool {
+		a, b := chains[i], chains[k]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		return firstVia(a) < firstVia(b)
+	})
+	return chains
+}
+
+// Block is a split-and-merge block: >= 2 parallel chains from the same
+// splitting junction to the same merging junction.
+type Block struct {
+	Split, Merge int
+	Branches     []Chain
+}
+
+// SplitMergeBlocks identifies the split-and-merge blocks of a requirement:
+// junction pairs connected by two or more parallel chain fragments. These
+// are the regions the split-and-merge reduction isolates and replaces by a
+// single edge.
+func SplitMergeBlocks(req *require.Requirement) []Block {
+	group := make(map[[2]int][]Chain)
+	for _, c := range PathReduction(req) {
+		key := [2]int{c.From, c.To}
+		group[key] = append(group[key], c)
+	}
+	keys := make([][2]int, 0, len(group))
+	for k, cs := range group {
+		if len(cs) >= 2 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	out := make([]Block, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, Block{Split: k[0], Merge: k[1], Branches: group[k]})
+	}
+	return out
+}
+
+// Result is the outcome of the reduction-based heuristic.
+type Result struct {
+	// Flow is the computed service flow graph.
+	Flow *flow.Graph
+	// Metric is its end-to-end quality.
+	Metric qos.Metric
+	// Junctions records the instances chosen for the junction services.
+	Junctions map[int]int
+}
+
+// maxJunctionCombos bounds the exhaustive search over junction instance
+// combinations; above this the solver falls back to the greedy scorer.
+// Chain interiors are never enumerated — each fragment is solved by the
+// polynomial baseline — so the bound only concerns the junction skeleton.
+const maxJunctionCombos = 50_000
+
+// Solve computes a service flow graph for an arbitrary requirement using the
+// reduction heuristics. src is the designated instance of the source
+// service; pins (optional) force instances for specific services and take
+// precedence over the heuristic's own junction choices.
+//
+// Junction services are assigned first: when the combination space is small
+// (the common case — requirements have few junctions), every combination is
+// scored with memoized optimal chain solves under branch-and-bound, which
+// makes the result bandwidth-optimal given that each fragment is realised by
+// its own shortest-widest solution. Large skeletons fall back to a greedy
+// topological scorer. Either way the interiors of the chain fragments are
+// then solved exactly by the baseline algorithm with the junctions pinned.
+func Solve(ag *abstract.Graph, src int, pins map[int]int) (*Result, error) {
+	req := ag.Requirement()
+	if got := ag.Overlay().SIDOf(src); got != req.Source() {
+		return nil, fmt.Errorf("reduce: source instance %d provides service %d, requirement starts at %d",
+			src, got, req.Source())
+	}
+	chains := PathReduction(req)
+
+	s := &solver{
+		ag:     ag,
+		req:    req,
+		chains: chains,
+		pins:   pins,
+		memo:   make(map[chainKey]qos.Metric),
+	}
+	chosen, err := s.chooseJunctions(src)
+	if err != nil {
+		return nil, err
+	}
+
+	// Assembly: with all junction instances fixed, solve every chain
+	// fragment optimally and merge.
+	fg := flow.New()
+	for _, c := range chains {
+		r, err := solveChainPinned(ag, c, chosen[c.From], chosen[c.To], pins)
+		if err != nil {
+			return nil, fmt.Errorf("%w: fragment %d->%d: %v", ErrInfeasible, c.From, c.To, err)
+		}
+		if err := fg.Merge(r.Flow); err != nil {
+			return nil, fmt.Errorf("reduce: merge fragment %d->%d: %w", c.From, c.To, err)
+		}
+	}
+	m := fg.Quality(req)
+	if !m.Reachable() {
+		return nil, ErrInfeasible
+	}
+	return &Result{Flow: fg, Metric: m, Junctions: chosen}, nil
+}
+
+// solver carries the state of one reduction solve.
+type solver struct {
+	ag     *abstract.Graph
+	req    *require.Requirement
+	chains []Chain
+	pins   map[int]int
+	memo   map[chainKey]qos.Metric
+}
+
+type chainKey struct {
+	idx      int // index into chains
+	from, to int // junction instances
+}
+
+// chainMetric returns the optimal metric of chain fragment idx with both
+// junction endpoints fixed (memoized; Unreachable when infeasible).
+func (s *solver) chainMetric(idx, fromNID, toNID int) qos.Metric {
+	key := chainKey{idx: idx, from: fromNID, to: toNID}
+	if m, ok := s.memo[key]; ok {
+		return m
+	}
+	m := qos.Unreachable
+	if r, err := solveChainPinned(s.ag, s.chains[idx], fromNID, toNID, s.pins); err == nil {
+		m = r.Metric
+	}
+	s.memo[key] = m
+	return m
+}
+
+// chooseJunctions assigns an instance to every junction service.
+func (s *solver) chooseJunctions(src int) (map[int]int, error) {
+	junctions := s.req.Junctions()
+	order := make([]int, 0, len(junctions))
+	isJunction := make(map[int]bool, len(junctions))
+	for _, j := range junctions {
+		isJunction[j] = true
+	}
+	for _, sid := range s.req.TopoOrder() {
+		if isJunction[sid] {
+			order = append(order, sid)
+		}
+	}
+
+	cands := make(map[int][]int, len(order))
+	combos := 1
+	for _, sid := range order {
+		switch {
+		case sid == s.req.Source():
+			cands[sid] = []int{src}
+		default:
+			if nid, ok := s.pins[sid]; ok {
+				cands[sid] = []int{nid}
+			} else {
+				cands[sid] = s.ag.Slots(sid)
+			}
+		}
+		if len(cands[sid]) == 0 {
+			return nil, fmt.Errorf("%w: no instance of junction service %d", ErrInfeasible, sid)
+		}
+		if combos <= maxJunctionCombos {
+			combos *= len(cands[sid])
+		}
+	}
+	if combos <= maxJunctionCombos {
+		return s.exhaustiveJunctions(order, cands)
+	}
+	return s.greedyJunctions(order, cands)
+}
+
+// exhaustiveJunctions enumerates every junction combination in topological
+// order with branch-and-bound on the running bottleneck width. For each
+// complete combination the quality is the bottleneck over all chain
+// fragments plus the critical-path latency over the junction skeleton.
+func (s *solver) exhaustiveJunctions(order []int, cands map[int][]int) (map[int]int, error) {
+	// Chains whose head is a given junction (the tail junction comes
+	// earlier in topological order, so both ends are fixed when the head
+	// is assigned).
+	inChains := make(map[int][]int, len(order))
+	for i, c := range s.chains {
+		inChains[c.To] = append(inChains[c.To], i)
+	}
+
+	var (
+		assign     = make(map[int]int, len(order))
+		best       map[int]int
+		bestMetric = qos.Unreachable
+	)
+	var walk func(i int, width int64)
+	walk = func(i int, width int64) {
+		if i == len(order) {
+			m := s.comboMetric(assign, width)
+			if m.Reachable() && (best == nil || m.Better(bestMetric)) {
+				bestMetric = m
+				best = make(map[int]int, len(assign))
+				for k, v := range assign {
+					best[k] = v
+				}
+			}
+			return
+		}
+		sid := order[i]
+		for _, nid := range cands[sid] {
+			w := width
+			feasible := true
+			for _, ci := range inChains[sid] {
+				tail, ok := assign[s.chains[ci].From]
+				if !ok {
+					continue
+				}
+				m := s.chainMetric(ci, tail, nid)
+				if !m.Reachable() {
+					feasible = false
+					break
+				}
+				if m.Bandwidth < w {
+					w = m.Bandwidth
+				}
+			}
+			if !feasible {
+				continue
+			}
+			if best != nil && w < bestMetric.Bandwidth {
+				continue
+			}
+			assign[sid] = nid
+			walk(i+1, w)
+			delete(assign, sid)
+		}
+	}
+	walk(0, qos.InfBandwidth)
+	if best == nil {
+		return nil, fmt.Errorf("%w: no junction combination connects the requirement", ErrInfeasible)
+	}
+	return best, nil
+}
+
+// comboMetric evaluates a complete junction assignment: width is the already
+// accumulated bottleneck over all chains; the latency is the critical path
+// over the junction skeleton with each skeleton edge weighing the maximum
+// latency among its parallel chain fragments.
+func (s *solver) comboMetric(assign map[int]int, width int64) qos.Metric {
+	skel := graph.New()
+	lat := make(map[[2]int]int64)
+	for i, c := range s.chains {
+		m := s.chainMetric(i, assign[c.From], assign[c.To])
+		if !m.Reachable() {
+			return qos.Unreachable
+		}
+		skel.AddEdge(c.From, c.To)
+		key := [2]int{c.From, c.To}
+		if m.Latency > lat[key] {
+			lat[key] = m.Latency
+		}
+	}
+	dist, err := skel.LongestPathFrom(s.req.Source(), func(u, v int) int64 {
+		return lat[[2]int{u, v}]
+	})
+	if err != nil {
+		return qos.Unreachable
+	}
+	var worst int64
+	for _, sink := range s.req.Sinks() {
+		if d, ok := dist[sink]; ok && d > worst {
+			worst = d
+		}
+	}
+	return qos.Metric{Bandwidth: width, Latency: worst}
+}
+
+// greedyJunctions is the fallback for huge junction skeletons: junctions are
+// assigned in topological order, each scored by exactly solving its incoming
+// chain fragments.
+func (s *solver) greedyJunctions(order []int, cands map[int][]int) (map[int]int, error) {
+	inChains := make(map[int][]int, len(order))
+	for i, c := range s.chains {
+		inChains[c.To] = append(inChains[c.To], i)
+	}
+	chosen := make(map[int]int, len(order))
+	for i, sid := range order {
+		if i == 0 {
+			chosen[sid] = cands[sid][0]
+			continue
+		}
+		bestNID, bestScore := -1, qos.Unreachable
+		for _, nid := range cands[sid] {
+			width := qos.InfBandwidth
+			var latency int64
+			ok := true
+			for _, ci := range inChains[sid] {
+				tail, have := chosen[s.chains[ci].From]
+				if !have {
+					continue
+				}
+				m := s.chainMetric(ci, tail, nid)
+				if !m.Reachable() {
+					ok = false
+					break
+				}
+				if m.Bandwidth < width {
+					width = m.Bandwidth
+				}
+				if m.Latency > latency {
+					latency = m.Latency
+				}
+			}
+			if !ok {
+				continue
+			}
+			score := qos.Metric{Bandwidth: width, Latency: latency}
+			if bestNID == -1 || score.Better(bestScore) {
+				bestNID, bestScore = nid, score
+			}
+		}
+		if bestNID == -1 {
+			return nil, fmt.Errorf("%w: no instance of junction service %d is reachable", ErrInfeasible, sid)
+		}
+		chosen[sid] = bestNID
+	}
+	return chosen, nil
+}
+
+// solveChainPinned solves one chain fragment with both junction endpoints
+// pinned, honouring any extra pins that fall inside the fragment.
+func solveChainPinned(ag *abstract.Graph, c Chain, fromNID, toNID int, pins map[int]int) (*baseline.Result, error) {
+	p := map[int]int{c.To: toNID}
+	for _, sid := range c.Via {
+		if nid, ok := pins[sid]; ok {
+			p[sid] = nid
+		}
+	}
+	return baseline.SolveChain(ag, c.Services(), fromNID, p)
+}
+
+func firstVia(c Chain) int {
+	if len(c.Via) == 0 {
+		return -1
+	}
+	return c.Via[0]
+}

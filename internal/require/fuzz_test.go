@@ -1,0 +1,48 @@
+package require
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzRequirementJSON asserts that any JSON the decoder accepts describes a
+// valid requirement and survives a re-encode/decode round trip.
+func FuzzRequirementJSON(f *testing.F) {
+	f.Add(`{"services":[1,2,3],"edges":[[1,2],[2,3]]}`)
+	f.Add(`{"services":[1,2],"edges":[[1,2]]}`)
+	f.Add(`{"services":[],"edges":[]}`)
+	f.Add(`{"services":[1,2,3],"edges":[[1,2],[2,3],[3,1]]}`)
+	f.Add(`not json`)
+	f.Fuzz(func(t *testing.T, input string) {
+		var r Requirement
+		if err := json.Unmarshal([]byte(input), &r); err != nil {
+			return
+		}
+		// Accepted => structurally valid.
+		if err := r.Validate(); err != nil {
+			t.Fatalf("decoder accepted invalid requirement: %v", err)
+		}
+		data, err := json.Marshal(&r)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		var back Requirement
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("own output rejected: %v", err)
+		}
+		if !r.Equal(&back) {
+			t.Fatal("round trip changed requirement")
+		}
+		// Derived views must be internally consistent.
+		if len(r.TopoOrder()) != r.NumServices() {
+			t.Fatal("topo order incomplete")
+		}
+		chainsum := 0
+		for _, sid := range r.Services() {
+			chainsum += r.OutDegree(sid)
+		}
+		if chainsum != r.NumDependencies() {
+			t.Fatal("degree sum disagrees with edge count")
+		}
+	})
+}

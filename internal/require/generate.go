@@ -1,0 +1,184 @@
+package require
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GeneratePath returns a chain requirement over services 1..n.
+func GeneratePath(n int) (*Requirement, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("require: path length %d < 2", n)
+	}
+	sids := make([]int, n)
+	for i := range sids {
+		sids[i] = i + 1
+	}
+	return NewPath(sids...)
+}
+
+// GenerateDisjoint returns a requirement of `branches` vertex-disjoint chains
+// from a common source to a common sink (Fig 3 of the paper). Each branch
+// has a length drawn uniformly from [minLen, maxLen] intermediate services.
+func GenerateDisjoint(rng *rand.Rand, branches, minLen, maxLen int) (*Requirement, error) {
+	if branches < 2 {
+		return nil, fmt.Errorf("require: need >= 2 branches, got %d", branches)
+	}
+	if minLen < 1 || maxLen < minLen {
+		return nil, fmt.Errorf("require: bad branch length range [%d,%d]", minLen, maxLen)
+	}
+	r := New()
+	src := 1
+	next := 2
+	var branchEnds []int
+	for b := 0; b < branches; b++ {
+		length := minLen + rng.Intn(maxLen-minLen+1)
+		prev := src
+		for i := 0; i < length; i++ {
+			r.AddDependency(prev, next)
+			prev = next
+			next++
+		}
+		branchEnds = append(branchEnds, prev)
+	}
+	sink := next
+	for _, e := range branchEnds {
+		r.AddDependency(e, sink)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// GenerateSplitMerge returns a diamond-style requirement: a chain of `lead`
+// services, then a split into `branches` parallel chains of one service each,
+// a merge, and a chain of `tail` services (the split-and-merge topology of
+// Fig 8).
+func GenerateSplitMerge(lead, branches, tail int) (*Requirement, error) {
+	if branches < 2 {
+		return nil, fmt.Errorf("require: need >= 2 branches, got %d", branches)
+	}
+	if lead < 1 || tail < 1 {
+		return nil, fmt.Errorf("require: lead and tail must be >= 1")
+	}
+	r := New()
+	next := 1
+	prev := next
+	next++
+	for i := 1; i < lead; i++ {
+		r.AddDependency(prev, next)
+		prev = next
+		next++
+	}
+	split := prev
+	merge := next + branches
+	for b := 0; b < branches; b++ {
+		mid := next
+		next++
+		r.AddDependency(split, mid)
+		r.AddDependency(mid, merge)
+	}
+	prev = merge
+	next = merge + 1
+	for i := 0; i < tail; i++ {
+		r.AddDependency(prev, next)
+		prev = next
+		next++
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// GenerateTree returns a service multicast tree over services 1..n: every
+// service except the root consumes exactly one earlier service, and leaves
+// are sinks (the tree form of service federation the paper discusses, where
+// one source serves several consumer groups). maxFanout bounds each
+// service's out-degree (0 = unbounded).
+func GenerateTree(rng *rand.Rand, n, maxFanout int) (*Requirement, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("require: tree needs >= 2 services, got %d", n)
+	}
+	r := New()
+	for s := 1; s <= n; s++ {
+		r.AddService(s)
+	}
+	for s := 2; s <= n; s++ {
+		parent := 1 + rng.Intn(s-1)
+		for maxFanout > 0 && r.OutDegree(parent) >= maxFanout {
+			parent = 1 + rng.Intn(s-1)
+		}
+		r.AddDependency(parent, s)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// DAGConfig controls GenerateDAG.
+type DAGConfig struct {
+	// Services is the number of required services (>= 3).
+	Services int
+	// EdgeProb is the probability of each admissible forward edge beyond
+	// the connecting backbone (0 keeps a near-tree, 1 densifies fully).
+	EdgeProb float64
+	// MaxFan bounds both in- and out-degree (0 = unbounded).
+	MaxFan int
+}
+
+// GenerateDAG returns a random general requirement over services 1..n with a
+// single source and a single sink: services are arranged in a random
+// topological line; each service (except the first) consumes at least one
+// earlier service; extra forward edges appear with probability EdgeProb;
+// services with no consumer are wired to the final (sink) service.
+func GenerateDAG(rng *rand.Rand, cfg DAGConfig) (*Requirement, error) {
+	n := cfg.Services
+	if n < 3 {
+		return nil, fmt.Errorf("require: need >= 3 services for a general DAG, got %d", n)
+	}
+	if cfg.EdgeProb < 0 || cfg.EdgeProb > 1 {
+		return nil, fmt.Errorf("require: EdgeProb %v out of [0,1]", cfg.EdgeProb)
+	}
+	fanOK := func(deg int) bool { return cfg.MaxFan == 0 || deg < cfg.MaxFan }
+	r := New()
+	for s := 1; s <= n; s++ {
+		r.AddService(s)
+	}
+	// Backbone: each service after the first consumes one random earlier
+	// service (keeps everything reachable from service 1, the source).
+	for s := 2; s <= n; s++ {
+		from := 1 + rng.Intn(s-1)
+		for !fanOK(r.OutDegree(from)) {
+			from = 1 + rng.Intn(s-1)
+		}
+		r.AddDependency(from, s)
+	}
+	// Extra forward edges.
+	for a := 1; a < n; a++ {
+		for b := a + 1; b <= n; b++ {
+			if r.HasDependency(a, b) {
+				continue
+			}
+			if !fanOK(r.OutDegree(a)) || !fanOK(r.InDegree(b)) {
+				continue
+			}
+			if rng.Float64() < cfg.EdgeProb {
+				r.AddDependency(a, b)
+			}
+		}
+	}
+	// Funnel every dangling sink (other than n) into n so the requirement
+	// has a single sink, matching the paper's examples.
+	for s := 1; s < n; s++ {
+		if r.OutDegree(s) == 0 {
+			r.AddDependency(s, n)
+		}
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}

@@ -1,0 +1,37 @@
+package require
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// requirementJSON is the wire form of a Requirement.
+type requirementJSON struct {
+	Services []int    `json:"services"`
+	Edges    [][2]int `json:"edges"`
+}
+
+// MarshalJSON encodes the requirement as {"services": [...], "edges": [[a,b], ...]}.
+func (r *Requirement) MarshalJSON() ([]byte, error) {
+	return json.Marshal(requirementJSON{Services: r.Services(), Edges: r.Edges()})
+}
+
+// UnmarshalJSON decodes and validates a requirement.
+func (r *Requirement) UnmarshalJSON(data []byte) error {
+	var w requirementJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("require: decode: %w", err)
+	}
+	dec := New()
+	for _, s := range w.Services {
+		dec.AddService(s)
+	}
+	for _, e := range w.Edges {
+		dec.AddDependency(e[0], e[1])
+	}
+	if err := dec.Validate(); err != nil {
+		return err
+	}
+	*r = *dec
+	return nil
+}

@@ -1,0 +1,289 @@
+// Package require models service requirements: the directed acyclic graphs
+// of required services that a consumer submits for federation (Sec 2 of the
+// paper). A valid requirement has exactly one source service, at least one
+// sink service, and every service lies on some source-to-sink path.
+//
+// Nodes of a requirement are service identifiers (SIDs), plain ints. A
+// requirement talks only about *services*; which overlay *instance* performs
+// each service is what federation algorithms decide.
+package require
+
+import (
+	"fmt"
+	"sort"
+
+	"sflow/internal/graph"
+)
+
+// Requirement is a service requirement DAG. Build one with the Add methods
+// or a constructor, then call Validate (constructors validate for you).
+type Requirement struct {
+	dag *graph.Digraph
+}
+
+// New returns an empty requirement.
+func New() *Requirement {
+	return &Requirement{dag: graph.New()}
+}
+
+// FromEdges builds and validates a requirement from a list of service
+// dependency edges (from -> to).
+func FromEdges(edges [][2]int) (*Requirement, error) {
+	r := New()
+	for _, e := range edges {
+		r.AddDependency(e[0], e[1])
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// NewPath builds and validates a single-chain requirement
+// sids[0] -> sids[1] -> ... (the paper's most primitive form, Fig 1).
+func NewPath(sids ...int) (*Requirement, error) {
+	if len(sids) < 2 {
+		return nil, fmt.Errorf("require: a path needs at least 2 services, got %d", len(sids))
+	}
+	r := New()
+	for i := 0; i+1 < len(sids); i++ {
+		r.AddDependency(sids[i], sids[i+1])
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// AddService inserts a service with no dependencies yet.
+func (r *Requirement) AddService(sid int) { r.dag.AddNode(sid) }
+
+// AddDependency records that service `to` consumes the output of service
+// `from`.
+func (r *Requirement) AddDependency(from, to int) { r.dag.AddEdge(from, to) }
+
+// Validate checks the structural rules of Sec 2.2: the graph must be a DAG
+// with exactly one source, at least one sink, and every service on some
+// source-to-sink path.
+func (r *Requirement) Validate() error {
+	if r.dag.NumNodes() == 0 {
+		return fmt.Errorf("require: empty requirement")
+	}
+	if !r.dag.IsDAG() {
+		return fmt.Errorf("require: requirement contains a cycle")
+	}
+	sources := r.dag.Sources()
+	if len(sources) != 1 {
+		return fmt.Errorf("require: need exactly one source service, found %d (%v)", len(sources), sources)
+	}
+	if len(r.dag.Sinks()) == 0 {
+		return fmt.Errorf("require: no sink service")
+	}
+	// Every service reachable from the source...
+	reach := r.dag.Reachable(sources[0])
+	if len(reach) != r.dag.NumNodes() {
+		return fmt.Errorf("require: %d services unreachable from source %d",
+			r.dag.NumNodes()-len(reach), sources[0])
+	}
+	// ...and every service reaches some sink (true for any DAG where all
+	// nodes are reachable: follow successors until out-degree 0), so no
+	// extra check is needed.
+	return nil
+}
+
+// Source returns the unique source service. Call only on validated
+// requirements.
+func (r *Requirement) Source() int {
+	s := r.dag.Sources()
+	if len(s) != 1 {
+		return -1
+	}
+	return s[0]
+}
+
+// Sinks returns the sink services, ascending.
+func (r *Requirement) Sinks() []int { return r.dag.Sinks() }
+
+// Services returns all required services, ascending.
+func (r *Requirement) Services() []int { return r.dag.Nodes() }
+
+// NumServices returns the number of required services.
+func (r *Requirement) NumServices() int { return r.dag.NumNodes() }
+
+// NumDependencies returns the number of dependency edges.
+func (r *Requirement) NumDependencies() int { return r.dag.NumEdges() }
+
+// Has reports whether sid is a required service.
+func (r *Requirement) Has(sid int) bool { return r.dag.HasNode(sid) }
+
+// HasDependency reports whether from -> to is a dependency.
+func (r *Requirement) HasDependency(from, to int) bool { return r.dag.HasEdge(from, to) }
+
+// Downstream returns the services that directly consume sid's output.
+func (r *Requirement) Downstream(sid int) []int { return r.dag.Succ(sid) }
+
+// Upstream returns the services whose output sid directly consumes.
+func (r *Requirement) Upstream(sid int) []int { return r.dag.Pred(sid) }
+
+// InDegree returns the number of upstream services of sid.
+func (r *Requirement) InDegree(sid int) int { return r.dag.InDegree(sid) }
+
+// OutDegree returns the number of downstream services of sid.
+func (r *Requirement) OutDegree(sid int) int { return r.dag.OutDegree(sid) }
+
+// Edges returns all dependency edges in lexicographic order.
+func (r *Requirement) Edges() [][2]int { return r.dag.Edges() }
+
+// TopoOrder returns the services in a deterministic topological order.
+func (r *Requirement) TopoOrder() []int {
+	order, err := r.dag.TopoSort()
+	if err != nil {
+		return nil
+	}
+	return order
+}
+
+// DAG returns a copy of the underlying dependency graph.
+func (r *Requirement) DAG() *graph.Digraph { return r.dag.Clone() }
+
+// Clone returns a deep copy of r.
+func (r *Requirement) Clone() *Requirement { return &Requirement{dag: r.dag.Clone()} }
+
+// Equal reports whether two requirements have identical services and edges.
+func (r *Requirement) Equal(o *Requirement) bool { return r.dag.Equal(o.dag) }
+
+// SubFrom returns the sub-requirement induced by the services reachable from
+// sid (including sid). This is what a node forwards downstream in the sFlow
+// protocol once its own service is accounted for. Note that a merging
+// service inside the result can lose in-edges whose tails are outside the
+// reachable set; the protocol tracks the original in-degrees separately.
+func (r *Requirement) SubFrom(sid int) *Requirement {
+	return &Requirement{dag: r.dag.InducedSubgraph(r.dag.Reachable(sid))}
+}
+
+// String renders the requirement as its edge list.
+func (r *Requirement) String() string {
+	return fmt.Sprintf("require%v", r.Edges())
+}
+
+// Shape classifies the topology of a requirement (the progression of forms
+// in Sec 2.1 and Sec 3.1 of the paper).
+type Shape int
+
+const (
+	// ShapePath is a single chain of services (Fig 1).
+	ShapePath Shape = iota + 1
+	// ShapeTree has a single upstream per service but splits are allowed
+	// (service multicast trees).
+	ShapeTree
+	// ShapeDisjointPaths is a source fanning out into vertex-disjoint
+	// chains that all end at the same sink (Fig 3).
+	ShapeDisjointPaths
+	// ShapeGeneral is any other DAG, with merging and splitting services
+	// interleaved (Fig 5).
+	ShapeGeneral
+)
+
+// String returns a human-readable shape name.
+func (s Shape) String() string {
+	switch s {
+	case ShapePath:
+		return "path"
+	case ShapeTree:
+		return "tree"
+	case ShapeDisjointPaths:
+		return "disjoint-paths"
+	case ShapeGeneral:
+		return "general"
+	default:
+		return fmt.Sprintf("Shape(%d)", int(s))
+	}
+}
+
+// Shape classifies a validated requirement.
+func (r *Requirement) Shape() Shape {
+	isPath := true
+	isTree := true
+	for _, s := range r.Services() {
+		if r.InDegree(s) > 1 {
+			isTree = false
+		}
+		if r.InDegree(s) > 1 || r.OutDegree(s) > 1 {
+			isPath = false
+		}
+	}
+	if isPath {
+		return ShapePath
+	}
+	if isTree {
+		return ShapeTree
+	}
+	if r.isDisjointPaths() {
+		return ShapeDisjointPaths
+	}
+	return ShapeGeneral
+}
+
+// isDisjointPaths reports whether the requirement is a set of >= 2 internally
+// disjoint chains from the source to a single sink.
+func (r *Requirement) isDisjointPaths() bool {
+	sinks := r.Sinks()
+	if len(sinks) != 1 {
+		return false
+	}
+	src, dst := r.Source(), sinks[0]
+	if r.OutDegree(src) < 2 || r.InDegree(dst) < 2 {
+		return false
+	}
+	for _, s := range r.Services() {
+		if s == src || s == dst {
+			continue
+		}
+		if r.InDegree(s) != 1 || r.OutDegree(s) != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// PathServices returns the services of a ShapePath requirement in chain
+// order, or nil if the requirement is not a single path.
+func (r *Requirement) PathServices() []int {
+	if r.Shape() != ShapePath {
+		return nil
+	}
+	order := make([]int, 0, r.NumServices())
+	for s := r.Source(); ; {
+		order = append(order, s)
+		next := r.Downstream(s)
+		if len(next) == 0 {
+			break
+		}
+		s = next[0]
+	}
+	if len(order) != r.NumServices() {
+		return nil
+	}
+	return order
+}
+
+// Junctions returns the services where streams split or merge (out-degree or
+// in-degree above one), plus the source and all sinks — the anchor points of
+// the reduction heuristics. Ascending order.
+func (r *Requirement) Junctions() []int {
+	set := map[int]struct{}{r.Source(): {}}
+	for _, s := range r.Sinks() {
+		set[s] = struct{}{}
+	}
+	for _, s := range r.Services() {
+		if r.InDegree(s) > 1 || r.OutDegree(s) > 1 {
+			set[s] = struct{}{}
+		}
+	}
+	out := make([]int, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}

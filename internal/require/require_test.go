@@ -1,0 +1,373 @@
+package require
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// paperDAG is the generic requirement of Fig 5 (travel engine example):
+// 1 -> {2,3}; 2 -> 4; 3 -> {4,5}; 4 -> 6; 5 -> 6.
+func paperDAG(t *testing.T) *Requirement {
+	t.Helper()
+	r, err := FromEdges([][2]int{{1, 2}, {1, 3}, {2, 4}, {3, 4}, {3, 5}, {4, 6}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewPath(t *testing.T) {
+	r, err := NewPath(1, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Source() != 1 {
+		t.Fatalf("Source = %d", r.Source())
+	}
+	if want := []int{3}; !reflect.DeepEqual(r.Sinks(), want) {
+		t.Fatalf("Sinks = %v", r.Sinks())
+	}
+	if r.Shape() != ShapePath {
+		t.Fatalf("Shape = %v", r.Shape())
+	}
+	if want := []int{1, 2, 3}; !reflect.DeepEqual(r.PathServices(), want) {
+		t.Fatalf("PathServices = %v", r.PathServices())
+	}
+	if _, err := NewPath(1); err == nil {
+		t.Fatal("single-service path accepted")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	tests := []struct {
+		name  string
+		edges [][2]int
+	}{
+		{"cycle", [][2]int{{1, 2}, {2, 3}, {3, 1}}},
+		{"two sources", [][2]int{{1, 3}, {2, 3}}},
+		{"disconnected", [][2]int{{1, 2}, {3, 4}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := FromEdges(tt.edges); err == nil {
+				t.Fatalf("%s accepted", tt.name)
+			}
+		})
+	}
+	if err := New().Validate(); err == nil {
+		t.Fatal("empty requirement accepted")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	r := paperDAG(t)
+	if r.Source() != 1 {
+		t.Fatalf("Source = %d", r.Source())
+	}
+	if want := []int{6}; !reflect.DeepEqual(r.Sinks(), want) {
+		t.Fatalf("Sinks = %v", r.Sinks())
+	}
+	if r.NumServices() != 6 || r.NumDependencies() != 7 {
+		t.Fatalf("sizes: %d services, %d deps", r.NumServices(), r.NumDependencies())
+	}
+	if want := []int{4, 5}; !reflect.DeepEqual(r.Downstream(3), want) {
+		t.Fatalf("Downstream(3) = %v", r.Downstream(3))
+	}
+	if want := []int{2, 3}; !reflect.DeepEqual(r.Upstream(4), want) {
+		t.Fatalf("Upstream(4) = %v", r.Upstream(4))
+	}
+	if r.InDegree(4) != 2 || r.OutDegree(3) != 2 {
+		t.Fatal("degrees wrong")
+	}
+	if !r.Has(5) || r.Has(99) {
+		t.Fatal("Has wrong")
+	}
+	if !r.HasDependency(3, 5) || r.HasDependency(5, 3) {
+		t.Fatal("HasDependency wrong")
+	}
+	order := r.TopoOrder()
+	pos := map[int]int{}
+	for i, s := range order {
+		pos[s] = i
+	}
+	for _, e := range r.Edges() {
+		if pos[e[0]] >= pos[e[1]] {
+			t.Fatalf("topo order violates edge %v", e)
+		}
+	}
+}
+
+func TestShapeClassification(t *testing.T) {
+	path, _ := NewPath(1, 2, 3, 4)
+	if path.Shape() != ShapePath {
+		t.Fatalf("path shape = %v", path.Shape())
+	}
+	tree, err := FromEdges([][2]int{{1, 2}, {1, 3}, {2, 4}, {2, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Shape() != ShapeTree {
+		t.Fatalf("tree shape = %v", tree.Shape())
+	}
+	disjoint, err := FromEdges([][2]int{{1, 2}, {2, 5}, {1, 3}, {3, 5}, {1, 4}, {4, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disjoint.Shape() != ShapeDisjointPaths {
+		t.Fatalf("disjoint shape = %v", disjoint.Shape())
+	}
+	if g := paperDAG(t); g.Shape() != ShapeGeneral {
+		t.Fatalf("general shape = %v", g.Shape())
+	}
+	for _, s := range []Shape{ShapePath, ShapeTree, ShapeDisjointPaths, ShapeGeneral, Shape(42)} {
+		if s.String() == "" {
+			t.Fatal("empty shape string")
+		}
+	}
+}
+
+func TestPathServicesOnNonPath(t *testing.T) {
+	if got := paperDAG(t).PathServices(); got != nil {
+		t.Fatalf("PathServices on DAG = %v, want nil", got)
+	}
+}
+
+func TestJunctions(t *testing.T) {
+	r := paperDAG(t)
+	// Source 1 (also splits), split 3, merge 4, merge/sink 6.
+	if want := []int{1, 3, 4, 6}; !reflect.DeepEqual(r.Junctions(), want) {
+		t.Fatalf("Junctions = %v, want %v", r.Junctions(), want)
+	}
+	p, _ := NewPath(1, 2, 3)
+	if want := []int{1, 3}; !reflect.DeepEqual(p.Junctions(), want) {
+		t.Fatalf("path Junctions = %v, want %v", p.Junctions(), want)
+	}
+}
+
+func TestSubFrom(t *testing.T) {
+	r := paperDAG(t)
+	sub := r.SubFrom(3)
+	if want := []int{3, 4, 5, 6}; !reflect.DeepEqual(sub.Services(), want) {
+		t.Fatalf("SubFrom(3) services = %v", sub.Services())
+	}
+	// The 2->4 edge is dropped: its tail is outside the subgraph.
+	if sub.HasDependency(2, 4) {
+		t.Fatal("edge from outside survived")
+	}
+	if sub.Source() != 3 {
+		t.Fatalf("sub source = %d", sub.Source())
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatalf("sub-requirement invalid: %v", err)
+	}
+	// Original untouched.
+	if r.NumServices() != 6 {
+		t.Fatal("SubFrom mutated original")
+	}
+}
+
+func TestCloneEqual(t *testing.T) {
+	r := paperDAG(t)
+	c := r.Clone()
+	if !r.Equal(c) {
+		t.Fatal("clone differs")
+	}
+	c.AddDependency(6, 7)
+	if r.Equal(c) || r.Has(7) {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestGeneratePath(t *testing.T) {
+	r, err := GeneratePath(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Shape() != ShapePath || r.NumServices() != 5 {
+		t.Fatalf("bad generated path: shape=%v n=%d", r.Shape(), r.NumServices())
+	}
+	if _, err := GeneratePath(1); err == nil {
+		t.Fatal("GeneratePath(1) accepted")
+	}
+}
+
+func TestGenerateDisjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	r, err := GenerateDisjoint(rng, 3, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Shape() != ShapeDisjointPaths {
+		t.Fatalf("shape = %v", r.Shape())
+	}
+	if r.OutDegree(r.Source()) != 3 {
+		t.Fatalf("source fan-out = %d", r.OutDegree(r.Source()))
+	}
+	if _, err := GenerateDisjoint(rng, 1, 1, 1); err == nil {
+		t.Fatal("1 branch accepted")
+	}
+	if _, err := GenerateDisjoint(rng, 2, 3, 1); err == nil {
+		t.Fatal("inverted length range accepted")
+	}
+}
+
+func TestGenerateSplitMerge(t *testing.T) {
+	r, err := GenerateSplitMerge(2, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// One service must merge `branches` streams.
+	found := false
+	for _, s := range r.Services() {
+		if r.InDegree(s) == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no merge service with in-degree 3")
+	}
+	if _, err := GenerateSplitMerge(0, 2, 1); err == nil {
+		t.Fatal("zero lead accepted")
+	}
+	if _, err := GenerateSplitMerge(1, 1, 1); err == nil {
+		t.Fatal("single branch accepted")
+	}
+}
+
+func TestGenerateDAGPropertyValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 80; trial++ {
+		n := 3 + rng.Intn(10)
+		r, err := GenerateDAG(rng, DAGConfig{Services: n, EdgeProb: rng.Float64() * 0.5})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatalf("trial %d: generated invalid requirement: %v", trial, err)
+		}
+		if r.NumServices() != n {
+			t.Fatalf("trial %d: %d services, want %d", trial, r.NumServices(), n)
+		}
+		if r.Source() != 1 {
+			t.Fatalf("trial %d: source = %d", trial, r.Source())
+		}
+		if want := []int{n}; !reflect.DeepEqual(r.Sinks(), want) {
+			t.Fatalf("trial %d: sinks = %v, want %v", trial, r.Sinks(), want)
+		}
+	}
+}
+
+func TestGenerateDAGMaxFan(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	r, err := GenerateDAG(rng, DAGConfig{Services: 12, EdgeProb: 1, MaxFan: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range r.Services() {
+		// The sink-funnel step may push the sink's in-degree past
+		// MaxFan; every other bound must hold.
+		if r.OutDegree(s) > 3 {
+			t.Fatalf("service %d out-degree %d > MaxFan", s, r.OutDegree(s))
+		}
+		if s != 12 && r.InDegree(s) > 3 {
+			t.Fatalf("service %d in-degree %d > MaxFan", s, r.InDegree(s))
+		}
+	}
+}
+
+func TestGenerateDAGRejects(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := GenerateDAG(rng, DAGConfig{Services: 2}); err == nil {
+		t.Fatal("2 services accepted")
+	}
+	if _, err := GenerateDAG(rng, DAGConfig{Services: 5, EdgeProb: 1.5}); err == nil {
+		t.Fatal("EdgeProb > 1 accepted")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := paperDAG(t)
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Requirement
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Equal(&back) {
+		t.Fatalf("round trip differs:\n%v\n%v", r, &back)
+	}
+}
+
+func TestJSONRejectsInvalid(t *testing.T) {
+	var r Requirement
+	if err := json.Unmarshal([]byte(`{"services":[1,2,3],"edges":[[1,2],[2,3],[3,1]]}`), &r); err == nil {
+		t.Fatal("cyclic requirement accepted")
+	}
+	if err := json.Unmarshal([]byte(`{bad`), &r); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestGenerateTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(12)
+		r, err := GenerateTree(rng, n, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got := r.Shape(); got != ShapePath && got != ShapeTree {
+			t.Fatalf("trial %d: shape = %v", trial, got)
+		}
+		// Tree invariants: n-1 edges, every non-root in-degree 1.
+		if r.NumDependencies() != n-1 {
+			t.Fatalf("trial %d: %d edges for %d services", trial, r.NumDependencies(), n)
+		}
+		for _, s := range r.Services() {
+			if s != r.Source() && r.InDegree(s) != 1 {
+				t.Fatalf("trial %d: service %d has in-degree %d", trial, s, r.InDegree(s))
+			}
+			if r.OutDegree(s) > 3 {
+				t.Fatalf("trial %d: fanout bound violated at %d", trial, s)
+			}
+		}
+	}
+	if _, err := GenerateTree(rng, 1, 0); err == nil {
+		t.Fatal("1-service tree accepted")
+	}
+}
+
+func TestSubFromSink(t *testing.T) {
+	r := paperDAG(t)
+	sub := r.SubFrom(6)
+	if sub.NumServices() != 1 || sub.NumDependencies() != 0 {
+		t.Fatalf("SubFrom(sink) = %v", sub)
+	}
+	// A single service is a valid degenerate requirement (source==sink).
+	if err := sub.Validate(); err != nil {
+		t.Fatalf("single-service sub-requirement invalid: %v", err)
+	}
+}
+
+func TestJunctionsOfTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	r, err := GenerateTree(rng, 9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range r.Junctions() {
+		if j != r.Source() && r.OutDegree(j) != 0 && r.OutDegree(j) <= 1 && r.InDegree(j) <= 1 {
+			t.Fatalf("non-junction %d listed", j)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseDIMACS reads a CNF formula in simplified DIMACS format: optional
+// comment lines starting with 'c', one problem line "p cnf <vars> <clauses>",
+// then whitespace-separated literals with each clause terminated by 0.
+func ParseDIMACS(r io.Reader) (*Formula, error) {
+	sc := bufio.NewScanner(r)
+	var (
+		f       *Formula
+		clause  []Literal
+		clauses int
+		want    = -1
+	)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			if f != nil {
+				return nil, fmt.Errorf("sat: duplicate problem line")
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("sat: malformed problem line %q", line)
+			}
+			nv, err1 := strconv.Atoi(fields[2])
+			nc, err2 := strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil || nv < 0 || nc < 0 {
+				return nil, fmt.Errorf("sat: malformed problem line %q", line)
+			}
+			f = New(nv)
+			want = nc
+			continue
+		}
+		if f == nil {
+			return nil, fmt.Errorf("sat: clause before problem line: %q", line)
+		}
+		for _, tok := range strings.Fields(line) {
+			v, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("sat: bad literal %q", tok)
+			}
+			if v == 0 {
+				if err := f.AddClause(clause...); err != nil {
+					return nil, err
+				}
+				clauses++
+				clause = clause[:0]
+				continue
+			}
+			clause = append(clause, Literal(v))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sat: read: %w", err)
+	}
+	if f == nil {
+		return nil, fmt.Errorf("sat: missing problem line")
+	}
+	if len(clause) > 0 {
+		return nil, fmt.Errorf("sat: unterminated clause %v", clause)
+	}
+	if clauses != want {
+		return nil, fmt.Errorf("sat: problem line promises %d clauses, found %d", want, clauses)
+	}
+	return f, nil
+}
+
+// WriteDIMACS writes the formula in DIMACS CNF format.
+func (f *Formula) WriteDIMACS(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "p cnf %d %d\n", f.numVars, len(f.clauses)); err != nil {
+		return err
+	}
+	for _, cl := range f.clauses {
+		var b strings.Builder
+		for _, l := range cl {
+			fmt.Fprintf(&b, "%d ", int(l))
+		}
+		b.WriteString("0\n")
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package sat
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseDIMACS(t *testing.T) {
+	in := `c a comment
+c another
+
+p cnf 3 2
+1 -2 0
+2 3 0
+`
+	f, err := ParseDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumVars() != 3 || f.NumClauses() != 2 {
+		t.Fatalf("parsed %d vars %d clauses", f.NumVars(), f.NumClauses())
+	}
+	if want := (Clause{1, -2}); !reflect.DeepEqual(f.Clauses()[0], want) {
+		t.Fatalf("clause 0 = %v", f.Clauses()[0])
+	}
+}
+
+func TestParseDIMACSMultilineClause(t *testing.T) {
+	in := "p cnf 2 1\n1\n-2\n0\n"
+	f, err := ParseDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumClauses() != 1 || len(f.Clauses()[0]) != 2 {
+		t.Fatalf("parsed %v", f.Clauses())
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing problem line":  "1 2 0\n",
+		"no p line at all":      "c only comments\n",
+		"malformed p line":      "p sat 3 2\n",
+		"short p line":          "p cnf 3\n",
+		"negative counts":       "p cnf -1 2\n",
+		"duplicate p line":      "p cnf 2 1\np cnf 2 1\n1 0\n",
+		"bad literal":           "p cnf 2 1\nx 0\n",
+		"out of range literal":  "p cnf 2 1\n5 0\n",
+		"unterminated clause":   "p cnf 2 1\n1 2\n",
+		"clause count mismatch": "p cnf 2 2\n1 0\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseDIMACS(strings.NewReader(in)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(8)
+		f := New(n)
+		for c := 0; c < rng.Intn(10); c++ {
+			k := 1 + rng.Intn(4)
+			lits := make([]Literal, 0, k)
+			for j := 0; j < k; j++ {
+				l := Literal(1 + rng.Intn(n))
+				if rng.Intn(2) == 0 {
+					l = -l
+				}
+				lits = append(lits, l)
+			}
+			if err := f.AddClause(lits...); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := f.WriteDIMACS(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseDIMACS(&buf)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, buf.String())
+		}
+		if back.NumVars() != f.NumVars() || !reflect.DeepEqual(back.Clauses(), f.Clauses()) {
+			t.Fatalf("trial %d: round trip changed formula", trial)
+		}
+	}
+}

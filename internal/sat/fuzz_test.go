@@ -1,0 +1,42 @@
+package sat
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseDIMACS asserts that whatever the parser accepts survives a
+// write/parse round trip unchanged, and that the solver never panics on it.
+func FuzzParseDIMACS(f *testing.F) {
+	f.Add("p cnf 2 1\n1 -2 0\n")
+	f.Add("c comment\np cnf 3 2\n1 2 3 0\n-1 -2 0\n")
+	f.Add("p cnf 1 1\n0\n")
+	f.Add("p cnf 0 0\n")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, input string) {
+		formula, err := ParseDIMACS(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine
+		}
+		var buf bytes.Buffer
+		if err := formula.WriteDIMACS(&buf); err != nil {
+			t.Fatalf("accepted formula fails to write: %v", err)
+		}
+		back, err := ParseDIMACS(&buf)
+		if err != nil {
+			t.Fatalf("own output rejected: %v\n%s", err, buf.String())
+		}
+		if back.NumVars() != formula.NumVars() || back.NumClauses() != formula.NumClauses() {
+			t.Fatalf("round trip changed shape: %d/%d -> %d/%d",
+				formula.NumVars(), formula.NumClauses(), back.NumVars(), back.NumClauses())
+		}
+		// Solving must terminate without panicking; if SAT, the witness
+		// must satisfy. Skip huge formulas to bound the fuzz budget.
+		if formula.NumVars() <= 12 && formula.NumClauses() <= 24 {
+			if a, ok := formula.Solve(); ok && !formula.Satisfies(a) {
+				t.Fatalf("unsatisfying witness %v", a)
+			}
+		}
+	})
+}

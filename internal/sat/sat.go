@@ -1,0 +1,222 @@
+// Package sat provides CNF formulas and a small DPLL satisfiability solver
+// (unit propagation plus pure-literal elimination). It is the substrate for
+// machine-checking Theorem 1 of the paper: the reduction from SAT to the
+// Maximum Service Flow Graph Problem.
+package sat
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Literal is a propositional literal: +v for variable v, -v for its
+// negation. Variables are numbered from 1.
+type Literal int
+
+// Var returns the literal's variable (always positive).
+func (l Literal) Var() int {
+	if l < 0 {
+		return int(-l)
+	}
+	return int(l)
+}
+
+// Positive reports whether the literal is un-negated.
+func (l Literal) Positive() bool { return l > 0 }
+
+// Negate returns the complementary literal.
+func (l Literal) Negate() Literal { return -l }
+
+// String renders the literal as "x3" or "!x3".
+func (l Literal) String() string {
+	if l < 0 {
+		return fmt.Sprintf("!x%d", -l)
+	}
+	return fmt.Sprintf("x%d", int(l))
+}
+
+// Clause is a disjunction of literals.
+type Clause []Literal
+
+// Formula is a CNF formula.
+type Formula struct {
+	numVars int
+	clauses []Clause
+}
+
+// New returns an empty formula over variables 1..numVars.
+func New(numVars int) *Formula { return &Formula{numVars: numVars} }
+
+// NumVars returns the number of variables.
+func (f *Formula) NumVars() int { return f.numVars }
+
+// NumClauses returns the number of clauses.
+func (f *Formula) NumClauses() int { return len(f.clauses) }
+
+// Clauses returns the clauses. The result must not be modified.
+func (f *Formula) Clauses() []Clause { return f.clauses }
+
+// AddClause appends a clause. Literals must reference variables in range;
+// an empty clause is allowed (it makes the formula unsatisfiable).
+func (f *Formula) AddClause(lits ...Literal) error {
+	for _, l := range lits {
+		if l == 0 {
+			return fmt.Errorf("sat: zero literal")
+		}
+		if v := l.Var(); v > f.numVars {
+			return fmt.Errorf("sat: literal %v out of range (formula has %d variables)", l, f.numVars)
+		}
+	}
+	cl := make(Clause, len(lits))
+	copy(cl, lits)
+	f.clauses = append(f.clauses, cl)
+	return nil
+}
+
+// Assignment maps variables to truth values. Missing variables are
+// unassigned.
+type Assignment map[int]bool
+
+// Satisfies reports whether the (possibly partial) assignment satisfies
+// every clause of the formula.
+func (f *Formula) Satisfies(a Assignment) bool {
+	for _, cl := range f.clauses {
+		ok := false
+		for _, l := range cl {
+			if v, set := a[l.Var()]; set && v == l.Positive() {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Solve runs DPLL and returns a satisfying assignment (complete over all
+// variables) if one exists.
+func (f *Formula) Solve() (Assignment, bool) {
+	a := make(Assignment, f.numVars)
+	if !dpll(f.clauses, a) {
+		return nil, false
+	}
+	// Complete the assignment: unconstrained variables default to false.
+	for v := 1; v <= f.numVars; v++ {
+		if _, ok := a[v]; !ok {
+			a[v] = false
+		}
+	}
+	return a, true
+}
+
+// dpll decides satisfiability of the clause set under the partial assignment
+// a, extending a in place on success.
+func dpll(clauses []Clause, a Assignment) bool {
+	simplified, conflict := simplify(clauses, a)
+	if conflict {
+		return false
+	}
+	if len(simplified) == 0 {
+		return true
+	}
+
+	// Unit propagation.
+	for _, cl := range simplified {
+		if len(cl) == 1 {
+			l := cl[0]
+			a[l.Var()] = l.Positive()
+			if dpll(simplified, a) {
+				return true
+			}
+			delete(a, l.Var())
+			return false
+		}
+	}
+
+	// Pure-literal elimination.
+	if l, ok := pureLiteral(simplified); ok {
+		a[l.Var()] = l.Positive()
+		if dpll(simplified, a) {
+			return true
+		}
+		delete(a, l.Var())
+		return false
+	}
+
+	// Branch on the first literal of the first clause.
+	l := simplified[0][0]
+	for _, val := range []bool{l.Positive(), !l.Positive()} {
+		a[l.Var()] = val
+		if dpll(simplified, a) {
+			return true
+		}
+		delete(a, l.Var())
+	}
+	return false
+}
+
+// simplify removes satisfied clauses and false literals under a. It reports
+// a conflict when some clause becomes empty.
+func simplify(clauses []Clause, a Assignment) ([]Clause, bool) {
+	var out []Clause
+	for _, cl := range clauses {
+		var reduced Clause
+		satisfied := false
+		for _, l := range cl {
+			v, set := a[l.Var()]
+			if !set {
+				reduced = append(reduced, l)
+				continue
+			}
+			if v == l.Positive() {
+				satisfied = true
+				break
+			}
+		}
+		if satisfied {
+			continue
+		}
+		if len(reduced) == 0 {
+			return nil, true
+		}
+		out = append(out, reduced)
+	}
+	return out, false
+}
+
+// pureLiteral finds a literal whose complement never occurs.
+func pureLiteral(clauses []Clause) (Literal, bool) {
+	seen := make(map[Literal]bool)
+	for _, cl := range clauses {
+		for _, l := range cl {
+			seen[l] = true
+		}
+	}
+	lits := make([]Literal, 0, len(seen))
+	for l := range seen {
+		lits = append(lits, l)
+	}
+	sort.Slice(lits, func(i, j int) bool { return lits[i] < lits[j] })
+	for _, l := range lits {
+		if !seen[l.Negate()] {
+			return l, true
+		}
+	}
+	return 0, false
+}
+
+// String renders the formula as "(x1 | !x2) & (x2 | x3)".
+func (f *Formula) String() string {
+	parts := make([]string, 0, len(f.clauses))
+	for _, cl := range f.clauses {
+		lits := make([]string, 0, len(cl))
+		for _, l := range cl {
+			lits = append(lits, l.String())
+		}
+		parts = append(parts, "("+strings.Join(lits, " | ")+")")
+	}
+	return strings.Join(parts, " & ")
+}

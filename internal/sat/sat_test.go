@@ -1,0 +1,174 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func mustAdd(t *testing.T, f *Formula, lits ...Literal) {
+	t.Helper()
+	if err := f.AddClause(lits...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLiteralBasics(t *testing.T) {
+	l := Literal(-3)
+	if l.Var() != 3 || l.Positive() || l.Negate() != 3 {
+		t.Fatal("literal accessors wrong")
+	}
+	if l.String() != "!x3" || l.Negate().String() != "x3" {
+		t.Fatalf("String = %q / %q", l.String(), l.Negate().String())
+	}
+}
+
+func TestAddClauseValidation(t *testing.T) {
+	f := New(2)
+	if err := f.AddClause(1, 0); err == nil {
+		t.Fatal("zero literal accepted")
+	}
+	if err := f.AddClause(3); err == nil {
+		t.Fatal("out-of-range literal accepted")
+	}
+	if err := f.AddClause(1, -2); err != nil {
+		t.Fatal(err)
+	}
+	if f.NumClauses() != 1 || f.NumVars() != 2 {
+		t.Fatal("counts wrong")
+	}
+}
+
+func TestSolveSimpleSAT(t *testing.T) {
+	f := New(2)
+	mustAdd(t, f, 1, 2)
+	mustAdd(t, f, -1, 2)
+	a, ok := f.Solve()
+	if !ok {
+		t.Fatal("satisfiable formula reported UNSAT")
+	}
+	if !f.Satisfies(a) {
+		t.Fatalf("returned assignment %v does not satisfy %v", a, f)
+	}
+	if len(a) != 2 {
+		t.Fatalf("assignment incomplete: %v", a)
+	}
+}
+
+func TestSolveUNSAT(t *testing.T) {
+	f := New(1)
+	mustAdd(t, f, 1)
+	mustAdd(t, f, -1)
+	if _, ok := f.Solve(); ok {
+		t.Fatal("contradiction reported SAT")
+	}
+}
+
+func TestSolveEmptyClause(t *testing.T) {
+	f := New(1)
+	mustAdd(t, f) // empty clause
+	if _, ok := f.Solve(); ok {
+		t.Fatal("empty clause reported SAT")
+	}
+}
+
+func TestSolveEmptyFormula(t *testing.T) {
+	f := New(3)
+	a, ok := f.Solve()
+	if !ok || len(a) != 3 {
+		t.Fatalf("empty formula: %v %v", a, ok)
+	}
+}
+
+func TestSolvePigeonhole(t *testing.T) {
+	// PHP(3,2): 3 pigeons, 2 holes — classic small UNSAT instance.
+	// Variables p_{i,h} = pigeon i in hole h: v = 2*(i-1)+h for i in 1..3,
+	// h in 1..2.
+	v := func(i, h int) Literal { return Literal(2*(i-1) + h) }
+	f := New(6)
+	for i := 1; i <= 3; i++ {
+		mustAdd(t, f, v(i, 1), v(i, 2)) // each pigeon somewhere
+	}
+	for h := 1; h <= 2; h++ {
+		for i := 1; i <= 3; i++ {
+			for j := i + 1; j <= 3; j++ {
+				mustAdd(t, f, -v(i, h), -v(j, h)) // no two share a hole
+			}
+		}
+	}
+	if _, ok := f.Solve(); ok {
+		t.Fatal("pigeonhole reported SAT")
+	}
+}
+
+func TestPaperExample(t *testing.T) {
+	// The formula from Fig 7 of the paper:
+	// U = {x, y, z, w}, C = {{x,y,z,w}, {!x,y,!z}, {x,!y,w}, {!y,z}}.
+	// x=1 y=2 z=3 w=4.
+	f := New(4)
+	mustAdd(t, f, 1, 2, 3, 4)
+	mustAdd(t, f, -1, 2, -3)
+	mustAdd(t, f, 1, -2, 4)
+	mustAdd(t, f, -2, 3)
+	a, ok := f.Solve()
+	if !ok {
+		t.Fatal("paper example reported UNSAT")
+	}
+	if !f.Satisfies(a) {
+		t.Fatalf("assignment %v does not satisfy", a)
+	}
+}
+
+// bruteSat decides satisfiability by trying all 2^n assignments.
+func bruteSat(f *Formula) bool {
+	n := f.NumVars()
+	for mask := 0; mask < 1<<n; mask++ {
+		a := make(Assignment, n)
+		for v := 1; v <= n; v++ {
+			a[v] = mask&(1<<(v-1)) != 0
+		}
+		if f.Satisfies(a) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSolveMatchesBruteForceOnRandom3SAT(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(7)
+		m := 1 + rng.Intn(4*n)
+		f := New(n)
+		for c := 0; c < m; c++ {
+			k := 1 + rng.Intn(3)
+			lits := make([]Literal, 0, k)
+			for j := 0; j < k; j++ {
+				l := Literal(1 + rng.Intn(n))
+				if rng.Intn(2) == 0 {
+					l = -l
+				}
+				lits = append(lits, l)
+			}
+			if err := f.AddClause(lits...); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want := bruteSat(f)
+		a, got := f.Solve()
+		if got != want {
+			t.Fatalf("trial %d: DPLL=%v brute=%v for %v", trial, got, want, f)
+		}
+		if got && !f.Satisfies(a) {
+			t.Fatalf("trial %d: unsatisfying witness %v for %v", trial, a, f)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	f := New(3)
+	mustAdd(t, f, 1, -2)
+	mustAdd(t, f, 3)
+	if got, want := f.String(), "(x1 | !x2) & (x3)"; got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}

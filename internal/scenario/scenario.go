@@ -1,0 +1,249 @@
+// Package scenario assembles complete, reproducible federation workloads:
+// a random underlying network, a service requirement of a chosen shape,
+// a placement of service instances onto the network, and the derived service
+// overlay. Every experiment in the evaluation harness and most integration
+// tests start from a Scenario.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+
+	"sflow/internal/overlay"
+	"sflow/internal/require"
+	"sflow/internal/topology"
+)
+
+// Kind selects the requirement shape of a generated scenario.
+type Kind int
+
+const (
+	// KindPath generates a single service chain (the "simple" requirements
+	// the paper uses for the Fig 10(b) time comparison).
+	KindPath Kind = iota + 1
+	// KindDisjoint generates parallel disjoint chains (Fig 3).
+	KindDisjoint
+	// KindSplitMerge generates a split-and-merge diamond (Fig 8).
+	KindSplitMerge
+	// KindGeneral generates a general DAG requirement (Fig 5).
+	KindGeneral
+	// KindTree generates a service multicast tree with several sinks.
+	KindTree
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case KindPath:
+		return "path"
+	case KindDisjoint:
+		return "disjoint"
+	case KindSplitMerge:
+		return "split-merge"
+	case KindGeneral:
+		return "general"
+	case KindTree:
+		return "tree"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind converts a name produced by Kind.String back to a Kind.
+func ParseKind(s string) (Kind, error) {
+	for _, k := range []Kind{KindPath, KindDisjoint, KindSplitMerge, KindGeneral, KindTree} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("scenario: unknown kind %q", s)
+}
+
+// Config controls scenario generation.
+type Config struct {
+	// Seed makes the scenario fully reproducible.
+	Seed int64
+	// NetworkSize is the number of underlying network nodes (>= 2).
+	NetworkSize int
+	// Services is the number of required services (>= 2; >= 3 for
+	// KindGeneral, >= 4 for the other non-path kinds).
+	Services int
+	// InstancesPerService is how many instances each non-source service
+	// has (>= 1). The source service always has exactly one instance:
+	// the consumer's entry point.
+	InstancesPerService int
+	// Kind is the requirement shape (default KindGeneral).
+	Kind Kind
+	// EdgeProb densifies general DAG requirements (default 0.25).
+	EdgeProb float64
+	// Waxman selects the Waxman underlay generator instead of uniform.
+	Waxman bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Kind == 0 {
+		c.Kind = KindGeneral
+	}
+	if c.EdgeProb == 0 {
+		c.EdgeProb = 0.25
+	}
+	if c.InstancesPerService == 0 {
+		c.InstancesPerService = 3
+	}
+	return c
+}
+
+// Scenario is a complete federation workload.
+type Scenario struct {
+	Config  Config
+	Under   *topology.Network
+	Overlay *overlay.Overlay
+	Req     *require.Requirement
+	// SourceNID is the designated instance of the source service where
+	// federation starts.
+	SourceNID int
+}
+
+// Generate builds a scenario from a config. The same config always yields
+// the same scenario.
+func Generate(cfg Config) (*Scenario, error) {
+	cfg = cfg.withDefaults()
+	if cfg.NetworkSize < 2 {
+		return nil, fmt.Errorf("scenario: network size %d < 2", cfg.NetworkSize)
+	}
+	if cfg.InstancesPerService < 1 {
+		return nil, fmt.Errorf("scenario: instances per service %d < 1", cfg.InstancesPerService)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	under, err := generateUnderlay(rng, cfg)
+	if err != nil {
+		return nil, err
+	}
+	req, err := generateRequirement(rng, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	compat := overlay.NewCompatibility()
+	for _, e := range req.Edges() {
+		compat.Allow(e[0], e[1])
+	}
+
+	var placements []overlay.Placement
+	nid := 0
+	sourceNID := -1
+	for _, sid := range req.Services() {
+		n := cfg.InstancesPerService
+		if sid == req.Source() {
+			n = 1
+		}
+		for k := 0; k < n; k++ {
+			p := overlay.Placement{NID: nid, SID: sid, Host: rng.Intn(cfg.NetworkSize)}
+			if sid == req.Source() {
+				sourceNID = nid
+			}
+			placements = append(placements, p)
+			nid++
+		}
+	}
+	ov, err := overlay.Build(under, placements, compat)
+	if err != nil {
+		return nil, err
+	}
+	return &Scenario{
+		Config:    cfg,
+		Under:     under,
+		Overlay:   ov,
+		Req:       req,
+		SourceNID: sourceNID,
+	}, nil
+}
+
+func generateUnderlay(rng *rand.Rand, cfg Config) (*topology.Network, error) {
+	// Sparse links and a wide bandwidth spread make the instance choice
+	// actually matter: with a dense homogeneous underlay the widest-path
+	// bandwidth between any two hosts concentrates on one backbone value
+	// and every federation algorithm trivially reaches the optimum.
+	base := topology.Config{
+		Nodes:        cfg.NetworkSize,
+		ExtraLinks:   cfg.NetworkSize / 2,
+		MinBandwidth: 100,
+		MaxBandwidth: 10000,
+	}
+	if cfg.Waxman {
+		return topology.GenerateWaxman(rng, topology.WaxmanConfig{Config: base})
+	}
+	return topology.GenerateUniform(rng, base)
+}
+
+func generateRequirement(rng *rand.Rand, cfg Config) (*require.Requirement, error) {
+	switch cfg.Kind {
+	case KindPath:
+		return require.GeneratePath(cfg.Services)
+	case KindDisjoint:
+		branches := 2
+		if cfg.Services >= 6 {
+			branches = 3
+		}
+		per := (cfg.Services - 2) / branches
+		if per < 1 {
+			return nil, fmt.Errorf("scenario: %d services too few for %d disjoint branches", cfg.Services, branches)
+		}
+		return require.GenerateDisjoint(rng, branches, per, per)
+	case KindSplitMerge:
+		branches := cfg.Services - 3 // lead 1 + merge 1 + tail 1
+		if branches < 2 {
+			return nil, fmt.Errorf("scenario: %d services too few for a split-merge", cfg.Services)
+		}
+		return require.GenerateSplitMerge(1, branches, 1)
+	case KindGeneral:
+		return require.GenerateDAG(rng, require.DAGConfig{
+			Services: cfg.Services,
+			EdgeProb: cfg.EdgeProb,
+			MaxFan:   3,
+		})
+	case KindTree:
+		return require.GenerateTree(rng, cfg.Services, 3)
+	default:
+		return nil, fmt.Errorf("scenario: unknown kind %v", cfg.Kind)
+	}
+}
+
+// scenarioJSON is the wire form of a Scenario.
+type scenarioJSON struct {
+	Config    Config               `json:"config"`
+	Under     *topology.Network    `json:"underlay"`
+	Overlay   *overlay.Overlay     `json:"overlay"`
+	Req       *require.Requirement `json:"requirement"`
+	SourceNID int                  `json:"sourceNID"`
+}
+
+// MarshalJSON encodes the full scenario bundle.
+func (s *Scenario) MarshalJSON() ([]byte, error) {
+	return json.Marshal(scenarioJSON{
+		Config: s.Config, Under: s.Under, Overlay: s.Overlay,
+		Req: s.Req, SourceNID: s.SourceNID,
+	})
+}
+
+// UnmarshalJSON decodes and sanity-checks a scenario bundle.
+func (s *Scenario) UnmarshalJSON(data []byte) error {
+	var w scenarioJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("scenario: decode: %w", err)
+	}
+	if w.Overlay == nil || w.Req == nil {
+		return fmt.Errorf("scenario: bundle missing overlay or requirement")
+	}
+	if got := w.Overlay.SIDOf(w.SourceNID); got != w.Req.Source() {
+		return fmt.Errorf("scenario: source NID %d provides service %d, requirement starts at %d",
+			w.SourceNID, got, w.Req.Source())
+	}
+	*s = Scenario{
+		Config: w.Config, Under: w.Under, Overlay: w.Overlay,
+		Req: w.Req, SourceNID: w.SourceNID,
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+package scenario
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"sflow/internal/abstract"
+	"sflow/internal/require"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Seed: 4, NetworkSize: 20, Services: 6, InstancesPerService: 3}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Overlay.Links(), b.Overlay.Links()) {
+		t.Fatal("same seed produced different overlays")
+	}
+	if !a.Req.Equal(b.Req) {
+		t.Fatal("same seed produced different requirements")
+	}
+	if a.SourceNID != b.SourceNID {
+		t.Fatal("same seed produced different sources")
+	}
+	c, err := Generate(Config{Seed: 5, NetworkSize: 20, Services: 6, InstancesPerService: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Overlay.Links(), c.Overlay.Links()) {
+		t.Fatal("different seeds produced identical overlays")
+	}
+}
+
+func TestGenerateKinds(t *testing.T) {
+	tests := []struct {
+		kind Kind
+		want require.Shape
+	}{
+		{KindPath, require.ShapePath},
+		{KindDisjoint, require.ShapeDisjointPaths},
+		{KindSplitMerge, require.ShapeGeneral}, // 1-lead diamonds are general DAGs
+	}
+	for _, tt := range tests {
+		s, err := Generate(Config{Seed: 1, NetworkSize: 15, Services: 6, Kind: tt.kind})
+		if err != nil {
+			t.Fatalf("%v: %v", tt.kind, err)
+		}
+		if got := s.Req.Shape(); got != tt.want {
+			t.Errorf("%v: shape = %v, want %v", tt.kind, got, tt.want)
+		}
+	}
+	s, err := Generate(Config{Seed: 1, NetworkSize: 15, Services: 7, Kind: KindGeneral})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Req.NumServices() != 7 {
+		t.Fatalf("general: %d services", s.Req.NumServices())
+	}
+}
+
+func TestGenerateInvariants(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		s, err := Generate(Config{Seed: seed, NetworkSize: 25, Services: 6, InstancesPerService: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !s.Under.Connected() {
+			t.Fatal("underlay not connected")
+		}
+		if err := s.Req.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		// Source service has exactly one instance: the designated one.
+		srcInstances := s.Overlay.InstancesOf(s.Req.Source())
+		if len(srcInstances) != 1 || srcInstances[0] != s.SourceNID {
+			t.Fatalf("source instances = %v, designated %d", srcInstances, s.SourceNID)
+		}
+		// Every other required service has the configured multiplicity.
+		for _, sid := range s.Req.Services() {
+			if sid == s.Req.Source() {
+				continue
+			}
+			if got := len(s.Overlay.InstancesOf(sid)); got != 2 {
+				t.Fatalf("service %d has %d instances, want 2", sid, got)
+			}
+		}
+		// The abstract graph must be constructible (all slots populated).
+		if _, err := abstract.Build(s.Overlay, s.Req); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGenerateRejections(t *testing.T) {
+	cases := []Config{
+		{Seed: 1, NetworkSize: 1, Services: 5},
+		{Seed: 1, NetworkSize: 10, Services: 5, InstancesPerService: -1},
+		{Seed: 1, NetworkSize: 10, Services: 1, Kind: KindPath},
+		{Seed: 1, NetworkSize: 10, Services: 3, Kind: KindDisjoint},
+		{Seed: 1, NetworkSize: 10, Services: 4, Kind: KindSplitMerge},
+		{Seed: 1, NetworkSize: 10, Services: 5, Kind: Kind(42)},
+	}
+	for i, cfg := range cases {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("case %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestWaxmanUnderlay(t *testing.T) {
+	s, err := Generate(Config{Seed: 8, NetworkSize: 20, Services: 5, Waxman: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Under.Connected() {
+		t.Fatal("waxman underlay not connected")
+	}
+}
+
+func TestKindStringAndParse(t *testing.T) {
+	for _, k := range []Kind{KindPath, KindDisjoint, KindSplitMerge, KindGeneral} {
+		back, err := ParseKind(k.String())
+		if err != nil || back != k {
+			t.Fatalf("round trip of %v failed: %v %v", k, back, err)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Fatal("bogus kind parsed")
+	}
+	if Kind(42).String() == "" {
+		t.Fatal("unknown kind has empty string")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s, err := Generate(Config{Seed: 3, NetworkSize: 12, Services: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Scenario
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.SourceNID != s.SourceNID || !back.Req.Equal(s.Req) {
+		t.Fatal("round trip changed scenario")
+	}
+	if !reflect.DeepEqual(back.Overlay.Links(), s.Overlay.Links()) {
+		t.Fatal("round trip changed overlay")
+	}
+}
+
+func TestJSONRejectsMismatchedSource(t *testing.T) {
+	s, err := Generate(Config{Seed: 3, NetworkSize: 12, Services: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	raw["sourceNID"] = json.RawMessage("99999")
+	bad, err := json.Marshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Scenario
+	if err := json.Unmarshal(bad, &back); err == nil {
+		t.Fatal("mismatched source accepted")
+	}
+}

@@ -1,0 +1,153 @@
+// Package service models typed service descriptions. The paper defines
+// compatibility semantically — "two services are compatible if the output
+// produced by one service matches the input requirements of the other" —
+// and this package makes that operational: each service declares the data
+// types it consumes and produces, and the compatibility relation the overlay
+// needs is *derived* from type matching instead of being hand-enumerated.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"sflow/internal/overlay"
+)
+
+// Type names a data format flowing between services ("video/h264",
+// "price-list", ...).
+type Type string
+
+// Description declares one service's interface.
+type Description struct {
+	// SID is the service identifier instances of this service carry.
+	SID int `json:"sid"`
+	// Name is a human-readable label.
+	Name string `json:"name"`
+	// Inputs are the types the service consumes; a source service has
+	// none.
+	Inputs []Type `json:"inputs,omitempty"`
+	// Outputs are the types the service produces; a sink service may have
+	// none.
+	Outputs []Type `json:"outputs,omitempty"`
+}
+
+// Registry holds the service descriptions of a deployment.
+type Registry struct {
+	byID map[int]Description
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byID: make(map[int]Description)}
+}
+
+// Register adds a description; duplicate SIDs are rejected.
+func (r *Registry) Register(d Description) error {
+	if d.SID == 0 {
+		return fmt.Errorf("service: description %q has no SID", d.Name)
+	}
+	if _, dup := r.byID[d.SID]; dup {
+		return fmt.Errorf("service: duplicate SID %d", d.SID)
+	}
+	seen := make(map[Type]bool)
+	for _, t := range append(append([]Type{}, d.Inputs...), d.Outputs...) {
+		if t == "" {
+			return fmt.Errorf("service: %q declares an empty type", d.Name)
+		}
+		_ = seen // duplicates within a list are harmless; no check needed
+	}
+	r.byID[d.SID] = d
+	return nil
+}
+
+// Lookup returns the description of a service.
+func (r *Registry) Lookup(sid int) (Description, bool) {
+	d, ok := r.byID[sid]
+	return d, ok
+}
+
+// SIDs returns the registered service identifiers, ascending.
+func (r *Registry) SIDs() []int {
+	out := make([]int, 0, len(r.byID))
+	for sid := range r.byID {
+		out = append(out, sid)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// CanFeed reports whether service a produces at least one type service b
+// consumes.
+func (r *Registry) CanFeed(a, b int) bool {
+	da, ok1 := r.byID[a]
+	db, ok2 := r.byID[b]
+	if !ok1 || !ok2 {
+		return false
+	}
+	for _, out := range da.Outputs {
+		for _, in := range db.Inputs {
+			if out == in {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Compatibility derives the overlay compatibility relation from the
+// registered types: a -> b whenever a's outputs intersect b's inputs.
+func (r *Registry) Compatibility() *overlay.Compatibility {
+	c := overlay.NewCompatibility()
+	for _, a := range r.SIDs() {
+		for _, b := range r.SIDs() {
+			if a != b && r.CanFeed(a, b) {
+				c.Allow(a, b)
+			}
+		}
+	}
+	return c
+}
+
+// Validate checks a set of requirement edges against the types: every
+// dependency must connect a producer to a matching consumer.
+func (r *Registry) Validate(edges [][2]int) error {
+	for _, e := range edges {
+		if _, ok := r.byID[e[0]]; !ok {
+			return fmt.Errorf("service: edge %v references unknown service %d", e, e[0])
+		}
+		if _, ok := r.byID[e[1]]; !ok {
+			return fmt.Errorf("service: edge %v references unknown service %d", e, e[1])
+		}
+		if !r.CanFeed(e[0], e[1]) {
+			return fmt.Errorf("service: %s cannot feed %s (no matching types)",
+				r.byID[e[0]].Name, r.byID[e[1]].Name)
+		}
+	}
+	return nil
+}
+
+// MarshalJSON encodes the registry as a sorted description list.
+func (r *Registry) MarshalJSON() ([]byte, error) {
+	out := make([]Description, 0, len(r.byID))
+	for _, sid := range r.SIDs() {
+		out = append(out, r.byID[sid])
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes and re-validates a description list.
+func (r *Registry) UnmarshalJSON(data []byte) error {
+	var ds []Description
+	if err := json.Unmarshal(data, &ds); err != nil {
+		return fmt.Errorf("service: decode: %w", err)
+	}
+	dec := NewRegistry()
+	for _, d := range ds {
+		if err := dec.Register(d); err != nil {
+			return err
+		}
+	}
+	*r = *dec
+	return nil
+}

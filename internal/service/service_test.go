@@ -1,0 +1,135 @@
+package service
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// travelRegistry types the paper's travel scenario: the travel engine emits
+// queries; airline/hotel produce price lists; the currency converter
+// consumes price lists and produces converted prices the agency displays.
+func travelRegistry(t *testing.T) *Registry {
+	t.Helper()
+	r := NewRegistry()
+	for _, d := range []Description{
+		{SID: 1, Name: "TravelEngine", Outputs: []Type{"query"}},
+		{SID: 2, Name: "Airline", Inputs: []Type{"query"}, Outputs: []Type{"prices"}},
+		{SID: 3, Name: "Hotel", Inputs: []Type{"query"}, Outputs: []Type{"prices", "location"}},
+		{SID: 4, Name: "Currency", Inputs: []Type{"prices"}, Outputs: []Type{"local-prices"}},
+		{SID: 5, Name: "Map", Inputs: []Type{"location"}, Outputs: []Type{"map"}},
+		{SID: 6, Name: "Agency", Inputs: []Type{"local-prices", "map"}},
+	} {
+		if err := r.Register(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func TestRegisterValidation(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(Description{Name: "no sid"}); err == nil {
+		t.Fatal("zero SID accepted")
+	}
+	if err := r.Register(Description{SID: 1, Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(Description{SID: 1, Name: "b"}); err == nil {
+		t.Fatal("duplicate SID accepted")
+	}
+	if err := r.Register(Description{SID: 2, Name: "empty type", Inputs: []Type{""}}); err == nil {
+		t.Fatal("empty type accepted")
+	}
+}
+
+func TestCanFeedAndCompatibility(t *testing.T) {
+	r := travelRegistry(t)
+	cases := []struct {
+		a, b int
+		want bool
+	}{
+		{1, 2, true},  // query -> airline
+		{1, 3, true},  // query -> hotel
+		{2, 4, true},  // prices -> currency
+		{3, 4, true},  // hotel also emits prices
+		{3, 5, true},  // location -> map
+		{2, 5, false}, // airline emits no location
+		{4, 6, true},  // local-prices -> agency
+		{5, 6, true},  // map -> agency
+		{6, 1, false}, // agency produces nothing
+		{1, 4, false}, // query is not prices
+		{9, 1, false}, // unknown service
+	}
+	for _, tt := range cases {
+		if got := r.CanFeed(tt.a, tt.b); got != tt.want {
+			t.Errorf("CanFeed(%d,%d) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+	compat := r.Compatibility()
+	for _, tt := range cases {
+		if tt.a > 6 || tt.b > 6 {
+			continue
+		}
+		if got := compat.Compatible(tt.a, tt.b); got != tt.want {
+			t.Errorf("derived Compatible(%d,%d) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestValidateEdges(t *testing.T) {
+	r := travelRegistry(t)
+	good := [][2]int{{1, 2}, {2, 4}, {4, 6}, {3, 5}, {5, 6}}
+	if err := r.Validate(good); err != nil {
+		t.Fatalf("typed requirement rejected: %v", err)
+	}
+	if err := r.Validate([][2]int{{2, 5}}); err == nil {
+		t.Fatal("type mismatch accepted")
+	}
+	if err := r.Validate([][2]int{{1, 99}}); err == nil {
+		t.Fatal("unknown consumer accepted")
+	}
+	if err := r.Validate([][2]int{{99, 1}}); err == nil {
+		t.Fatal("unknown producer accepted")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	r := travelRegistry(t)
+	if want := []int{1, 2, 3, 4, 5, 6}; !reflect.DeepEqual(r.SIDs(), want) {
+		t.Fatalf("SIDs = %v", r.SIDs())
+	}
+	d, ok := r.Lookup(4)
+	if !ok || d.Name != "Currency" {
+		t.Fatalf("Lookup(4) = %+v, %v", d, ok)
+	}
+	if _, ok := r.Lookup(42); ok {
+		t.Fatal("phantom lookup")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := travelRegistry(t)
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Registry
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r.SIDs(), back.SIDs()) {
+		t.Fatal("SIDs differ after round trip")
+	}
+	for _, sid := range r.SIDs() {
+		a, _ := r.Lookup(sid)
+		b, _ := back.Lookup(sid)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("description %d differs", sid)
+		}
+	}
+	var bad Registry
+	if err := json.Unmarshal([]byte(`[{"sid":1},{"sid":1}]`), &bad); err == nil {
+		t.Fatal("duplicate SIDs accepted")
+	}
+}

@@ -1,0 +1,36 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// networkJSON is the wire form of a Network.
+type networkJSON struct {
+	Nodes int    `json:"nodes"`
+	Links []Link `json:"links"`
+}
+
+// MarshalJSON encodes the network as its size and sorted link list.
+func (nw *Network) MarshalJSON() ([]byte, error) {
+	return json.Marshal(networkJSON{Nodes: nw.n, Links: nw.SortLinks()})
+}
+
+// UnmarshalJSON decodes a network, re-validating every link.
+func (nw *Network) UnmarshalJSON(data []byte) error {
+	var w networkJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("topology: decode: %w", err)
+	}
+	if w.Nodes < 0 {
+		return fmt.Errorf("topology: negative node count %d", w.Nodes)
+	}
+	dec := New(w.Nodes)
+	for _, l := range w.Links {
+		if err := dec.AddLink(l.A, l.B, l.Bandwidth, l.Latency); err != nil {
+			return err
+		}
+	}
+	*nw = *dec
+	return nil
+}

@@ -1,0 +1,294 @@
+// Package topology models the underlying (physical) network beneath a
+// service overlay and generates random instances of it. The paper evaluates
+// on random networks of 10..50 nodes; this package provides seeded Waxman and
+// uniform random generators that always produce connected networks.
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"sflow/internal/qos"
+)
+
+// Link is one bidirectional physical link.
+type Link struct {
+	A, B      int
+	Bandwidth int64 // Kbit/s
+	Latency   int64 // microseconds
+}
+
+// Network is an undirected, weighted network over nodes 0..N-1. It
+// implements qos.Graph by exposing every link as a pair of directed arcs.
+type Network struct {
+	n     int
+	links []Link
+	adj   map[int][]qos.Arc
+}
+
+// New returns an empty network over n nodes.
+func New(n int) *Network {
+	return &Network{n: n, adj: make(map[int][]qos.Arc, n)}
+}
+
+// Size returns the number of nodes.
+func (nw *Network) Size() int { return nw.n }
+
+// Links returns all links in insertion order. The slice must not be modified.
+func (nw *Network) Links() []Link { return nw.links }
+
+// AddLink inserts a bidirectional link between a and b.
+func (nw *Network) AddLink(a, b int, bandwidth, latency int64) error {
+	switch {
+	case a < 0 || a >= nw.n || b < 0 || b >= nw.n:
+		return fmt.Errorf("topology: link %d-%d out of range [0,%d)", a, b, nw.n)
+	case a == b:
+		return fmt.Errorf("topology: self-loop on node %d", a)
+	case bandwidth <= 0:
+		return fmt.Errorf("topology: link %d-%d has non-positive bandwidth %d", a, b, bandwidth)
+	case latency < 0:
+		return fmt.Errorf("topology: link %d-%d has negative latency %d", a, b, latency)
+	case nw.HasLink(a, b):
+		return fmt.Errorf("topology: duplicate link %d-%d", a, b)
+	}
+	nw.links = append(nw.links, Link{A: a, B: b, Bandwidth: bandwidth, Latency: latency})
+	nw.adj[a] = append(nw.adj[a], qos.Arc{To: b, Bandwidth: bandwidth, Latency: latency})
+	nw.adj[b] = append(nw.adj[b], qos.Arc{To: a, Bandwidth: bandwidth, Latency: latency})
+	return nil
+}
+
+// HasLink reports whether a link between a and b exists (either direction).
+func (nw *Network) HasLink(a, b int) bool {
+	for _, arc := range nw.adj[a] {
+		if arc.To == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Nodes implements qos.Graph.
+func (nw *Network) Nodes() []int {
+	out := make([]int, nw.n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Out implements qos.Graph.
+func (nw *Network) Out(u int) []qos.Arc { return nw.adj[u] }
+
+// Degree returns the number of links incident to node u.
+func (nw *Network) Degree(u int) int { return len(nw.adj[u]) }
+
+// Connected reports whether the network is connected (a zero- or one-node
+// network is connected).
+func (nw *Network) Connected() bool {
+	if nw.n <= 1 {
+		return true
+	}
+	seen := make([]bool, nw.n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, arc := range nw.adj[u] {
+			if !seen[arc.To] {
+				seen[arc.To] = true
+				count++
+				stack = append(stack, arc.To)
+			}
+		}
+	}
+	return count == nw.n
+}
+
+// Config controls random network generation.
+type Config struct {
+	// Nodes is the network size. Must be >= 2.
+	Nodes int
+	// ExtraLinks is how many links to add beyond the spanning tree that
+	// guarantees connectivity. Negative means the default of Nodes.
+	ExtraLinks int
+	// Bandwidth range in Kbit/s (inclusive). Zero values select the
+	// defaults 1000..10000.
+	MinBandwidth, MaxBandwidth int64
+	// Latency range in microseconds (inclusive). Zero values select the
+	// defaults 100..5000.
+	MinLatency, MaxLatency int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.ExtraLinks < 0 {
+		c.ExtraLinks = c.Nodes
+	}
+	if c.MinBandwidth == 0 && c.MaxBandwidth == 0 {
+		c.MinBandwidth, c.MaxBandwidth = 1000, 10000
+	}
+	if c.MinLatency == 0 && c.MaxLatency == 0 {
+		c.MinLatency, c.MaxLatency = 100, 5000
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Nodes < 2 {
+		return fmt.Errorf("topology: need at least 2 nodes, got %d", c.Nodes)
+	}
+	if c.MinBandwidth <= 0 || c.MaxBandwidth < c.MinBandwidth {
+		return fmt.Errorf("topology: bad bandwidth range [%d,%d]", c.MinBandwidth, c.MaxBandwidth)
+	}
+	if c.MinLatency < 0 || c.MaxLatency < c.MinLatency {
+		return fmt.Errorf("topology: bad latency range [%d,%d]", c.MinLatency, c.MaxLatency)
+	}
+	return nil
+}
+
+// GenerateUniform builds a connected random network: a random spanning tree
+// plus ExtraLinks uniformly random additional links, with link weights drawn
+// uniformly from the configured ranges. Deterministic for a given rng state.
+func GenerateUniform(rng *rand.Rand, cfg Config) (*Network, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	nw := New(cfg.Nodes)
+	// Random spanning tree: attach each node (in random order) to a random
+	// earlier node.
+	perm := rng.Perm(cfg.Nodes)
+	for i := 1; i < cfg.Nodes; i++ {
+		a, b := perm[i], perm[rng.Intn(i)]
+		if err := nw.AddLink(a, b, randIn(rng, cfg.MinBandwidth, cfg.MaxBandwidth), randIn(rng, cfg.MinLatency, cfg.MaxLatency)); err != nil {
+			return nil, err
+		}
+	}
+	added, attempts := 0, 0
+	maxLinks := cfg.Nodes * (cfg.Nodes - 1) / 2
+	for added < cfg.ExtraLinks && len(nw.links) < maxLinks && attempts < 50*cfg.ExtraLinks+100 {
+		attempts++
+		a, b := rng.Intn(cfg.Nodes), rng.Intn(cfg.Nodes)
+		if a == b || nw.HasLink(a, b) {
+			continue
+		}
+		if err := nw.AddLink(a, b, randIn(rng, cfg.MinBandwidth, cfg.MaxBandwidth), randIn(rng, cfg.MinLatency, cfg.MaxLatency)); err != nil {
+			return nil, err
+		}
+		added++
+	}
+	return nw, nil
+}
+
+// WaxmanConfig extends Config with the Waxman model parameters.
+type WaxmanConfig struct {
+	Config
+	// Alpha scales the overall link probability (default 0.6).
+	Alpha float64
+	// Beta controls how quickly probability decays with distance
+	// (default 0.4; larger means longer links are more likely).
+	Beta float64
+}
+
+// GenerateWaxman builds a connected random network using the Waxman model:
+// nodes are placed uniformly in the unit square and each pair is linked with
+// probability Alpha * exp(-d / (Beta * sqrt(2))). Link latency is
+// proportional to Euclidean distance (scaled into the configured latency
+// range); bandwidth is uniform in the configured range. A minimal set of
+// nearest-neighbour links is added afterwards if needed for connectivity.
+func GenerateWaxman(rng *rand.Rand, cfg WaxmanConfig) (*Network, error) {
+	c := cfg.Config.withDefaults()
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 0.6
+	}
+	if cfg.Beta == 0 {
+		cfg.Beta = 0.4
+	}
+	type pt struct{ x, y float64 }
+	pts := make([]pt, c.Nodes)
+	for i := range pts {
+		pts[i] = pt{rng.Float64(), rng.Float64()}
+	}
+	maxD := math.Sqrt2
+	dist := func(i, j int) float64 {
+		dx, dy := pts[i].x-pts[j].x, pts[i].y-pts[j].y
+		return math.Hypot(dx, dy)
+	}
+	latOf := func(d float64) int64 {
+		span := float64(c.MaxLatency - c.MinLatency)
+		return c.MinLatency + int64(d/maxD*span)
+	}
+	nw := New(c.Nodes)
+	for i := 0; i < c.Nodes; i++ {
+		for j := i + 1; j < c.Nodes; j++ {
+			d := dist(i, j)
+			if rng.Float64() < cfg.Alpha*math.Exp(-d/(cfg.Beta*maxD)) {
+				if err := nw.AddLink(i, j, randIn(rng, c.MinBandwidth, c.MaxBandwidth), latOf(d)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Connectivity repair: link each unreached component to its nearest
+	// reached node.
+	for !nw.Connected() {
+		reached := make([]bool, c.Nodes)
+		stack := []int{0}
+		reached[0] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, arc := range nw.adj[u] {
+				if !reached[arc.To] {
+					reached[arc.To] = true
+					stack = append(stack, arc.To)
+				}
+			}
+		}
+		bi, bj, bd := -1, -1, math.Inf(1)
+		for i := 0; i < c.Nodes; i++ {
+			if !reached[i] {
+				continue
+			}
+			for j := 0; j < c.Nodes; j++ {
+				if reached[j] {
+					continue
+				}
+				if d := dist(i, j); d < bd {
+					bi, bj, bd = i, j, d
+				}
+			}
+		}
+		if err := nw.AddLink(bi, bj, randIn(rng, c.MinBandwidth, c.MaxBandwidth), latOf(bd)); err != nil {
+			return nil, err
+		}
+	}
+	return nw, nil
+}
+
+// SortLinks returns the links sorted by (A, B); useful for deterministic
+// output in serialisation and tests.
+func (nw *Network) SortLinks() []Link {
+	out := make([]Link, len(nw.links))
+	copy(out, nw.links)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+func randIn(rng *rand.Rand, lo, hi int64) int64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + rng.Int63n(hi-lo+1)
+}

@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Mermaid renders the recorded timeline as a Mermaid sequence diagram:
+// participants are the consumer and every involved instance; sends become
+// arrows, computations and claims become notes. Paste the output into any
+// Mermaid renderer to see the federation unfold.
+func (r *Recorder) Mermaid() string {
+	events := r.Events()
+	var b strings.Builder
+	b.WriteString("sequenceDiagram\n")
+
+	seen := make(map[int]bool)
+	var order []int
+	for _, e := range events {
+		for _, n := range []int{e.Node, e.Peer} {
+			if (e.Kind == KindSend || e.Kind == KindDeliver || n == e.Node) && !seen[n] && validParticipant(n, e) {
+				seen[n] = true
+				order = append(order, n)
+			}
+		}
+	}
+	for _, n := range order {
+		fmt.Fprintf(&b, "  participant %s\n", participant(n))
+	}
+	for _, e := range events {
+		switch e.Kind {
+		case KindSend:
+			label := e.Detail
+			if e.Service >= 0 {
+				label = fmt.Sprintf("%s (service %d)", e.Detail, e.Service)
+			}
+			fmt.Fprintf(&b, "  %s->>%s: %s @%dus\n",
+				participant(e.Node), participant(e.Peer), label, e.Time)
+		case KindCompute:
+			fmt.Fprintf(&b, "  Note over %s: compute service %d (%s)\n",
+				participant(e.Node), e.Service, e.Detail)
+		case KindRecompute:
+			fmt.Fprintf(&b, "  Note over %s: recompute (%s)\n",
+				participant(e.Node), e.Detail)
+		case KindClaim:
+			fmt.Fprintf(&b, "  Note over %s: claim service %d\n",
+				participant(e.Node), e.Service)
+		case KindReport:
+			fmt.Fprintf(&b, "  %s->>%s: report service %d @%dus\n",
+				participant(e.Node), participant(e.Peer), e.Service, e.Time)
+		}
+	}
+	return b.String()
+}
+
+// participant names a node for the diagram; -1 is the consumer.
+func participant(n int) string {
+	if n < 0 {
+		return "consumer"
+	}
+	return fmt.Sprintf("n%d", n)
+}
+
+// validParticipant filters peers that are placeholders (-1 used as "none").
+func validParticipant(n int, e Event) bool {
+	if n >= 0 {
+		return true
+	}
+	// -1 is the consumer only on send/deliver/report edges.
+	return e.Kind == KindSend || e.Kind == KindDeliver || e.Kind == KindReport
+}

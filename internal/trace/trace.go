@@ -1,0 +1,140 @@
+// Package trace records the event timeline of a distributed federation run:
+// message sends and deliveries, local computations, claims, re-computations
+// and sink reports, each stamped with the transport's virtual time. Traces
+// are the observability surface of the protocol — tests assert on them and
+// the sflow command can print them.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Kind classifies a trace event.
+type Kind int
+
+const (
+	// KindSend is a protocol message leaving a node.
+	KindSend Kind = iota + 1
+	// KindDeliver is a protocol message arriving at a node.
+	KindDeliver
+	// KindCompute is one local computation at a node.
+	KindCompute
+	// KindClaim is a merge-service claim registered in the rendezvous.
+	KindClaim
+	// KindRecompute is a local computation repeated after losing a claim.
+	KindRecompute
+	// KindReport is a sink reporting the completed flow graph.
+	KindReport
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case KindSend:
+		return "send"
+	case KindDeliver:
+		return "deliver"
+	case KindCompute:
+		return "compute"
+	case KindClaim:
+		return "claim"
+	case KindRecompute:
+		return "recompute"
+	case KindReport:
+		return "report"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one timeline entry.
+type Event struct {
+	// Time is the transport's virtual time in microseconds (zero on the
+	// goroutine transport).
+	Time int64
+	// Kind classifies the event.
+	Kind Kind
+	// Node is the acting instance (NID); -1 is the consumer.
+	Node int
+	// Peer is the other endpoint for send/deliver events (-1 otherwise).
+	Peer int
+	// Service is the service involved (claims, reports; -1 otherwise).
+	Service int
+	// Detail is a short human-readable annotation.
+	Detail string
+}
+
+// String renders one event as a log line.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%8dus] %-9s node %d", e.Time, e.Kind, e.Node)
+	if e.Peer >= 0 || e.Kind == KindSend || e.Kind == KindDeliver {
+		fmt.Fprintf(&b, " <-> %d", e.Peer)
+	}
+	if e.Service >= 0 {
+		fmt.Fprintf(&b, " service %d", e.Service)
+	}
+	if e.Detail != "" {
+		fmt.Fprintf(&b, " (%s)", e.Detail)
+	}
+	return b.String()
+}
+
+// Recorder collects events. The zero value is unusable; use New. Recorders
+// are safe for concurrent use (the goroutine transport appends from many
+// goroutines).
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// New returns an empty recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Add appends one event.
+func (r *Recorder) Add(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, e)
+}
+
+// Events returns a copy of the timeline in recording order.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Count returns the number of events of one kind.
+func (r *Recorder) Count(k Kind) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, e := range r.events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the full timeline, one event per line.
+func (r *Recorder) String() string {
+	var b strings.Builder
+	for _, e := range r.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

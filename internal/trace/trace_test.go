@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	r := New()
+	if r.Len() != 0 {
+		t.Fatal("fresh recorder not empty")
+	}
+	r.Add(Event{Time: 5, Kind: KindSend, Node: 1, Peer: 2, Service: -1})
+	r.Add(Event{Time: 9, Kind: KindCompute, Node: 2, Peer: -1, Service: 3, Detail: "x"})
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if r.Count(KindSend) != 1 || r.Count(KindReport) != 0 {
+		t.Fatal("Count wrong")
+	}
+	evs := r.Events()
+	if evs[0].Kind != KindSend || evs[1].Detail != "x" {
+		t.Fatalf("events = %+v", evs)
+	}
+	// Events returns a copy.
+	evs[0].Node = 99
+	if r.Events()[0].Node != 1 {
+		t.Fatal("Events leaked internal slice")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Time: 42, Kind: KindClaim, Node: 7, Peer: -1, Service: 3, Detail: "pinned"}
+	s := e.String()
+	for _, want := range []string{"42us", "claim", "node 7", "service 3", "(pinned)"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in %q", want, s)
+		}
+	}
+	send := Event{Time: 1, Kind: KindSend, Node: 1, Peer: 2, Service: -1}
+	if !strings.Contains(send.String(), "<-> 2") {
+		t.Fatalf("send string = %q", send.String())
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{KindSend, KindDeliver, KindCompute, KindClaim, KindRecompute, KindReport}
+	seen := make(map[string]bool)
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Fatalf("kind %d has bad or duplicate name %q", k, s)
+		}
+		seen[s] = true
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind empty")
+	}
+}
+
+func TestRecorderString(t *testing.T) {
+	r := New()
+	r.Add(Event{Time: 1, Kind: KindSend, Node: 0, Peer: 1, Service: -1})
+	r.Add(Event{Time: 2, Kind: KindReport, Node: 1, Peer: -1, Service: 5})
+	out := r.String()
+	if lines := strings.Count(out, "\n"); lines != 2 {
+		t.Fatalf("String has %d lines:\n%s", lines, out)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Add(Event{Time: int64(i), Kind: KindDeliver, Node: g, Peer: -1, Service: -1})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Len() != 800 {
+		t.Fatalf("Len = %d, want 800", r.Len())
+	}
+}
+
+func TestMermaid(t *testing.T) {
+	r := New()
+	r.Add(Event{Time: 0, Kind: KindSend, Node: -1, Peer: 10, Service: -1, Detail: "sfederate"})
+	r.Add(Event{Time: 0, Kind: KindDeliver, Node: 10, Peer: -1, Service: -1, Detail: "sfederate"})
+	r.Add(Event{Time: 0, Kind: KindCompute, Node: 10, Peer: -1, Service: 1, Detail: "2 downstream streams"})
+	r.Add(Event{Time: 0, Kind: KindClaim, Node: 41, Peer: -1, Service: 4})
+	r.Add(Event{Time: 0, Kind: KindSend, Node: 10, Peer: 20, Service: 2, Detail: "sfederate"})
+	r.Add(Event{Time: 9, Kind: KindRecompute, Node: 20, Peer: -1, Service: 2, Detail: "1 lost claims"})
+	r.Add(Event{Time: 30, Kind: KindReport, Node: 40, Peer: -1, Service: 4})
+	out := r.Mermaid()
+	for _, want := range []string{
+		"sequenceDiagram",
+		"participant consumer",
+		"participant n10",
+		"consumer->>n10: sfederate @0us",
+		"n10->>n20: sfederate (service 2) @0us",
+		"Note over n10: compute service 1",
+		"Note over n41: claim service 4",
+		"Note over n20: recompute",
+		"n40->>consumer: report service 4 @30us",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}

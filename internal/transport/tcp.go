@@ -1,0 +1,238 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Codec serialises protocol messages for a byte-oriented transport. The
+// protocol layer owns the message types, so it supplies the codec.
+type Codec interface {
+	Encode(msg any) ([]byte, error)
+	Decode(data []byte) (any, error)
+}
+
+// maxFrame bounds a single message frame (16 MiB) as a corruption guard.
+const maxFrame = 16 << 20
+
+// TCP delivers messages over real loopback TCP connections: every node owns
+// a listener on 127.0.0.1, messages are length-prefixed frames carrying the
+// sender id and a codec-encoded payload. Delivery is FIFO per sender-
+// receiver pair (one frame stream per connection); handlers for one node run
+// serially, different nodes concurrently — the same contract as the
+// goroutine transport, but with the messages actually crossing the network
+// stack.
+type TCP struct {
+	handler   Handler
+	codec     Codec
+	listeners map[int]net.Listener
+	addrs     map[int]string
+	inboxes   map[int]*inbox
+
+	inflight atomic.Int64
+	count    atomic.Int64
+	done     chan struct{}
+	ran      sync.Once
+
+	mu    sync.Mutex
+	conns map[[2]int]net.Conn // (from, to) -> cached sending connection
+
+	acceptors sync.WaitGroup
+	closed    chan struct{}
+}
+
+var _ Transport = (*TCP)(nil)
+
+// NewTCP opens one loopback listener per node. Call Close (or Run, which
+// closes on completion) to release the sockets.
+func NewTCP(nodes []int, handler Handler, codec Codec) (*TCP, error) {
+	t := &TCP{
+		handler:   handler,
+		codec:     codec,
+		listeners: make(map[int]net.Listener, len(nodes)),
+		addrs:     make(map[int]string, len(nodes)),
+		inboxes:   make(map[int]*inbox, len(nodes)),
+		done:      make(chan struct{}, 1),
+		conns:     make(map[[2]int]net.Conn),
+		closed:    make(chan struct{}),
+	}
+	for _, n := range nodes {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("transport: listen for node %d: %w", n, err)
+		}
+		t.listeners[n] = ln
+		t.addrs[n] = ln.Addr().String()
+		t.inboxes[n] = newInbox()
+		t.acceptors.Add(1)
+		go t.acceptLoop(n, ln)
+	}
+	return t, nil
+}
+
+// Addr returns the loopback address a node listens on (for tests and
+// diagnostics).
+func (t *TCP) Addr(node int) string { return t.addrs[node] }
+
+// Send implements Transport: it encodes the message and writes one frame on
+// the cached connection from `from` to `to`, dialling on first use.
+func (t *TCP) Send(from, to int, msg any) {
+	addr, ok := t.addrs[to]
+	if !ok {
+		panic(fmt.Sprintf("transport: send to unknown node %d", to))
+	}
+	payload, err := t.codec.Encode(msg)
+	if err != nil {
+		panic(fmt.Sprintf("transport: encode: %v", err))
+	}
+	// Count before the frame can possibly be delivered.
+	t.inflight.Add(1)
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	key := [2]int{from, to}
+	conn, ok := t.conns[key]
+	if !ok {
+		conn, err = net.Dial("tcp", addr)
+		if err != nil {
+			panic(fmt.Sprintf("transport: dial node %d: %v", to, err))
+		}
+		t.conns[key] = conn
+	}
+	if err := writeFrame(conn, from, payload); err != nil {
+		panic(fmt.Sprintf("transport: write to node %d: %v", to, err))
+	}
+}
+
+// Run implements Transport: node workers drain their inboxes until
+// quiescence, then all sockets are closed.
+func (t *TCP) Run() int {
+	ranBefore := true
+	t.ran.Do(func() { ranBefore = false })
+	if ranBefore {
+		panic("transport: Run called twice")
+	}
+	var workers sync.WaitGroup
+	for nid, b := range t.inboxes {
+		workers.Add(1)
+		go func(nid int, b *inbox) {
+			defer workers.Done()
+			for {
+				e, ok := b.get()
+				if !ok {
+					return
+				}
+				t.count.Add(1)
+				t.handler(e.from, nid, e.msg)
+				if t.inflight.Add(-1) == 0 {
+					select {
+					case t.done <- struct{}{}:
+					default:
+					}
+				}
+			}
+		}(nid, b)
+	}
+	for t.inflight.Load() != 0 {
+		<-t.done
+	}
+	for _, b := range t.inboxes {
+		b.close()
+	}
+	workers.Wait()
+	t.Close()
+	return int(t.count.Load())
+}
+
+// Now implements Transport; real TCP has no virtual clock.
+func (t *TCP) Now() int64 { return 0 }
+
+// Close shuts every listener and cached connection. Safe to call more than
+// once.
+func (t *TCP) Close() {
+	select {
+	case <-t.closed:
+		return
+	default:
+		close(t.closed)
+	}
+	for _, ln := range t.listeners {
+		_ = ln.Close()
+	}
+	t.mu.Lock()
+	for _, c := range t.conns {
+		_ = c.Close()
+	}
+	t.mu.Unlock()
+	t.acceptors.Wait()
+}
+
+// acceptLoop accepts inbound connections for one node and spawns a reader
+// per connection.
+func (t *TCP) acceptLoop(nid int, ln net.Listener) {
+	defer t.acceptors.Done()
+	var readers sync.WaitGroup
+	defer readers.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			defer conn.Close()
+			for {
+				from, payload, err := readFrame(conn)
+				if err != nil {
+					return // EOF or shutdown
+				}
+				msg, err := t.codec.Decode(payload)
+				if err != nil {
+					// A corrupt frame is a protocol bug; surface loudly.
+					panic(fmt.Sprintf("transport: decode at node %d: %v", nid, err))
+				}
+				t.inboxes[nid].put(envelope{from: from, msg: msg})
+			}
+		}()
+	}
+}
+
+// writeFrame writes [len u32][from i64][payload].
+func writeFrame(w io.Writer, from int, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("frame too large: %d bytes", len(payload))
+	}
+	header := make([]byte, 12)
+	binary.BigEndian.PutUint32(header[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint64(header[4:], uint64(int64(from)))
+	if _, err := w.Write(header); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame written by writeFrame.
+func readFrame(r io.Reader) (from int, payload []byte, err error) {
+	header := make([]byte, 12)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(header[:4])
+	if n > maxFrame {
+		return 0, nil, errors.New("oversized frame")
+	}
+	from = int(int64(binary.BigEndian.Uint64(header[4:])))
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return from, payload, nil
+}

@@ -1,0 +1,205 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// jsonCodec is a trivial test codec for int payloads.
+type jsonCodec struct{}
+
+func (jsonCodec) Encode(msg any) ([]byte, error) { return json.Marshal(msg) }
+
+func (jsonCodec) Decode(data []byte) (any, error) {
+	var v int
+	if err := json.Unmarshal(data, &v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+func TestTCPRelayChain(t *testing.T) {
+	nodes := []int{0, 1, 2, 3}
+	var tr *TCP
+	var mu sync.Mutex
+	var got []int
+	var err error
+	tr, err = NewTCP(nodes, func(from, to int, msg any) {
+		mu.Lock()
+		got = append(got, to)
+		mu.Unlock()
+		hop := msg.(int)
+		if to < 3 {
+			tr.Send(to, to+1, hop+1)
+		}
+	}, jsonCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Send(0, 1, 0)
+	if n := tr.Run(); n != 3 {
+		t.Fatalf("delivered %d, want 3", n)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("deliveries = %v", got)
+	}
+}
+
+func TestTCPFanOutQuiescence(t *testing.T) {
+	nodes := make([]int, 6)
+	for i := range nodes {
+		nodes[i] = i
+	}
+	var count atomic.Int64
+	var tr *TCP
+	var err error
+	tr, err = NewTCP(nodes, func(from, to int, msg any) {
+		count.Add(1)
+		depth := msg.(int)
+		if depth < 4 {
+			tr.Send(to, (to+1)%6, depth+1)
+			tr.Send(to, (to+2)%6, depth+1)
+		}
+	}, jsonCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Send(0, 0, 0)
+	want := 1 + 2 + 4 + 8 + 16
+	if n := tr.Run(); n != want {
+		t.Fatalf("delivered %d, want %d", n, want)
+	}
+}
+
+func TestTCPPerPairFIFO(t *testing.T) {
+	var mu sync.Mutex
+	got := make([]int, 0, 100)
+	tr, err := NewTCP([]int{1}, func(from, to int, msg any) {
+		mu.Lock()
+		got = append(got, msg.(int))
+		mu.Unlock()
+	}, jsonCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		tr.Send(0, 1, i)
+	}
+	tr.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("per-pair FIFO violated at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestTCPSendToUnknownPanics(t *testing.T) {
+	tr, err := NewTCP([]int{0}, func(int, int, any) {}, jsonCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr.Send(0, 42, 1)
+}
+
+func TestTCPAddrAndClose(t *testing.T) {
+	tr, err := NewTCP([]int{7}, func(int, int, any) {}, jsonCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Addr(7) == "" {
+		t.Fatal("no address")
+	}
+	if tr.Now() != 0 {
+		t.Fatal("TCP transport should have no clock")
+	}
+	tr.Close()
+	tr.Close() // idempotent
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello frames")
+	if err := writeFrame(&buf, -1, payload); err != nil {
+		t.Fatal(err)
+	}
+	from, got, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from != -1 || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip: from=%d payload=%q", from, got)
+	}
+	// Truncated stream errors out.
+	buf.Reset()
+	buf.Write([]byte{0, 0, 0, 5})
+	if _, _, err := readFrame(&buf); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+	// Oversized declared length is rejected.
+	buf.Reset()
+	var header [12]byte
+	header[0] = 0xFF
+	header[1] = 0xFF
+	header[2] = 0xFF
+	header[3] = 0xFF
+	buf.Write(header[:])
+	if _, _, err := readFrame(&buf); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	if err := writeFrame(&buf, 0, make([]byte, maxFrame+1)); err == nil {
+		t.Fatal("oversized write accepted")
+	}
+}
+
+func TestTCPManySenders(t *testing.T) {
+	const senders, per = 6, 50
+	var count atomic.Int64
+	nodes := []int{0}
+	tr, err := NewTCP(nodes, func(int, int, any) { count.Add(1) }, jsonCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.Send(100+s, 0, i)
+			}
+		}(s)
+	}
+	wg.Wait()
+	if n := tr.Run(); n != senders*per {
+		t.Fatalf("delivered %d, want %d", n, senders*per)
+	}
+	if got := count.Load(); got != senders*per {
+		t.Fatalf("handled %d", got)
+	}
+}
+
+func TestTCPRunTwicePanics(t *testing.T) {
+	tr, err := NewTCP([]int{0}, func(int, int, any) {}, jsonCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Send(0, 0, 1)
+	tr.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr.Run()
+}

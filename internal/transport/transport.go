@@ -1,0 +1,214 @@
+// Package transport delivers protocol messages between overlay nodes for the
+// distributed sFlow algorithm. Two implementations share one interface:
+//
+//   - The DES transport runs on the deterministic discrete-event simulator,
+//     delivering each message after the latency of the overlay link it
+//     crosses. It gives reproducible runs and a virtual completion time.
+//   - The goroutine transport runs every node concurrently on its own
+//     goroutine with FIFO inboxes. It has no virtual clock, but exercises
+//     the protocol under real concurrency and arbitrary interleavings.
+//
+// A transport is single-shot: construct, Send the initial messages, Run to
+// quiescence, read counters.
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"sflow/internal/des"
+)
+
+// Handler processes one message delivered to node `to`. Handlers may call
+// Send re-entrantly. A given node's messages are delivered one at a time in
+// FIFO order.
+type Handler func(from, to int, msg any)
+
+// LatencyFunc returns the delivery latency in microseconds from one node to
+// another (used by the DES transport; zero is valid).
+type LatencyFunc func(from, to int) int64
+
+// Transport delivers messages until quiescence.
+type Transport interface {
+	// Send enqueues a message for delivery. Safe to call before Run and
+	// from within handlers. The goroutine transport's Send is safe for
+	// concurrent use.
+	Send(from, to int, msg any)
+	// Run delivers messages until no work remains and returns the number
+	// of messages delivered. Run must be called exactly once.
+	Run() int
+	// Now returns the current virtual time in microseconds (always zero
+	// for the goroutine transport).
+	Now() int64
+}
+
+// DES is the discrete-event-simulated transport.
+type DES struct {
+	sim       *des.Simulator
+	latency   LatencyFunc
+	handler   Handler
+	delivered int
+}
+
+var _ Transport = (*DES)(nil)
+
+// NewDES returns a transport delivering messages on a fresh simulator.
+func NewDES(latency LatencyFunc, handler Handler) *DES {
+	return &DES{sim: des.New(), latency: latency, handler: handler}
+}
+
+// Send implements Transport.
+func (t *DES) Send(from, to int, msg any) {
+	lat := t.latency(from, to)
+	if lat < 0 {
+		lat = 0
+	}
+	// Schedule can only fail on negative delay, which is excluded.
+	_ = t.sim.Schedule(lat, func() {
+		t.delivered++
+		t.handler(from, to, msg)
+	})
+}
+
+// Run implements Transport.
+func (t *DES) Run() int {
+	t.sim.Run()
+	return t.delivered
+}
+
+// Now implements Transport.
+func (t *DES) Now() int64 { return t.sim.Now() }
+
+// Goroutine is the concurrent transport: one goroutine and one FIFO inbox
+// per node.
+type Goroutine struct {
+	handler  Handler
+	inboxes  map[int]*inbox
+	inflight atomic.Int64
+	done     chan struct{}
+	ran      atomic.Bool
+	count    atomic.Int64
+}
+
+var _ Transport = (*Goroutine)(nil)
+
+type envelope struct {
+	from int
+	msg  any
+}
+
+type inbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []envelope
+	closed bool
+}
+
+func newInbox() *inbox {
+	b := &inbox{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *inbox) put(e envelope) {
+	b.mu.Lock()
+	b.queue = append(b.queue, e)
+	b.mu.Unlock()
+	b.cond.Signal()
+}
+
+func (b *inbox) get() (envelope, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(b.queue) == 0 && !b.closed {
+		b.cond.Wait()
+	}
+	if len(b.queue) == 0 {
+		return envelope{}, false
+	}
+	e := b.queue[0]
+	b.queue = b.queue[1:]
+	return e, true
+}
+
+func (b *inbox) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// NewGoroutine returns a concurrent transport for the given node set.
+func NewGoroutine(nodes []int, handler Handler) *Goroutine {
+	t := &Goroutine{
+		handler: handler,
+		inboxes: make(map[int]*inbox, len(nodes)),
+		done:    make(chan struct{}, 1),
+	}
+	for _, n := range nodes {
+		t.inboxes[n] = newInbox()
+	}
+	return t
+}
+
+// Send implements Transport. Sending to an unknown node panics: it is a
+// programming error in the protocol layer.
+func (t *Goroutine) Send(from, to int, msg any) {
+	b, ok := t.inboxes[to]
+	if !ok {
+		panic(fmt.Sprintf("transport: send to unknown node %d", to))
+	}
+	// Count before enqueue so quiescence cannot be declared while a
+	// message is in flight.
+	t.inflight.Add(1)
+	b.put(envelope{from: from, msg: msg})
+}
+
+// Run implements Transport: it starts the node goroutines, waits for
+// quiescence (no queued or in-process messages), stops them, and returns the
+// delivered count.
+func (t *Goroutine) Run() int {
+	if t.ran.Swap(true) {
+		panic("transport: Run called twice")
+	}
+	var wg sync.WaitGroup
+	for nid, b := range t.inboxes {
+		wg.Add(1)
+		go func(nid int, b *inbox) {
+			defer wg.Done()
+			for {
+				e, ok := b.get()
+				if !ok {
+					return
+				}
+				t.count.Add(1)
+				t.handler(e.from, nid, e.msg)
+				// Decrement after the handler so sends from within
+				// it are already counted.
+				if t.inflight.Add(-1) == 0 {
+					select {
+					case t.done <- struct{}{}:
+					default:
+					}
+				}
+			}
+		}(nid, b)
+	}
+
+	// Wait until the in-flight count settles at zero. Messages only enter
+	// the system before Run (the protocol's injection) or from within
+	// handlers — and a handler's own message is counted until it returns —
+	// so the count reaches zero exactly once, at true quiescence.
+	for t.inflight.Load() != 0 {
+		<-t.done
+	}
+	for _, b := range t.inboxes {
+		b.close()
+	}
+	wg.Wait()
+	return int(t.count.Load())
+}
+
+// Now implements Transport; the goroutine transport has no virtual clock.
+func (t *Goroutine) Now() int64 { return 0 }

@@ -1,0 +1,221 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDESDeliversWithLatency(t *testing.T) {
+	type rec struct {
+		from, to int
+		at       int64
+	}
+	var got []rec
+	var tr *DES
+	lat := func(from, to int) int64 { return int64(10 * (to - from)) }
+	tr = NewDES(lat, func(from, to int, msg any) {
+		got = append(got, rec{from, to, tr.Now()})
+		if to < 3 {
+			tr.Send(to, to+1, msg)
+		}
+	})
+	tr.Send(0, 1, "ping")
+	n := tr.Run()
+	if n != 3 {
+		t.Fatalf("delivered %d, want 3", n)
+	}
+	want := []rec{{0, 1, 10}, {1, 2, 20}, {2, 3, 30}}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if tr.Now() != 30 {
+		t.Fatalf("Now = %d", tr.Now())
+	}
+}
+
+func TestDESFIFOBetweenSameEndpoints(t *testing.T) {
+	var got []int
+	var tr *DES
+	tr = NewDES(func(int, int) int64 { return 5 }, func(from, to int, msg any) {
+		got = append(got, msg.(int))
+	})
+	for i := 0; i < 10; i++ {
+		tr.Send(0, 1, i)
+	}
+	tr.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", got)
+		}
+	}
+}
+
+func TestDESNegativeLatencyClamped(t *testing.T) {
+	ran := false
+	tr := NewDES(func(int, int) int64 { return -7 }, func(from, to int, msg any) { ran = true })
+	tr.Send(1, 2, nil)
+	tr.Run()
+	if !ran {
+		t.Fatal("message with negative latency dropped")
+	}
+}
+
+func TestGoroutineDeliversAll(t *testing.T) {
+	nodes := []int{0, 1, 2, 3, 4}
+	var count atomic.Int64
+	var tr *Goroutine
+	tr = NewGoroutine(nodes, func(from, to int, msg any) {
+		count.Add(1)
+		hop := msg.(int)
+		if hop < 20 {
+			tr.Send(to, (to+1)%5, hop+1)
+		}
+	})
+	tr.Send(0, 1, 0)
+	n := tr.Run()
+	if n != 21 {
+		t.Fatalf("delivered %d, want 21", n)
+	}
+	if got := count.Load(); got != 21 {
+		t.Fatalf("handled %d, want 21", got)
+	}
+}
+
+func TestGoroutineFanOutQuiescence(t *testing.T) {
+	// A burst of fan-out messages: every delivery spawns two more until a
+	// depth limit; Run must wait for all of them.
+	nodes := make([]int, 8)
+	for i := range nodes {
+		nodes[i] = i
+	}
+	var count atomic.Int64
+	var tr *Goroutine
+	tr = NewGoroutine(nodes, func(from, to int, msg any) {
+		count.Add(1)
+		depth := msg.(int)
+		if depth < 5 {
+			tr.Send(to, (to+1)%8, depth+1)
+			tr.Send(to, (to+3)%8, depth+1)
+		}
+	})
+	tr.Send(0, 0, 0)
+	n := tr.Run()
+	want := 1
+	level := 1
+	for d := 1; d <= 5; d++ {
+		level *= 2
+		want += level
+	}
+	if n != want || count.Load() != int64(want) {
+		t.Fatalf("delivered %d, want %d", n, want)
+	}
+}
+
+func TestGoroutinePerNodeFIFO(t *testing.T) {
+	var mu sync.Mutex
+	got := make(map[int][]int)
+	tr := NewGoroutine([]int{1, 2}, func(from, to int, msg any) {
+		mu.Lock()
+		got[to] = append(got[to], msg.(int))
+		mu.Unlock()
+	})
+	for i := 0; i < 50; i++ {
+		tr.Send(0, 1, i)
+		tr.Send(0, 2, i)
+	}
+	tr.Run()
+	for node, seq := range got {
+		for i, v := range seq {
+			if v != i {
+				t.Fatalf("node %d FIFO violated: %v", node, seq)
+			}
+		}
+	}
+}
+
+func TestGoroutineConcurrentSends(t *testing.T) {
+	// Hammer Send from many goroutines before Run; all must be delivered.
+	tr := NewGoroutine([]int{0}, func(from, to int, msg any) {})
+	var wg sync.WaitGroup
+	const senders, per = 8, 100
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.Send(99, 0, i)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := tr.Run(); n != senders*per {
+		t.Fatalf("delivered %d, want %d", n, senders*per)
+	}
+}
+
+func TestGoroutineSendToUnknownPanics(t *testing.T) {
+	tr := NewGoroutine([]int{0}, func(from, to int, msg any) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr.Send(0, 42, nil)
+}
+
+func TestGoroutineRunTwicePanics(t *testing.T) {
+	tr := NewGoroutine([]int{0}, func(from, to int, msg any) {})
+	tr.Send(0, 0, nil)
+	tr.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr.Run()
+}
+
+func TestGoroutineNowIsZero(t *testing.T) {
+	tr := NewGoroutine([]int{0}, func(from, to int, msg any) {})
+	if tr.Now() != 0 {
+		t.Fatal("goroutine transport should have no clock")
+	}
+	tr.Send(0, 0, nil)
+	tr.Run()
+	if tr.Now() != 0 {
+		t.Fatal("clock moved")
+	}
+}
+
+func TestDESDeterministicAcrossRuns(t *testing.T) {
+	build := func() []string {
+		var log []string
+		var tr *DES
+		tr = NewDES(func(from, to int) int64 { return int64((to*7+from*3)%5) + 1 },
+			func(from, to int, msg any) {
+				log = append(log, msg.(string))
+				if len(log) < 12 {
+					tr.Send(to, (to+1)%4, msg.(string)+"x")
+				}
+			})
+		tr.Send(0, 1, "a")
+		tr.Send(0, 2, "b")
+		tr.Run()
+		return log
+	}
+	first := build()
+	for i := 0; i < 3; i++ {
+		if got := build(); len(got) != len(first) {
+			t.Fatalf("run %d differs in length", i)
+		} else {
+			for j := range got {
+				if got[j] != first[j] {
+					t.Fatalf("run %d delivery %d: %q vs %q", i, j, got[j], first[j])
+				}
+			}
+		}
+	}
+}

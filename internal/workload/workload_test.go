@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"sflow/internal/abstract"
+	"sflow/internal/control"
+	"sflow/internal/flow"
+	"sflow/internal/overlay"
+	"sflow/internal/qos"
+	"sflow/internal/require"
+	"sflow/internal/scenario"
+)
+
+func fixedAlg(ov *overlay.Overlay, req *require.Requirement, src int) (*flow.Graph, qos.Metric, error) {
+	ag, err := abstract.Build(ov, req)
+	if err != nil {
+		return nil, qos.Unreachable, err
+	}
+	r, err := control.Fixed(ag, src)
+	if err != nil {
+		return nil, qos.Unreachable, err
+	}
+	return r.Flow, r.Metric, nil
+}
+
+func testStream(t *testing.T, count int, meanHold int64) (*scenario.Scenario, []Request) {
+	t.Helper()
+	s, err := scenario.Generate(scenario.Config{
+		Seed: 3, NetworkSize: 15, Services: 5, InstancesPerService: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := Generate(s.Req, s.SourceNID, Config{
+		Seed: 1, Count: count,
+		MeanInterarrival: 10_000, MeanHolding: meanHold,
+		DemandMin: 50, DemandMax: 250,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, reqs
+}
+
+func TestGenerateStream(t *testing.T) {
+	_, reqs := testStream(t, 50, 40_000)
+	if len(reqs) != 50 {
+		t.Fatalf("generated %d requests", len(reqs))
+	}
+	var last int64 = -1
+	sawVariety := false
+	for i, r := range reqs {
+		if r.Arrival < last {
+			t.Fatalf("arrivals not monotone at %d", i)
+		}
+		last = r.Arrival
+		if r.Demand < 50 || r.Demand > 250 {
+			t.Fatalf("demand %d out of range", r.Demand)
+		}
+		if r.Holding < 1 {
+			t.Fatalf("holding %d", r.Holding)
+		}
+		if i > 0 && r.Demand != reqs[0].Demand {
+			sawVariety = true
+		}
+	}
+	if !sawVariety {
+		t.Fatal("all demands identical — not a mixed workload")
+	}
+	// Deterministic.
+	s, err := scenario.Generate(scenario.Config{
+		Seed: 3, NetworkSize: 15, Services: 5, InstancesPerService: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Generate(s.Req, s.SourceNID, Config{
+		Seed: 1, Count: 50,
+		MeanInterarrival: 10_000, MeanHolding: 40_000,
+		DemandMin: 50, DemandMax: 250,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range reqs {
+		if reqs[i].Arrival != again[i].Arrival || reqs[i].Demand != again[i].Demand {
+			t.Fatalf("generation not deterministic at %d", i)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	s, reqs := testStream(t, 1, 1000)
+	_ = reqs
+	cases := []Config{
+		{Seed: 1, Count: 0, MeanInterarrival: 1, MeanHolding: 1, DemandMin: 1, DemandMax: 2},
+		{Seed: 1, Count: 5, MeanInterarrival: 0, MeanHolding: 1, DemandMin: 1, DemandMax: 2},
+		{Seed: 1, Count: 5, MeanInterarrival: 1, MeanHolding: 0, DemandMin: 1, DemandMax: 2},
+		{Seed: 1, Count: 5, MeanInterarrival: 1, MeanHolding: 1, DemandMin: 0, DemandMax: 2},
+		{Seed: 1, Count: 5, MeanInterarrival: 1, MeanHolding: 1, DemandMin: 3, DemandMax: 2},
+	}
+	for i, cfg := range cases {
+		if _, err := Generate(s.Req, s.SourceNID, cfg); err == nil {
+			t.Errorf("case %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestSimulateConservation(t *testing.T) {
+	s, reqs := testStream(t, 80, 60_000)
+	res, err := Simulate(s.Overlay, reqs, fixedAlg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Offered != 80 {
+		t.Fatalf("offered %d", res.Offered)
+	}
+	if res.Admitted+res.Blocked != res.Offered {
+		t.Fatalf("conservation violated: %d + %d != %d", res.Admitted, res.Blocked, res.Offered)
+	}
+	if res.Admitted == 0 {
+		t.Fatal("nothing admitted")
+	}
+	if res.PeakConcurrent < 1 {
+		t.Fatal("peak concurrency not tracked")
+	}
+	if p := res.BlockingProbability(); p < 0 || p > 1 {
+		t.Fatalf("blocking probability %v", p)
+	}
+	if res.EndTime <= 0 {
+		t.Fatal("end time not tracked")
+	}
+}
+
+func TestSimulateLightLoadAdmitsEverything(t *testing.T) {
+	// Short holding times and tiny demands: nothing should block.
+	s, err := scenario.Generate(scenario.Config{
+		Seed: 4, NetworkSize: 15, Services: 5, InstancesPerService: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := Generate(s.Req, s.SourceNID, Config{
+		Seed: 2, Count: 30,
+		MeanInterarrival: 100_000, MeanHolding: 10,
+		DemandMin: 1, DemandMax: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(s.Overlay, reqs, fixedAlg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Blocked != 0 {
+		t.Fatalf("light load blocked %d requests", res.Blocked)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	s, reqs := testStream(t, 40, 50_000)
+	a, err := Simulate(s.Overlay, reqs, fixedAlg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(s.Overlay, reqs, fixedAlg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("simulation not deterministic: %+v vs %+v", a, b)
+	}
+	// The original overlay is untouched across simulations.
+	if _, err := Simulate(s.Overlay, reqs, fixedAlg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulateEmptyStream(t *testing.T) {
+	s, _ := testStream(t, 1, 1000)
+	if _, err := Simulate(s.Overlay, nil, fixedAlg); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}

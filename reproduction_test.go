@@ -1,0 +1,90 @@
+package sflow_test
+
+import (
+	"testing"
+
+	"sflow"
+)
+
+// TestReproductionHeadlineClaims guards the paper's qualitative results as
+// assertions over a fixed seeded sweep, so any future change that breaks a
+// reproduced shape fails CI rather than silently drifting. The bounds are
+// deliberately looser than the measured values in EXPERIMENTS.md.
+func TestReproductionHeadlineClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-figure sweep")
+	}
+	cfg := sflow.ExperimentConfig{Sizes: []int{10, 30, 50}, Trials: 10, Seed: 1}
+
+	// Fig 10(a): sFlow has the highest correctness, around 0.9; random
+	// trends to coin-flip territory.
+	a, err := sflow.Fig10a(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range a.Points {
+		if p.Values["sflow"] < 0.8 {
+			t.Errorf("fig10a N=%d: sflow correctness %.3f below 0.8", p.X, p.Values["sflow"])
+		}
+		for _, rival := range []string{"fixed", "random", "servicepath"} {
+			if p.Values["sflow"] < p.Values[rival] {
+				t.Errorf("fig10a N=%d: sflow %.3f below %s %.3f",
+					p.X, p.Values["sflow"], rival, p.Values[rival])
+			}
+		}
+		if p.Values["random"] > 0.75 {
+			t.Errorf("fig10a N=%d: random correctness %.3f implausibly high", p.X, p.Values["random"])
+		}
+	}
+
+	// Fig 10(c): sFlow yields the lowest-latency flow graphs.
+	c, err := sflow.Fig10c(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range c.Points {
+		if p.Values["sflow"] > p.Values["fixed"] || p.Values["sflow"] > p.Values["random"] {
+			t.Errorf("fig10c N=%d: sflow latency %.0f not lowest (fixed %.0f, random %.0f)",
+				p.X, p.Values["sflow"], p.Values["fixed"], p.Values["random"])
+		}
+	}
+
+	// Fig 10(d): optimal >= sflow >= fixed >= random in bandwidth, and
+	// sFlow tracks the optimal closely.
+	d, err := sflow.Fig10d(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range d.Points {
+		opt, sf, fx, rd := p.Values["optimal"], p.Values["sflow"], p.Values["fixed"], p.Values["random"]
+		if !(opt >= sf && sf >= fx && fx >= rd) {
+			t.Errorf("fig10d N=%d: ordering violated: opt %.0f sflow %.0f fixed %.0f random %.0f",
+				p.X, opt, sf, fx, rd)
+		}
+		if sf < 0.9*opt {
+			t.Errorf("fig10d N=%d: sflow %.0f below 90%% of optimal %.0f", p.X, sf, opt)
+		}
+	}
+
+	// Fig 10(b): both computation-time curves grow with network size, and
+	// they stay within an order of magnitude of each other.
+	b, err := sflow.Fig10b(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := b.Points[0], b.Points[len(b.Points)-1]
+	if last.Values["sflow"] <= first.Values["sflow"] {
+		t.Errorf("fig10b: sflow time does not grow (%.0f -> %.0f us)",
+			first.Values["sflow"], last.Values["sflow"])
+	}
+	if last.Values["optimal"] <= first.Values["optimal"] {
+		t.Errorf("fig10b: optimal time does not grow (%.0f -> %.0f us)",
+			first.Values["optimal"], last.Values["optimal"])
+	}
+	for _, p := range b.Points {
+		ratio := p.Values["sflow"] / p.Values["optimal"]
+		if ratio < 0.1 || ratio > 10 {
+			t.Errorf("fig10b N=%d: time ratio %.2f out of the paper's comparable range", p.X, ratio)
+		}
+	}
+}
