@@ -2,9 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench vet fmt figures examples clean
+.PHONY: all build test race race-hot check cover bench vet fmt figures examples clean
 
 all: build test
+
+# Tier-1 gate: what CI runs on every PR.
+check: build vet test
 
 build:
 	$(GO) build ./...
@@ -14,6 +17,10 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Race-check the packages that run worker pools and concurrent transports.
+race-hot:
+	$(GO) test -race ./internal/transport/... ./internal/core/... ./internal/experiments/... ./internal/qos/...
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

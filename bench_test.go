@@ -8,6 +8,7 @@ package sflow_test
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"sflow"
@@ -116,6 +117,37 @@ func BenchmarkAblationReduction(b *testing.B) {
 		}
 	}
 	reportSeries(b, s, "ratio@40")
+}
+
+// BenchmarkSweepWorkers compares the evaluation sweep at one worker (the
+// historical sequential harness) against the host's GOMAXPROCS: the same
+// seeded cells, fanned out. Output is byte-identical either way (see
+// TestCSVDeterministicAcrossWorkerCounts); only wall-clock should move, and
+// on a multi-core host the parallel sweep should win roughly linearly in
+// cores. Fig 10(a) is the heaviest panel (exact solve per cell), so it is
+// the honest workload for the comparison.
+func BenchmarkSweepWorkers(b *testing.B) {
+	for _, workers := range []int{1, multiWorkers()} {
+		cfg := benchCfg()
+		cfg.Workers = workers
+		b.Run(fmt.Sprintf("fig10a/workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sflow.Fig10a(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// multiWorkers is the parallel leg of the workers=1 comparison: the host's
+// GOMAXPROCS, floored at 4 so the comparison still exercises the pool
+// machinery (overhead included) on a single-core runner.
+func multiWorkers() int {
+	if n := runtime.GOMAXPROCS(0); n >= 2 {
+		return n
+	}
+	return 4
 }
 
 // benchScenario generates one scenario per network size for the micro

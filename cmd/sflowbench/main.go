@@ -15,6 +15,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -41,6 +42,8 @@ func run(args []string, out io.Writer) error {
 		svgDir    = fs.String("svg", "", "directory to write SVG charts into (optional)")
 		mdPath    = fs.String("md", "", "write a full markdown report of ALL experiments to this file (ignores -fig)")
 		jsonDir   = fs.String("json", "", "directory to write series JSON files into (optional)")
+		workers   = fs.Int("workers", runtime.GOMAXPROCS(0),
+			"number of (size, trial) cells evaluated concurrently; 1 runs the historical sequential sweep (output is byte-identical either way)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -49,9 +52,20 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	switch {
+	case *trials < 1:
+		return fmt.Errorf("-trials %d out of range (must be >= 1)", *trials)
+	case *services < 2:
+		return fmt.Errorf("-services %d out of range (a requirement needs a source and a sink, so >= 2)", *services)
+	case *instances < 0:
+		return fmt.Errorf("-instances %d out of range (must be >= 0; 0 scales with network size)", *instances)
+	case *workers < 1:
+		return fmt.Errorf("-workers %d out of range (must be >= 1)", *workers)
+	}
 	cfg := sflow.ExperimentConfig{
 		Sizes: sz, Trials: *trials, Seed: *seed,
 		Services: *services, Instances: *instances,
+		Workers: *workers,
 	}
 	if *mdPath != "" {
 		report, err := sflow.ExperimentReport(cfg)

@@ -71,6 +71,60 @@ func TestRunRejections(t *testing.T) {
 	}
 }
 
+// Nonsense flag values must be rejected with a descriptive error instead of
+// silently producing all-zero series.
+func TestRejectsNonsenseFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the error
+	}{
+		{"negative trials", []string{"-fig", "10a", "-trials", "-5"}, "-trials"},
+		{"zero trials", []string{"-fig", "10a", "-trials", "0"}, "-trials"},
+		{"empty sizes", []string{"-fig", "10a", "-sizes", ""}, "no network sizes"},
+		{"undersized network", []string{"-fig", "10a", "-sizes", "10,1"}, "bad network size"},
+		{"single service", []string{"-fig", "10a", "-services", "1"}, "-services"},
+		{"negative instances", []string{"-fig", "10a", "-instances", "-3"}, "-instances"},
+		{"zero workers", []string{"-fig", "10a", "-workers", "0"}, "-workers"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := runBench(t, tc.args...)
+			if err == nil {
+				t.Fatalf("args %v accepted:\n%s", tc.args, out)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("args %v: error %q does not mention %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+// The determinism guarantee at the CLI surface: the same seed writes
+// byte-identical CSV whether the sweep runs on one worker or eight.
+func TestCSVDeterministicAcrossWorkerCounts(t *testing.T) {
+	readCSV := func(t *testing.T, fig, workersFlag string) []byte {
+		t.Helper()
+		dir := t.TempDir()
+		_, err := runBench(t, "-fig", fig, "-sizes", "10,20", "-trials", "3",
+			"-seed", "11", "-services", "5", "-instances", "2",
+			"-csv", dir, "-workers", workersFlag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, "fig"+fig+".csv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	seq := readCSV(t, "10a", "1")
+	par := readCSV(t, "10a", "8")
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("fig10a.csv differs between -workers 1 and -workers 8:\n%s\nvs\n%s", seq, par)
+	}
+}
+
 func TestRunSVGOutput(t *testing.T) {
 	dir := t.TempDir()
 	_, err := runBench(t, "-fig", "10a", "-sizes", "10", "-trials", "2",

@@ -27,14 +27,30 @@ type Graph struct {
 }
 
 // Build constructs the abstract graph for a requirement over an overlay. It
-// fails if some required service has no instance in the overlay.
+// fails if some required service has no instance in the overlay. The
+// all-pairs shortest-widest computation behind the edge labels fans out over
+// runtime.GOMAXPROCS(0) workers on large overlays; the result is identical
+// to the sequential computation at any worker count.
 func Build(ov *overlay.Overlay, req *require.Requirement) (*Graph, error) {
+	return build(ov, req, qos.ComputeAllPairs)
+}
+
+// BuildWorkers is Build with an explicit worker count for the all-pairs
+// computation: workers <= 0 means runtime.GOMAXPROCS(0), 1 forces the
+// sequential computation.
+func BuildWorkers(ov *overlay.Overlay, req *require.Requirement, workers int) (*Graph, error) {
+	return build(ov, req, func(g qos.Graph) *qos.AllPairs {
+		return qos.ComputeAllPairsWorkers(g, workers)
+	})
+}
+
+func build(ov *overlay.Overlay, req *require.Requirement, allPairs func(qos.Graph) *qos.AllPairs) (*Graph, error) {
 	for _, sid := range req.Services() {
 		if len(ov.InstancesOf(sid)) == 0 {
 			return nil, fmt.Errorf("abstract: required service %d has no instance in the overlay", sid)
 		}
 	}
-	return &Graph{req: req, ov: ov, ap: qos.ComputeAllPairs(ov)}, nil
+	return &Graph{req: req, ov: ov, ap: allPairs(ov)}, nil
 }
 
 // Requirement returns the requirement the graph was built from.

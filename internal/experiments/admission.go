@@ -27,7 +27,10 @@ const admissionCap = 200
 // graph sustaining the demand. More admitted requests = the algorithm
 // spends the network's capacity more frugally.
 func Admission(cfg Config) (*Series, error) {
-	cfg = cfg.withDefaults()
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	cols := []string{"sflow", "fixed", "random"}
 	points, err := run(cfg, cols, func(size, trial int) (map[string]float64, error) {
 		s, _, err := generalScenario(cfg, size, trial, mixedKind(trial))

@@ -25,7 +25,10 @@ const blockingHolding = 1_000_000
 // holding time) — on a fixed 30-node network; the value is the fraction of
 // requests rejected.
 func Blocking(cfg Config) (*Series, error) {
-	cfg = cfg.withDefaults()
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	loads := []int{2, 5, 10, 20, 40}
 	cols := []string{"sflow", "fixed", "random"}
 
@@ -46,25 +49,43 @@ func Blocking(cfg Config) (*Series, error) {
 		scenarios[trial] = s
 	}
 
+	// Fan the (load, trial) cells out exactly like run() does for
+	// (size, trial): every cell reseeds its own rngs and admits over its
+	// own residual copy of the shared scenario overlay, so execution
+	// order cannot change any cell's result. Reassembling in (load,
+	// trial) order keeps the series byte-identical at any worker count.
+	cells := make([]map[string]float64, len(loads)*cfg.Trials)
+	err = forEachCell(len(cells), cfg.workers(), func(i int) error {
+		load, trial := loads[i/cfg.Trials], i%cfg.Trials
+		s := scenarios[trial]
+		algs := map[string]provision.Algorithm{
+			"sflow": federateAlg,
+			"fixed": fixedAlg,
+			"random": randomAlg(rand.New(rand.NewSource(
+				trialSeed(cfg.Seed, load, trial) + 17))),
+		}
+		vals := make(map[string]float64, len(cols))
+		for name, alg := range algs {
+			p, err := blockingRun(s, alg, load,
+				rand.New(rand.NewSource(trialSeed(cfg.Seed, load, trial)+31)))
+			if err != nil {
+				return fmt.Errorf("experiments: blocking %s load %d trial %d: %w",
+					name, load, trial, err)
+			}
+			vals[name] = p
+		}
+		cells[i] = vals
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	points := make([]Point, 0, len(loads))
-	for _, load := range loads {
+	for li, load := range loads {
 		sums := make(map[string]float64, len(cols))
 		for trial := 0; trial < cfg.Trials; trial++ {
-			s := scenarios[trial]
-			algs := map[string]provision.Algorithm{
-				"sflow": federateAlg,
-				"fixed": fixedAlg,
-				"random": randomAlg(rand.New(rand.NewSource(
-					trialSeed(cfg.Seed, load, trial) + 17))),
-			}
-			for name, alg := range algs {
-				p, err := blockingRun(s, alg, load,
-					rand.New(rand.NewSource(trialSeed(cfg.Seed, load, trial)+31)))
-				if err != nil {
-					return nil, fmt.Errorf("experiments: blocking %s load %d trial %d: %w",
-						name, load, trial, err)
-				}
-				sums[name] += p
+			for _, c := range cols {
+				sums[c] += cells[li*cfg.Trials+trial][c]
 			}
 		}
 		pt := Point{X: load, Values: make(map[string]float64, len(cols))}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// detCfg is a small but non-trivial sweep: two sizes, three trials (so the
+// mixed requirement kinds all appear) and every algorithm exercised.
+func detCfg(workers int) Config {
+	return Config{Sizes: []int{10, 20}, Trials: 3, Seed: 11, Services: 5, Instances: 2, Workers: workers}
+}
+
+// The headline guarantee of the parallel harness: the same seed produces
+// byte-identical CSV output at any worker count. Fig 10(a) covers the
+// (size, trial) sweep with all four algorithms; the reduction ablation
+// covers an ablation entry point sharing run().
+func TestSweepCSVDeterministicAcrossWorkerCounts(t *testing.T) {
+	for _, entry := range []struct {
+		name string
+		fn   func(Config) (*Series, error)
+	}{
+		{"fig10a", Fig10a},
+		{"ablation-reduction", AblationReduction},
+	} {
+		seq, err := entry.fn(detCfg(1))
+		if err != nil {
+			t.Fatalf("%s workers=1: %v", entry.name, err)
+		}
+		for _, workers := range []int{2, 8} {
+			par, err := entry.fn(detCfg(workers))
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", entry.name, workers, err)
+			}
+			if seq.CSV() != par.CSV() {
+				t.Errorf("%s: CSV differs between workers=1 and workers=%d:\n--- sequential\n%s--- parallel\n%s",
+					entry.name, workers, seq.CSV(), par.CSV())
+			}
+			if seq.Table() != par.Table() {
+				t.Errorf("%s: Table differs between workers=1 and workers=%d", entry.name, workers)
+			}
+		}
+	}
+}
+
+// Blocking has its own (load, trial) sweep; it must honour the same
+// guarantee.
+func TestBlockingDeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("blocking sweep is slow")
+	}
+	cfg := detCfg(1)
+	cfg.Trials = 2
+	seq, err := Blocking(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	par, err := Blocking(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.CSV() != par.CSV() {
+		t.Errorf("blocking CSV differs between workers=1 and workers=8:\n%s\nvs\n%s", seq.CSV(), par.CSV())
+	}
+}
+
+func TestForEachCellCoversAllCells(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		const n = 37
+		var hits [n]atomic.Int32
+		if err := forEachCell(n, workers, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: cell %d executed %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachCellPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		err := forEachCell(10, workers, func(i int) error {
+			if i == 7 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want %v", workers, err, boom)
+		}
+	}
+}

@@ -9,6 +9,7 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strings"
 	"time"
 
@@ -25,32 +26,70 @@ import (
 // Config controls an experiment sweep.
 type Config struct {
 	// Sizes are the underlay network sizes (default 10, 20, 30, 40, 50 —
-	// the paper's sweep).
+	// the paper's sweep). Every size must be >= 2.
 	Sizes []int
-	// Trials is the number of seeded scenarios per size (default 10).
+	// Trials is the number of seeded scenarios per size (default 10,
+	// must not be negative).
 	Trials int
-	// Seed makes the whole sweep reproducible.
+	// Seed makes the whole sweep reproducible: the same seed produces
+	// byte-identical series (Table/CSV output) at any worker count.
 	Seed int64
 	// Services is the number of required services per scenario
-	// (default 6).
+	// (default 6; a requirement needs at least 2 — a source and a sink).
 	Services int
 	// Instances is the number of instances per non-source service.
 	// Zero scales it with network size (max(2, size/10)), matching the
 	// paper's model where the overlay grows with the network.
 	Instances int
+	// Workers bounds the number of (size, trial) cells evaluated
+	// concurrently. Zero (the default) uses runtime.GOMAXPROCS(0); 1
+	// reproduces the historical sequential sweep exactly. Every cell
+	// derives its own seed, so the assembled series are identical at any
+	// worker count — only wall-clock timing columns (Fig 10b) carry
+	// scheduling noise.
+	Workers int
 }
 
-func (c Config) withDefaults() Config {
+// withDefaults fills unset fields with the paper's defaults and rejects
+// nonsense values (negative trial counts, undersized networks, requirements
+// with fewer than two services) that would otherwise silently produce
+// all-zero series.
+func (c Config) withDefaults() (Config, error) {
 	if len(c.Sizes) == 0 {
 		c.Sizes = []int{10, 20, 30, 40, 50}
+	}
+	for _, s := range c.Sizes {
+		if s < 2 {
+			return c, fmt.Errorf("experiments: network size %d out of range (must be >= 2)", s)
+		}
 	}
 	if c.Trials == 0 {
 		c.Trials = 10
 	}
+	if c.Trials < 0 {
+		return c, fmt.Errorf("experiments: trials %d out of range (must be >= 1)", c.Trials)
+	}
 	if c.Services == 0 {
 		c.Services = 6
 	}
-	return c
+	if c.Services < 2 {
+		return c, fmt.Errorf("experiments: services %d out of range (a requirement needs a source and a sink, so >= 2)", c.Services)
+	}
+	if c.Instances < 0 {
+		return c, fmt.Errorf("experiments: instances %d out of range (must be >= 0; 0 scales with network size)", c.Instances)
+	}
+	if c.Workers < 0 {
+		return c, fmt.Errorf("experiments: workers %d out of range (must be >= 0; 0 means GOMAXPROCS)", c.Workers)
+	}
+	return c, nil
+}
+
+// workers resolves the effective worker count of the sweep pool.
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // instancesFor returns the per-service instance count for a network size.
@@ -132,16 +171,29 @@ func trialSeed(base int64, size, trial int) int64 {
 }
 
 // run executes fn for every (size, trial) pair and assembles mean values per
-// column.
+// column. Cells fan out over cfg.workers() goroutines — every cell owns an
+// independent seed via trialSeed, so results do not depend on execution
+// order — and are reassembled in (size, trial) order, making the returned
+// series (and hence Table/CSV output) byte-identical at any worker count.
 func run(cfg Config, columns []string, fn func(size, trial int) (map[string]float64, error)) ([]Point, error) {
+	cells := make([]map[string]float64, len(cfg.Sizes)*cfg.Trials)
+	err := forEachCell(len(cells), cfg.workers(), func(i int) error {
+		size, trial := cfg.Sizes[i/cfg.Trials], i%cfg.Trials
+		vals, err := fn(size, trial)
+		if err != nil {
+			return fmt.Errorf("experiments: size %d trial %d: %w", size, trial, err)
+		}
+		cells[i] = vals
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	points := make([]Point, 0, len(cfg.Sizes))
-	for _, size := range cfg.Sizes {
+	for si, size := range cfg.Sizes {
 		samples := make(map[string][]float64, len(columns))
 		for trial := 0; trial < cfg.Trials; trial++ {
-			vals, err := fn(size, trial)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: size %d trial %d: %w", size, trial, err)
-			}
+			vals := cells[si*cfg.Trials+trial]
 			for _, c := range columns {
 				samples[c] = append(samples[c], vals[c])
 			}
@@ -188,7 +240,11 @@ func generalScenario(cfg Config, size, trial int, kind scenario.Kind) (*scenario
 	if err != nil {
 		return nil, nil, err
 	}
-	ag, err := abstract.Build(s.Overlay, s.Req)
+	// The sweep pool already fans (size, trial) cells out across the
+	// host's cores; keep the per-cell all-pairs computation sequential so
+	// a single-worker sweep reproduces the historical behaviour exactly
+	// and a parallel sweep does not oversubscribe.
+	ag, err := abstract.BuildWorkers(s.Overlay, s.Req, 1)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -199,7 +255,10 @@ func generalScenario(cfg Config, size, trial int, kind scenario.Kind) (*scenario
 // instance choices matching the global optimal flow graph) versus network
 // size, for sFlow and the three control algorithms.
 func Fig10a(cfg Config) (*Series, error) {
-	cfg = cfg.withDefaults()
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	cols := []string{"sflow", "fixed", "random", "servicepath"}
 	points, err := run(cfg, cols, func(size, trial int) (map[string]float64, error) {
 		s, ag, err := generalScenario(cfg, size, trial, mixedKind(trial))
@@ -257,7 +316,10 @@ func Fig10a(cfg Config) (*Series, error) {
 // time is the total local computation time across all nodes, the optimal's
 // is its single centralised solve. Values are microseconds.
 func Fig10b(cfg Config) (*Series, error) {
-	cfg = cfg.withDefaults()
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	cols := []string{"sflow", "optimal"}
 	points, err := run(cfg, cols, func(size, trial int) (map[string]float64, error) {
 		s, _, err := generalScenario(cfg, size, trial, scenario.KindPath)
@@ -286,7 +348,10 @@ func Fig10b(cfg Config) (*Series, error) {
 		var optTotal time.Duration
 		for i := 0; i <= reps; i++ {
 			start := time.Now()
-			ag, err := abstract.Build(s.Overlay, s.Req)
+			// Sequential all-pairs: the timed comparison against
+			// sFlow's single-threaded per-node computations stays
+			// apples-to-apples regardless of the sweep's fan-out.
+			ag, err := abstract.BuildWorkers(s.Overlay, s.Req, 1)
 			if err != nil {
 				return nil, err
 			}
@@ -319,7 +384,10 @@ func Fig10b(cfg Config) (*Series, error) {
 // service flow graph versus network size for sFlow, fixed and random.
 // Values are microseconds.
 func Fig10c(cfg Config) (*Series, error) {
-	cfg = cfg.withDefaults()
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	cols := []string{"sflow", "fixed", "random"}
 	points, err := run(cfg, cols, func(size, trial int) (map[string]float64, error) {
 		s, ag, err := generalScenario(cfg, size, trial, mixedKind(trial))
@@ -361,7 +429,10 @@ func Fig10c(cfg Config) (*Series, error) {
 // federated service flow graph versus network size for the global optimal,
 // sFlow, fixed and random. Values are Kbit/s.
 func Fig10d(cfg Config) (*Series, error) {
-	cfg = cfg.withDefaults()
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	cols := []string{"optimal", "sflow", "fixed", "random"}
 	points, err := run(cfg, cols, func(size, trial int) (map[string]float64, error) {
 		s, ag, err := generalScenario(cfg, size, trial, mixedKind(trial))
@@ -408,7 +479,10 @@ func Fig10d(cfg Config) (*Series, error) {
 // local-view radius varies (1, 2 and 3 hops) — quantifying the paper's
 // two-hop local knowledge assumption.
 func AblationLookahead(cfg Config) (*Series, error) {
-	cfg = cfg.withDefaults()
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	cols := []string{"hops=1", "hops=2", "hops=3"}
 	points, err := run(cfg, cols, func(size, trial int) (map[string]float64, error) {
 		s, ag, err := generalScenario(cfg, size, trial, scenario.KindGeneral)
@@ -446,7 +520,10 @@ func AblationLookahead(cfg Config) (*Series, error) {
 // full sFlow against the greedy ablation (reductions disabled), both
 // normalised by the global optimal bandwidth.
 func AblationReduction(cfg Config) (*Series, error) {
-	cfg = cfg.withDefaults()
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	cols := []string{"full", "greedy"}
 	points, err := run(cfg, cols, func(size, trial int) (map[string]float64, error) {
 		s, ag, err := generalScenario(cfg, size, trial, scenario.KindGeneral)

@@ -276,7 +276,10 @@ func TestAllAndReport(t *testing.T) {
 }
 
 func TestInstancesFor(t *testing.T) {
-	c := Config{}.withDefaults()
+	c, err := Config{}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got := c.instancesFor(10); got != 2 {
 		t.Fatalf("instancesFor(10) = %d", got)
 	}
@@ -290,13 +293,46 @@ func TestInstancesFor(t *testing.T) {
 }
 
 func TestConfigDefaults(t *testing.T) {
-	c := Config{}.withDefaults()
+	c, err := Config{}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(c.Sizes) != 5 || c.Trials != 10 || c.Services != 6 {
 		t.Fatalf("defaults = %+v", c)
 	}
-	custom := Config{Sizes: []int{7}, Trials: 3, Services: 4}.withDefaults()
+	custom, err := Config{Sizes: []int{7}, Trials: 3, Services: 4}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(custom.Sizes) != 1 || custom.Trials != 3 || custom.Services != 4 {
 		t.Fatalf("custom config clobbered: %+v", custom)
+	}
+}
+
+func TestConfigRejectsNonsense(t *testing.T) {
+	bad := []Config{
+		{Trials: -5},
+		{Sizes: []int{1}},
+		{Sizes: []int{10, 0, 30}},
+		{Services: 1},
+		{Instances: -1},
+		{Workers: -2},
+	}
+	for i, cfg := range bad {
+		if _, err := cfg.withDefaults(); err == nil {
+			t.Errorf("case %d: config %+v accepted, want error", i, cfg)
+		}
+	}
+	// Every entry point must surface the validation error instead of
+	// silently producing an all-zero series.
+	if _, err := Fig10a(Config{Trials: -5}); err == nil {
+		t.Error("Fig10a accepted negative trials")
+	}
+	if _, err := Blocking(Config{Services: 1}); err == nil {
+		t.Error("Blocking accepted a single-service requirement")
+	}
+	if _, err := Report(Config{Sizes: []int{1}}); err == nil {
+		t.Error("Report accepted an undersized network")
 	}
 }
 

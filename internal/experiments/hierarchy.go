@@ -13,7 +13,10 @@ import (
 // coefficient vs network size for sFlow and the hierarchical algorithm at
 // two cluster granularities, all measured against the global optimum.
 func Hierarchy(cfg Config) (*Series, error) {
-	cfg = cfg.withDefaults()
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	cols := []string{"sflow", "hier(k=3)", "hier(k=6)"}
 	points, err := run(cfg, cols, func(size, trial int) (map[string]float64, error) {
 		s, ag, err := generalScenario(cfg, size, trial, mixedKind(trial))

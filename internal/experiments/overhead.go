@@ -11,7 +11,10 @@ import (
 // computations, re-computations caused by lost merge claims, and the virtual
 // completion time of the federation on the DES transport.
 func Overhead(cfg Config) (*Series, error) {
-	cfg = cfg.withDefaults()
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	cols := []string{"messages", "computations", "recomputations", "recomputations@1hop", "virtualtime_us"}
 	points, err := run(cfg, cols, func(size, trial int) (map[string]float64, error) {
 		s, _, err := generalScenario(cfg, size, trial, mixedKind(trial))

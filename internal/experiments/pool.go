@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// forEachCell executes fn(0), fn(1), ..., fn(n-1) on up to workers
+// goroutines. Cells must be independent of each other — in a sweep, each
+// (size, trial) cell owns its seed via trialSeed, so any execution order
+// yields the same per-cell results; callers assemble them back in index
+// order to keep output deterministic at every worker count.
+//
+// With workers <= 1 the cells run sequentially in index order, reproducing
+// the historical behaviour exactly. On failure the error of the
+// lowest-index failed cell is returned; remaining cells are abandoned as
+// soon as any cell fails, so which cells ran to completion (but never their
+// results) can vary across worker counts.
+func forEachCell(n, workers int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -13,7 +13,10 @@ import (
 // series reports how many services moved under each strategy and the
 // bandwidth of the repaired graph relative to the from-scratch one.
 func RepairChurn(cfg Config) (*Series, error) {
-	cfg = cfg.withDefaults()
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	cols := []string{"moved_repair", "moved_scratch", "bandwidth_ratio"}
 	points, err := run(cfg, cols, func(size, trial int) (map[string]float64, error) {
 		s, _, err := generalScenario(cfg, size, trial, mixedKind(trial))

@@ -36,6 +36,10 @@ func (s *Series) Markdown() string {
 // Report runs every experiment with one config and assembles a single
 // markdown document — the regenerable data behind EXPERIMENTS.md.
 func Report(cfg Config) (string, error) {
+	full, err := cfg.withDefaults()
+	if err != nil {
+		return "", err
+	}
 	series, err := All(cfg)
 	if err != nil {
 		return "", err
@@ -43,7 +47,7 @@ func Report(cfg Config) (string, error) {
 	var b strings.Builder
 	b.WriteString("# sFlow reproduction — measured results\n\n")
 	fmt.Fprintf(&b, "Configuration: sizes %v, %d trials per size, seed %d, %d services.\n\n",
-		cfg.withDefaults().Sizes, cfg.withDefaults().Trials, cfg.Seed, cfg.withDefaults().Services)
+		full.Sizes, full.Trials, full.Seed, full.Services)
 	for _, s := range series {
 		b.WriteString(s.Markdown())
 		b.WriteByte('\n')

@@ -95,15 +95,21 @@ func (g *Graph) AddEdge(e Edge) error {
 }
 
 // Edge returns the realisation of the requirement edge fromSID -> toSID.
+// The returned Edge owns its Path: callers may modify it freely without
+// affecting later queries.
 func (g *Graph) Edge(fromSID, toSID int) (Edge, bool) {
 	e, ok := g.edges[[2]int{fromSID, toSID}]
 	if !ok {
 		return Edge{}, false
 	}
-	return *e, true
+	cp := *e
+	cp.Path = append([]int(nil), e.Path...)
+	return cp, true
 }
 
-// Edges returns all realised edges sorted by (FromSID, ToSID).
+// Edges returns all realised edges sorted by (FromSID, ToSID). Every
+// returned Edge owns its Path: callers may modify the slices freely without
+// affecting later queries.
 func (g *Graph) Edges() []Edge {
 	keys := make([][2]int, 0, len(g.edges))
 	for k := range g.edges {
@@ -117,7 +123,9 @@ func (g *Graph) Edges() []Edge {
 	})
 	out := make([]Edge, 0, len(keys))
 	for _, k := range keys {
-		out = append(out, *g.edges[k])
+		e := *g.edges[k]
+		e.Path = append([]int(nil), e.Path...)
+		out = append(out, e)
 	}
 	return out
 }

@@ -248,6 +248,42 @@ func TestCloneIndependence(t *testing.T) {
 	}
 }
 
+// Paths handed out by Edge/Edges are defensive copies: mutating them must
+// not corrupt the graph's stored routes or later queries.
+func TestReturnedPathsAreDefensiveCopies(t *testing.T) {
+	g := completeDiamond(t)
+	want := []int{30, 99, 40}
+
+	edges := g.Edges()
+	for _, e := range edges {
+		for i := range e.Path {
+			e.Path[i] = -1
+		}
+	}
+	e, ok := g.Edge(3, 4)
+	if !ok {
+		t.Fatal("edge 3->4 missing")
+	}
+	if !reflect.DeepEqual(e.Path, want) {
+		t.Fatalf("Edges() mutation leaked into stored path: %v", e.Path)
+	}
+
+	for i := range e.Path {
+		e.Path[i] = -2
+	}
+	again, _ := g.Edge(3, 4)
+	if !reflect.DeepEqual(again.Path, want) {
+		t.Fatalf("Edge() mutation leaked into stored path: %v", again.Path)
+	}
+
+	// The graph must still validate against its overlay after both
+	// mutation attempts.
+	ov, req := diamondFixture(t)
+	if err := g.Validate(req, ov); err != nil {
+		t.Fatalf("graph corrupted by caller-side mutation: %v", err)
+	}
+}
+
 func TestCorrectnessCoefficient(t *testing.T) {
 	opt := New()
 	for sid, nid := range map[int]int{1: 10, 2: 20, 3: 30, 4: 40} {

@@ -3,6 +3,7 @@ package qos
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 )
 
@@ -33,5 +34,27 @@ func BenchmarkComputeAllPairs(b *testing.B) {
 	g := benchGraph(50)
 	for i := 0; i < b.N; i++ {
 		ComputeAllPairs(g)
+	}
+}
+
+// BenchmarkComputeAllPairsWorkers compares the sequential all-pairs
+// shortest-widest computation against the parallel fan-out at the host's
+// GOMAXPROCS (floored at 4 so a single-core runner still exercises — and
+// prices — the pool machinery). On a multi-core host the parallel variant
+// should win roughly linearly in cores.
+func BenchmarkComputeAllPairsWorkers(b *testing.B) {
+	multi := runtime.GOMAXPROCS(0)
+	if multi < 2 {
+		multi = 4
+	}
+	for _, n := range []int{50, 120} {
+		g := benchGraph(n)
+		for _, workers := range []int{1, multi} {
+			b.Run(fmt.Sprintf("n=%d/workers=%d", n, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					ComputeAllPairsWorkers(g, workers)
+				}
+			})
+		}
 	}
 }

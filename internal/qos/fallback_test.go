@@ -1,0 +1,112 @@
+package qos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// shiftyGraph wraps a testGraph but degrades the bandwidth of one arc after
+// the first Out call that sees it — simulating a Graph implementation that
+// violates its read-only contract between the two Dijkstra phases. Phase 1
+// then records a width phase 2 can no longer realise, which used to make
+// ShortestWidest silently drop the node (falsely reporting it unreachable).
+type shiftyGraph struct {
+	*testGraph
+	from, to int
+	degraded int64
+	seen     bool
+}
+
+func (g *shiftyGraph) Out(u int) []Arc {
+	arcs := g.testGraph.Out(u)
+	out := make([]Arc, len(arcs))
+	copy(out, arcs)
+	for i := range out {
+		if u == g.from && out[i].To == g.to {
+			if g.seen {
+				out[i].Bandwidth = g.degraded
+			}
+			g.seen = true
+		}
+	}
+	return out
+}
+
+func TestShortestWidestPhase2FallbackGuard(t *testing.T) {
+	base := newTestGraph()
+	base.addArc(1, 2, 10, 5)
+	g := &shiftyGraph{testGraph: base, from: 1, to: 2, degraded: 1}
+
+	res := ShortestWidest(g, 1)
+	m := res.Metric(2)
+	if !m.Reachable() {
+		t.Fatal("phase-1-reachable node reported unreachable: the phase-2 guard dropped it")
+	}
+	// The fallback must report the phase-1 width with the latency
+	// recomputed along the widest-tree path.
+	if m != (Metric{Bandwidth: 10, Latency: 5}) {
+		t.Fatalf("fallback metric = %+v, want {10 5}", m)
+	}
+	if want := []int{1, 2}; !reflect.DeepEqual(res.PathTo(2), want) {
+		t.Fatalf("fallback path = %v, want %v", res.PathTo(2), want)
+	}
+}
+
+// A multi-hop variant: the degraded arc sits mid-path, so the fallback has
+// to rebuild a longer widest-tree path and sum latencies across hops.
+func TestShortestWidestPhase2FallbackMultiHop(t *testing.T) {
+	base := newTestGraph()
+	base.addArc(1, 2, 50, 3)
+	base.addArc(2, 3, 40, 4)
+	g := &shiftyGraph{testGraph: base, from: 2, to: 3, degraded: 1}
+
+	res := ShortestWidest(g, 1)
+	if m := res.Metric(3); m != (Metric{Bandwidth: 40, Latency: 7}) {
+		t.Fatalf("fallback metric = %+v, want {40 7}", m)
+	}
+	if want := []int{1, 2, 3}; !reflect.DeepEqual(res.PathTo(3), want) {
+		t.Fatalf("fallback path = %v", res.PathTo(3))
+	}
+	// Node 2, upstream of the degraded arc, keeps its exact answer.
+	if m := res.Metric(2); m != (Metric{Bandwidth: 50, Latency: 3}) {
+		t.Fatalf("upstream metric = %+v", m)
+	}
+}
+
+// vanishingGraph drops an arc entirely after the first sighting: even the
+// fallback cannot realise the phase-1 path, and the node must stay absent
+// rather than carry a fabricated metric.
+type vanishingGraph struct {
+	*testGraph
+	from, to int
+	seen     bool
+}
+
+func (g *vanishingGraph) Out(u int) []Arc {
+	arcs := g.testGraph.Out(u)
+	out := make([]Arc, 0, len(arcs))
+	for _, a := range arcs {
+		if u == g.from && a.To == g.to {
+			if g.seen {
+				continue
+			}
+			g.seen = true
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+func TestShortestWidestPhase2FallbackVanishedArc(t *testing.T) {
+	base := newTestGraph()
+	base.addArc(1, 2, 10, 5)
+	g := &vanishingGraph{testGraph: base, from: 1, to: 2}
+
+	res := ShortestWidest(g, 1)
+	if res.Metric(2).Reachable() {
+		t.Fatalf("vanished arc must leave the node unreachable, got %+v", res.Metric(2))
+	}
+	if res.PathTo(2) != nil {
+		t.Fatalf("vanished arc must leave no path, got %v", res.PathTo(2))
+	}
+}

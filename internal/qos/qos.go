@@ -18,7 +18,10 @@ package qos
 
 import (
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // InfBandwidth is the bandwidth of the empty path: wider than any link.
@@ -108,7 +111,7 @@ func ShortestWidest(g Graph, src int) *Result {
 	}
 
 	// Phase 1: maximum bottleneck bandwidth to every node.
-	width := widestDijkstra(g, src)
+	width, wprev := widestDijkstra(g, src)
 
 	// Group nodes by achievable width; one phase-2 run per distinct width.
 	byWidth := make(map[int64][]int)
@@ -130,23 +133,71 @@ func ShortestWidest(g Graph, src int) *Result {
 	for _, w := range widths {
 		lat, prev := latencyDijkstra(g, src, w)
 		for _, n := range byWidth[w] {
-			l, ok := lat[n]
+			if l, ok := lat[n]; ok {
+				res.Dist[n] = Metric{Bandwidth: w, Latency: l}
+				res.paths[n] = rebuild(prev, src, n)
+				continue
+			}
+			// Phase 2 missed a node phase 1 reached. For a Graph
+			// honouring its read-only contract this cannot happen —
+			// the widest path itself uses only links >= w — but an
+			// implementation whose Out answers drift between phases
+			// would otherwise see the node silently dropped, i.e.
+			// falsely reported unreachable. Fall back to the phase-1
+			// widest-tree path with a latency recomputed along it.
+			path := rebuild(wprev, src, n)
+			l, ok := pathLatency(g, path, w)
 			if !ok {
-				// Cannot happen: the widest path itself uses only
-				// links >= w. Guard anyway.
+				// The path itself is gone too; the node really is
+				// unreachable on the graph as currently reported.
 				continue
 			}
 			res.Dist[n] = Metric{Bandwidth: w, Latency: l}
-			res.paths[n] = rebuild(prev, src, n)
+			res.paths[n] = path
 		}
 	}
 	return res
 }
 
+// pathLatency sums per-hop latencies along path, preferring at each hop the
+// fastest arc at least minBW wide and falling back to the fastest usable arc
+// of any width. It reports false if some hop has no usable arc at all.
+func pathLatency(g Graph, path []int, minBW int64) (int64, bool) {
+	var total int64
+	for i := 0; i+1 < len(path); i++ {
+		var (
+			found, foundWide bool
+			best, bestWide   int64
+		)
+		for _, a := range g.Out(path[i]) {
+			if a.To != path[i+1] || a.Bandwidth <= 0 {
+				continue
+			}
+			if !found || a.Latency < best {
+				found, best = true, a.Latency
+			}
+			if a.Bandwidth >= minBW && (!foundWide || a.Latency < bestWide) {
+				foundWide, bestWide = true, a.Latency
+			}
+		}
+		switch {
+		case foundWide:
+			total += bestWide
+		case found:
+			total += best
+		default:
+			return 0, false
+		}
+	}
+	return total, true
+}
+
 // widestDijkstra returns the maximum bottleneck bandwidth from src to every
-// reachable node. The source maps to InfBandwidth.
-func widestDijkstra(g Graph, src int) map[int]int64 {
+// reachable node, plus the predecessor map of the widest tree. The source
+// maps to InfBandwidth.
+func widestDijkstra(g Graph, src int) (map[int]int64, map[int]int) {
 	width := map[int]int64{src: InfBandwidth}
+	prev := make(map[int]int)
 	done := make(map[int]bool)
 	h := &nodeHeap{better: func(a, b heapEntry) bool {
 		if a.key != b.key {
@@ -168,11 +219,12 @@ func widestDijkstra(g Graph, src int) map[int]int64 {
 			cand := min64(e.key, a.Bandwidth)
 			if cur, ok := width[a.To]; !ok || cand > cur {
 				width[a.To] = cand
+				prev[a.To] = e.node
 				h.push(heapEntry{node: a.To, key: cand})
 			}
 		}
 	}
-	return width
+	return width, prev
 }
 
 // latencyDijkstra returns minimum total latency from src using only arcs with
@@ -276,12 +328,68 @@ type AllPairs struct {
 	results map[int]*Result
 }
 
+// parallelAllPairsMin is the node count below which the default
+// ComputeAllPairs stays sequential: per-source runs on tiny graphs (the
+// two-hop local views of the distributed protocol, mostly) finish faster
+// than goroutine fan-out costs.
+const parallelAllPairsMin = 24
+
 // ComputeAllPairs runs ShortestWidest from every node of g. The paper's
-// baseline algorithm starts with exactly this computation.
+// baseline algorithm starts with exactly this computation. Large graphs are
+// fanned out over runtime.GOMAXPROCS(0) workers; the result is identical to
+// the sequential computation at any worker count, since every per-source run
+// is independent and results are assembled in node order after all workers
+// join. g must be safe for concurrent reads (true for every implementation
+// in this module: Nodes/Out only read prebuilt state).
 func ComputeAllPairs(g Graph) *AllPairs {
-	ap := &AllPairs{results: make(map[int]*Result)}
-	for _, n := range g.Nodes() {
-		ap.results[n] = ShortestWidest(g, n)
+	return computeAllPairs(g, 0, true)
+}
+
+// ComputeAllPairsWorkers is ComputeAllPairs with an explicit worker count:
+// workers <= 0 means runtime.GOMAXPROCS(0), 1 forces the sequential
+// computation, anything larger fans the per-source runs out over that many
+// goroutines even on small graphs.
+func ComputeAllPairsWorkers(g Graph, workers int) *AllPairs {
+	return computeAllPairs(g, workers, false)
+}
+
+func computeAllPairs(g Graph, workers int, auto bool) *AllPairs {
+	nodes := g.Nodes()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if auto && len(nodes) < parallelAllPairsMin {
+		workers = 1
+	}
+	if workers > len(nodes) {
+		workers = len(nodes)
+	}
+	ap := &AllPairs{results: make(map[int]*Result, len(nodes))}
+	if workers <= 1 {
+		for _, n := range nodes {
+			ap.results[n] = ShortestWidest(g, n)
+		}
+		return ap
+	}
+	perSource := make([]*Result, len(nodes))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(nodes) {
+					return
+				}
+				perSource[i] = ShortestWidest(g, nodes[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for i, n := range nodes {
+		ap.results[n] = perSource[i]
 	}
 	return ap
 }

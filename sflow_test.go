@@ -62,6 +62,35 @@ func TestPublicFederate(t *testing.T) {
 	}
 }
 
+// Paths returned through the public surface are defensive copies: a caller
+// scribbling over a returned route must not corrupt later queries against
+// the same flow graph.
+func TestPublicPathsAreDefensiveCopies(t *testing.T) {
+	ov, req := buildTravelOverlay(t)
+	res, err := sflow.Federate(ov, req, 1, sflow.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := res.Flow.Edges()
+	for _, e := range before {
+		for i := range e.Path {
+			e.Path[i] = -1
+		}
+	}
+	if err := res.Flow.Validate(req, ov); err != nil {
+		t.Fatalf("mutating returned paths corrupted the flow graph: %v", err)
+	}
+	after := res.Flow.Edges()
+	for i := range after {
+		for _, n := range after[i].Path {
+			if n < 0 {
+				t.Fatalf("edge %d->%d path carries the caller's scribbles: %v",
+					after[i].FromSID, after[i].ToSID, after[i].Path)
+			}
+		}
+	}
+}
+
 func TestPublicCentralisedAlgorithms(t *testing.T) {
 	ov, req := buildTravelOverlay(t)
 
