@@ -2,12 +2,18 @@
 
 GO ?= go
 
-.PHONY: all build test race race-hot check cover bench vet fmt figures examples clean
+.PHONY: all build test race race-hot check smoke cover bench vet fmt figures examples clean
 
 all: build test
 
 # Tier-1 gate: what CI runs on every PR.
-check: build vet test
+check: build vet test smoke
+
+# Race-instrumented end-to-end run of the metrics-enabled benchmark driver:
+# a small Fig 10(a) sweep at several workers with a snapshot written, the
+# cheapest whole-stack exercise of the observability layer.
+smoke:
+	$(GO) run -race ./cmd/sflowbench -fig 10a -sizes 10,20 -trials 2 -workers 4 -metrics /dev/null
 
 build:
 	$(GO) build ./...
@@ -20,7 +26,7 @@ race:
 
 # Race-check the packages that run worker pools and concurrent transports.
 race-hot:
-	$(GO) test -race ./internal/transport/... ./internal/core/... ./internal/experiments/... ./internal/qos/...
+	$(GO) test -race ./internal/metrics/... ./internal/transport/... ./internal/core/... ./internal/experiments/... ./internal/qos/...
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

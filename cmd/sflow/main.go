@@ -12,6 +12,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -147,35 +148,25 @@ func loadScenario(path string, seed int64, size, services, instances int, kind s
 }
 
 func federate(sc *sflow.Scenario, alg string, opts sflow.Options, seed int64) (*sflow.FlowGraph, sflow.Metric, *sflow.Stats, error) {
-	switch alg {
-	case "sflow":
+	if alg == "sflow" {
 		res, err := sflow.Federate(sc.Overlay, sc.Req, sc.SourceNID, opts)
 		if err != nil {
 			return nil, sflow.Metric{}, nil, err
 		}
 		return res.Flow, res.Metric, &res.Stats, nil
-	case "baseline":
-		fg, m, err := sflow.Baseline(sc.Overlay, sc.Req, sc.SourceNID)
-		return fg, m, nil, err
-	case "heuristic":
-		fg, m, err := sflow.Heuristic(sc.Overlay, sc.Req, sc.SourceNID)
-		return fg, m, nil, err
-	case "hierarchical":
-		fg, m, err := sflow.Hierarchical(sc.Overlay, sc.Req, sc.SourceNID, 4)
-		return fg, m, nil, err
-	case "optimal":
-		fg, m, err := sflow.Optimal(sc.Overlay, sc.Req, sc.SourceNID)
-		return fg, m, nil, err
-	case "fixed":
-		fg, m, err := sflow.Fixed(sc.Overlay, sc.Req, sc.SourceNID)
-		return fg, m, nil, err
-	case "random":
-		fg, m, err := sflow.RandomPlacement(sc.Overlay, sc.Req, sc.SourceNID, rand.New(rand.NewSource(seed)))
-		return fg, m, nil, err
-	case "servicepath":
-		fg, m, err := sflow.ServicePath(sc.Overlay, sc.Req, sc.SourceNID)
-		return fg, m, nil, err
-	default:
-		return nil, sflow.Metric{}, nil, fmt.Errorf("unknown algorithm %q", alg)
 	}
+	sol, err := sflow.Solve(alg, sc.Overlay, sc.Req, sc.SourceNID, sflow.SolveOptions{
+		Rng:     rand.New(rand.NewSource(seed)),
+		Metrics: opts.Metrics,
+	})
+	if err != nil {
+		// A partial federation still has a flow graph worth printing; the
+		// unreachable metric makes the output say so.
+		var partial *sflow.PartialFederationError
+		if errors.As(err, &partial) {
+			return partial.Flow, sflow.Unreachable, nil, nil
+		}
+		return nil, sflow.Metric{}, nil, err
+	}
+	return sol.Flow, sol.Metric, nil, nil
 }

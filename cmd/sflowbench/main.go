@@ -13,6 +13,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -44,6 +47,10 @@ func run(args []string, out io.Writer) error {
 		jsonDir   = fs.String("json", "", "directory to write series JSON files into (optional)")
 		workers   = fs.Int("workers", runtime.GOMAXPROCS(0),
 			"number of (size, trial) cells evaluated concurrently; 1 runs the historical sequential sweep (output is byte-identical either way)")
+		metricsPath = fs.String("metrics", "",
+			"write the run's metrics snapshot to this file ('-' for stdout); deterministic metrics only, so the file is byte-identical at any -workers")
+		pprofAddr = fs.String("pprof", "",
+			"serve net/http/pprof on this address (e.g. localhost:6060) for the duration of the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,10 +69,40 @@ func run(args []string, out io.Writer) error {
 	case *workers < 1:
 		return fmt.Errorf("-workers %d out of range (must be >= 1)", *workers)
 	}
+	if *pprofAddr != "" {
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("-pprof: %w", err)
+		}
+		defer ln.Close()
+		// The blank net/http/pprof import registered the profiling
+		// handlers on the default mux.
+		go func() { _ = http.Serve(ln, nil) }()
+		fmt.Fprintf(out, "pprof: serving on http://%s/debug/pprof/\n", ln.Addr())
+	}
+	var reg *sflow.Metrics
+	if *metricsPath != "" {
+		reg = sflow.NewMetrics()
+	}
 	cfg := sflow.ExperimentConfig{
 		Sizes: sz, Trials: *trials, Seed: *seed,
 		Services: *services, Instances: *instances,
-		Workers: *workers,
+		Workers: *workers, Metrics: reg,
+	}
+	writeMetrics := func() error {
+		if reg == nil {
+			return nil
+		}
+		text := reg.Snapshot().StableText()
+		if *metricsPath == "-" {
+			fmt.Fprint(out, text)
+			return nil
+		}
+		if err := os.WriteFile(*metricsPath, []byte(text), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", *metricsPath)
+		return nil
 	}
 	if *mdPath != "" {
 		report, err := sflow.ExperimentReport(cfg)
@@ -76,7 +113,7 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "wrote %s\n", *mdPath)
-		return nil
+		return writeMetrics()
 	}
 
 	var series []*sflow.Series
@@ -141,7 +178,7 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "wrote %s\n\n", path)
 		}
 	}
-	return nil
+	return writeMetrics()
 }
 
 func parseSizes(s string) ([]int, error) {

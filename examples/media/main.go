@@ -7,6 +7,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -104,9 +105,9 @@ func run(w io.Writer) error {
 
 	// The single-service-path algorithm cannot express the parallel
 	// video/audio branches: it federates only the main chain and leaves
-	// the other branch out.
+	// the other branch out, which it reports as a partial federation.
 	spFlow, _, err := sflow.ServicePath(ov, req, src)
-	if err != nil {
+	if err != nil && !errors.Is(err, sflow.ErrPartialFederation) {
 		return err
 	}
 	fmt.Fprintf(w, "service-path placement covers %d of %d stages (complete: %v):\n",

@@ -11,8 +11,10 @@ package abstract
 
 import (
 	"fmt"
+	"time"
 
 	"sflow/internal/flow"
+	"sflow/internal/metrics"
 	"sflow/internal/overlay"
 	"sflow/internal/qos"
 	"sflow/internal/require"
@@ -32,25 +34,54 @@ type Graph struct {
 // runtime.GOMAXPROCS(0) workers on large overlays; the result is identical
 // to the sequential computation at any worker count.
 func Build(ov *overlay.Overlay, req *require.Requirement) (*Graph, error) {
-	return build(ov, req, qos.ComputeAllPairs)
+	return build(ov, req, nil, qos.ComputeAllPairs)
 }
 
 // BuildWorkers is Build with an explicit worker count for the all-pairs
 // computation: workers <= 0 means runtime.GOMAXPROCS(0), 1 forces the
 // sequential computation.
 func BuildWorkers(ov *overlay.Overlay, req *require.Requirement, workers int) (*Graph, error) {
-	return build(ov, req, func(g qos.Graph) *qos.AllPairs {
-		return qos.ComputeAllPairsWorkers(g, workers)
+	return BuildWorkersMetrics(ov, req, workers, nil)
+}
+
+// BuildMetrics is Build with instrumentation into reg (nil reg disables it):
+// build counts, abstract-graph sizes and the qos routing counters behind the
+// edge labels, plus a volatile build-time histogram.
+func BuildMetrics(ov *overlay.Overlay, req *require.Requirement, reg *metrics.Registry) (*Graph, error) {
+	return build(ov, req, reg, func(g qos.Graph) *qos.AllPairs {
+		return qos.ComputeAllPairsMetrics(g, reg)
 	})
 }
 
-func build(ov *overlay.Overlay, req *require.Requirement, allPairs func(qos.Graph) *qos.AllPairs) (*Graph, error) {
+// BuildWorkersMetrics is BuildWorkers with instrumentation into reg (nil reg
+// disables it).
+func BuildWorkersMetrics(ov *overlay.Overlay, req *require.Requirement, workers int, reg *metrics.Registry) (*Graph, error) {
+	return build(ov, req, reg, func(g qos.Graph) *qos.AllPairs {
+		return qos.ComputeAllPairsWorkersMetrics(g, workers, reg)
+	})
+}
+
+func build(ov *overlay.Overlay, req *require.Requirement, reg *metrics.Registry, allPairs func(qos.Graph) *qos.AllPairs) (*Graph, error) {
 	for _, sid := range req.Services() {
 		if len(ov.InstancesOf(sid)) == 0 {
 			return nil, fmt.Errorf("abstract: required service %d has no instance in the overlay", sid)
 		}
 	}
-	return &Graph{req: req, ov: ov, ap: allPairs(ov)}, nil
+	start := time.Now()
+	g := &Graph{req: req, ov: ov, ap: allPairs(ov)}
+	if reg != nil {
+		reg.Counter("abstract_builds_total").Inc()
+		reg.Counter("abstract_services_total").Add(int64(req.NumServices()))
+		reg.Counter("abstract_edges_total").Add(int64(len(req.Edges())))
+		var slots int64
+		for _, sid := range req.Services() {
+			slots += int64(len(ov.InstancesOf(sid)))
+		}
+		reg.Counter("abstract_slots_total").Add(slots)
+		reg.Histogram("abstract_build_us", metrics.ExponentialBounds(10, 10, 6), metrics.Volatile()).
+			Observe(time.Since(start).Microseconds())
+	}
+	return g, nil
 }
 
 // Requirement returns the requirement the graph was built from.

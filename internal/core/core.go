@@ -35,6 +35,7 @@ import (
 	"sflow/internal/abstract"
 	"sflow/internal/flow"
 	"sflow/internal/linkstate"
+	"sflow/internal/metrics"
 	"sflow/internal/overlay"
 	"sflow/internal/qos"
 	"sflow/internal/reduce"
@@ -74,6 +75,11 @@ type Options struct {
 	DisableReductions bool
 	// Trace, when non-nil, records the protocol event timeline.
 	Trace *trace.Recorder
+	// Metrics, when non-nil, receives aggregate protocol instrumentation
+	// (messages, wire bytes, recomputations, repairs, ...) across runs.
+	// Counter totals are deterministic on the DES transport; wall-clock
+	// accumulations are registered volatile.
+	Metrics *metrics.Registry
 	// Pins forces specific services onto specific instances (SID -> NID).
 	// Used by Repair to keep unaffected placements stable; normal
 	// federations leave it nil.
@@ -132,6 +138,39 @@ type report struct {
 	partial *flow.Graph
 }
 
+// coreInstr caches the metric handles of one federation run. The zero value
+// (nil handles) is the uninstrumented fast path: every update below is a
+// nil-check no-op.
+type coreInstr struct {
+	federations    *metrics.Counter
+	sfederateSent  *metrics.Counter
+	reportsSent    *metrics.Counter
+	delivered      *metrics.Counter
+	localComputes  *metrics.Counter
+	recomputations *metrics.Counter
+	attempts       *metrics.Histogram
+	computeUS      *metrics.Counter
+}
+
+// instrFor resolves the protocol counters once per run; reg may be nil. The
+// delivered counter is labelled with the transport so runs over DES,
+// goroutines and loopback TCP stay distinguishable in one registry.
+func instrFor(reg *metrics.Registry, transportName string) coreInstr {
+	if reg == nil {
+		return coreInstr{}
+	}
+	return coreInstr{
+		federations:    reg.Counter("core_federations_total"),
+		sfederateSent:  reg.Counter("core_sfederate_sent_total"),
+		reportsSent:    reg.Counter("core_reports_total"),
+		delivered:      reg.Counter("core_messages_delivered_total", metrics.WithLabels(metrics.Label{Name: "transport", Value: transportName})),
+		localComputes:  reg.Counter("core_local_computations_total"),
+		recomputations: reg.Counter("core_recomputations_total"),
+		attempts:       reg.Histogram("core_convergence_attempts", []int64{1, 2, 3, 5, 8}),
+		computeUS:      reg.Counter("core_compute_us_total", metrics.Volatile()),
+	}
+}
+
 // Federate runs the distributed sFlow algorithm for req over ov, starting at
 // the source service instance src.
 func Federate(ov *overlay.Overlay, req *require.Requirement, src int, opts Options) (*Result, error) {
@@ -177,22 +216,31 @@ func Federate(ov *overlay.Overlay, req *require.Requirement, src int, opts Optio
 	}
 	switch {
 	case e.opts.Loopback:
+		e.ins = instrFor(e.opts.Metrics, "tcp")
 		ids := append([]int{userNID}, ov.Nodes()...)
-		tr, err := transport.NewTCP(ids, e.handle, wireCodec{})
+		tr, err := transport.NewTCP(ids, e.handle, wireCodec{
+			tx: e.opts.Metrics.Counter("core_wire_tx_bytes_total"),
+			rx: e.opts.Metrics.Counter("core_wire_rx_bytes_total"),
+		})
 		if err != nil {
 			return nil, err
 		}
 		e.tr = tr
 	case e.opts.Concurrent:
+		e.ins = instrFor(e.opts.Metrics, "goroutine")
 		ids := append([]int{userNID}, ov.Nodes()...)
 		e.tr = transport.NewGoroutine(ids, e.handle)
 	default:
+		e.ins = instrFor(e.opts.Metrics, "des")
 		e.tr = transport.NewDES(e.linkLatency, e.handle)
 	}
+	e.ins.federations.Inc()
 
 	e.trace(trace.KindSend, userNID, src, req.Source(), "sfederate")
+	e.ins.sfederateSent.Inc()
 	e.tr.Send(userNID, src, sfederate{partial: flow.New(), pins: clonePins(e.opts.Pins)})
 	delivered := e.tr.Run()
+	e.ins.delivered.Add(int64(delivered))
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -222,6 +270,7 @@ type engine struct {
 	ov   *overlay.Overlay
 	req  *require.Requirement
 	opts Options
+	ins  coreInstr
 	tr   transport.Transport
 
 	views map[int]*overlay.Overlay // link-state views (nil: oracle views)
@@ -345,6 +394,7 @@ func (e *engine) process(ns *nodeState) {
 	if len(downstream) == 0 {
 		// Sink: report the accumulated flow graph to the consumer.
 		e.trace(trace.KindReport, ns.nid, userNID, ns.sid, "")
+		e.ins.reportsSent.Inc()
 		e.tr.Send(ns.nid, userNID, report{sinkSID: ns.sid, partial: ns.partial.Clone()})
 		return
 	}
@@ -352,6 +402,7 @@ func (e *engine) process(ns *nodeState) {
 	start := time.Now()
 	choice, err := e.localCompute(ns)
 	elapsed := time.Since(start)
+	e.ins.computeUS.Add(elapsed.Microseconds())
 
 	e.mu.Lock()
 	e.stats.ComputeTime += elapsed
@@ -374,6 +425,7 @@ func (e *engine) process(ns *nodeState) {
 	for _, d := range downstream {
 		to := choice.edges[d].ToNID
 		e.trace(trace.KindSend, ns.nid, to, d, "sfederate")
+		e.ins.sfederateSent.Inc()
 		e.tr.Send(ns.nid, to, sfederate{partial: ns.partial.Clone(), pins: clonePins(choice.pins)})
 	}
 }
@@ -435,6 +487,8 @@ func (e *engine) localCompute(ns *nodeState) (*localChoice, error) {
 			e.mu.Lock()
 			e.stats.LocalComputations++
 			e.mu.Unlock()
+			e.ins.localComputes.Inc()
+			e.ins.attempts.Observe(int64(attempt) + 1)
 			e.trace(trace.KindCompute, ns.nid, -1, ns.sid,
 				fmt.Sprintf("%d downstream streams", len(edges)))
 			return &localChoice{edges: edges, pins: pins}, nil
@@ -455,6 +509,8 @@ func (e *engine) localCompute(ns *nodeState) (*localChoice, error) {
 		e.stats.Recomputations++
 		e.stats.LocalComputations++
 		e.mu.Unlock()
+		e.ins.recomputations.Inc()
+		e.ins.localComputes.Inc()
 		e.trace(trace.KindRecompute, ns.nid, -1, ns.sid,
 			fmt.Sprintf("%d lost claims", len(conflicts)+len(invisible)))
 	}
@@ -576,7 +632,7 @@ func (e *engine) solveLocal(ns *nodeState, view *overlay.Overlay, local *require
 	if e.opts.DisableReductions {
 		return e.solveGreedy(ns, view, pins, downstream)
 	}
-	ag, err := abstract.Build(view, local)
+	ag, err := abstract.BuildMetrics(view, local, e.opts.Metrics)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: node %d: %w", ns.nid, err)
 	}
@@ -627,7 +683,7 @@ func (e *engine) solveGreedy(ns *nodeState, view *overlay.Overlay, pins map[int]
 			// No direct link (a pinned instance may only be
 			// reachable through a relay): fall back to the view's
 			// shortest-widest route.
-			res := qos.ShortestWidest(view, ns.nid)
+			res := qos.ShortestWidestMetrics(view, ns.nid, e.opts.Metrics)
 			for _, nid := range cands {
 				if m := res.Metric(nid); m.Reachable() && (best == -1 || m.Better(bestM)) {
 					best, bestM = nid, m

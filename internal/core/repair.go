@@ -88,6 +88,7 @@ func Repair(ov *overlay.Overlay, req *require.Requirement, prev *flow.Graph, fai
 
 	res, err := Federate(surviving, req, src, opts)
 	if err != nil {
+		opts.Metrics.Counter("core_repair_failures_total").Inc()
 		return nil, fmt.Errorf("core: repair federation: %w", err)
 	}
 
@@ -104,5 +105,10 @@ func Repair(ov *overlay.Overlay, req *require.Requirement, prev *flow.Graph, fai
 		}
 	}
 	sort.Ints(out.Moved)
+	if reg := opts.Metrics; reg != nil {
+		reg.Counter("core_repairs_total").Inc()
+		reg.Counter("core_repair_affected_services_total").Add(int64(len(out.Affected)))
+		reg.Counter("core_repair_moved_services_total").Add(int64(len(out.Moved)))
+	}
 	return out, nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"sflow/internal/flow"
+	"sflow/internal/metrics"
 )
 
 // wireMessage is the serialised form of the protocol messages for
@@ -17,23 +18,36 @@ type wireMessage struct {
 	Partial *flow.Graph `json:"partial"`
 }
 
-// wireCodec encodes/decodes the protocol messages as JSON frames.
-type wireCodec struct{}
+// wireCodec encodes/decodes the protocol messages as JSON frames, counting
+// the bytes that cross the wire into the tx/rx counters (nil counters — the
+// uninstrumented run — are free no-ops).
+type wireCodec struct {
+	tx, rx *metrics.Counter
+}
 
 // Encode implements transport.Codec.
-func (wireCodec) Encode(msg any) ([]byte, error) {
+func (c wireCodec) Encode(msg any) ([]byte, error) {
+	var (
+		data []byte
+		err  error
+	)
 	switch m := msg.(type) {
 	case sfederate:
-		return json.Marshal(wireMessage{Kind: "sfederate", Pins: m.pins, Partial: m.partial})
+		data, err = json.Marshal(wireMessage{Kind: "sfederate", Pins: m.pins, Partial: m.partial})
 	case report:
-		return json.Marshal(wireMessage{Kind: "report", SinkSID: m.sinkSID, Partial: m.partial})
+		data, err = json.Marshal(wireMessage{Kind: "report", SinkSID: m.sinkSID, Partial: m.partial})
 	default:
 		return nil, fmt.Errorf("core: cannot encode message %T", msg)
 	}
+	if err == nil {
+		c.tx.Add(int64(len(data)))
+	}
+	return data, err
 }
 
 // Decode implements transport.Codec.
-func (wireCodec) Decode(data []byte) (any, error) {
+func (c wireCodec) Decode(data []byte) (any, error) {
+	c.rx.Add(int64(len(data)))
 	var w wireMessage
 	if err := json.Unmarshal(data, &w); err != nil {
 		return nil, fmt.Errorf("core: decode frame: %w", err)

@@ -8,6 +8,7 @@ import (
 	"sflow/internal/control"
 	"sflow/internal/core"
 	"sflow/internal/flow"
+	"sflow/internal/metrics"
 	"sflow/internal/overlay"
 	"sflow/internal/provision"
 	"sflow/internal/qos"
@@ -39,13 +40,13 @@ func Admission(cfg Config) (*Series, error) {
 		}
 		vals := make(map[string]float64, len(cols))
 		algs := map[string]provision.Algorithm{
-			"sflow": federateAlg,
-			"fixed": fixedAlg,
+			"sflow": federateAlg(cfg.Metrics),
+			"fixed": fixedAlg(cfg.Metrics),
 			"random": randomAlg(rand.New(rand.NewSource(
-				trialSeed(cfg.Seed, size, trial) + 13))),
+				trialSeed(cfg.Seed, size, trial)+13)), cfg.Metrics),
 		}
 		for name, alg := range algs {
-			m := provision.NewManager(s.Overlay)
+			m := provision.NewManagerMetrics(s.Overlay, cfg.Metrics)
 			n, err := m.AdmitUntilRejected(s.Req, s.SourceNID, admissionDemand, alg, admissionCap)
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", name, err)
@@ -68,32 +69,36 @@ func Admission(cfg Config) (*Series, error) {
 }
 
 // federateAlg adapts the distributed sFlow protocol to the provisioning
-// Algorithm shape.
-func federateAlg(ov *overlay.Overlay, req *require.Requirement, src int) (*flow.Graph, qos.Metric, error) {
-	res, err := core.Federate(ov, req, src, core.Options{})
-	if err != nil {
-		return nil, qos.Unreachable, err
+// Algorithm shape, instrumented into reg (nil disables).
+func federateAlg(reg *metrics.Registry) provision.Algorithm {
+	return func(ov *overlay.Overlay, req *require.Requirement, src int) (*flow.Graph, qos.Metric, error) {
+		res, err := core.Federate(ov, req, src, core.Options{Metrics: reg})
+		if err != nil {
+			return nil, qos.Unreachable, err
+		}
+		return res.Flow, res.Metric, nil
 	}
-	return res.Flow, res.Metric, nil
 }
 
 // fixedAlg adapts the fixed control algorithm.
-func fixedAlg(ov *overlay.Overlay, req *require.Requirement, src int) (*flow.Graph, qos.Metric, error) {
-	ag, err := abstract.Build(ov, req)
-	if err != nil {
-		return nil, qos.Unreachable, err
+func fixedAlg(reg *metrics.Registry) provision.Algorithm {
+	return func(ov *overlay.Overlay, req *require.Requirement, src int) (*flow.Graph, qos.Metric, error) {
+		ag, err := abstract.BuildMetrics(ov, req, reg)
+		if err != nil {
+			return nil, qos.Unreachable, err
+		}
+		r, err := control.Fixed(ag, src)
+		if err != nil {
+			return nil, qos.Unreachable, err
+		}
+		return r.Flow, r.Metric, nil
 	}
-	r, err := control.Fixed(ag, src)
-	if err != nil {
-		return nil, qos.Unreachable, err
-	}
-	return r.Flow, r.Metric, nil
 }
 
 // randomAlg adapts the random control algorithm with a dedicated rng.
-func randomAlg(rng *rand.Rand) provision.Algorithm {
+func randomAlg(rng *rand.Rand, reg *metrics.Registry) provision.Algorithm {
 	return func(ov *overlay.Overlay, req *require.Requirement, src int) (*flow.Graph, qos.Metric, error) {
-		ag, err := abstract.Build(ov, req)
+		ag, err := abstract.BuildMetrics(ov, req, reg)
 		if err != nil {
 			return nil, qos.Unreachable, err
 		}

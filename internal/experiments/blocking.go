@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"sflow/internal/des"
+	"sflow/internal/metrics"
 	"sflow/internal/provision"
 	"sflow/internal/scenario"
 )
@@ -59,15 +60,15 @@ func Blocking(cfg Config) (*Series, error) {
 		load, trial := loads[i/cfg.Trials], i%cfg.Trials
 		s := scenarios[trial]
 		algs := map[string]provision.Algorithm{
-			"sflow": federateAlg,
-			"fixed": fixedAlg,
+			"sflow": federateAlg(cfg.Metrics),
+			"fixed": fixedAlg(cfg.Metrics),
 			"random": randomAlg(rand.New(rand.NewSource(
-				trialSeed(cfg.Seed, load, trial) + 17))),
+				trialSeed(cfg.Seed, load, trial)+17)), cfg.Metrics),
 		}
 		vals := make(map[string]float64, len(cols))
 		for name, alg := range algs {
 			p, err := blockingRun(s, alg, load,
-				rand.New(rand.NewSource(trialSeed(cfg.Seed, load, trial)+31)))
+				rand.New(rand.NewSource(trialSeed(cfg.Seed, load, trial)+31)), cfg.Metrics)
 			if err != nil {
 				return fmt.Errorf("experiments: blocking %s load %d trial %d: %w",
 					name, load, trial, err)
@@ -106,9 +107,9 @@ func Blocking(cfg Config) (*Series, error) {
 
 // blockingRun simulates one Poisson arrival/departure process over a shared
 // overlay and returns the fraction of blocked requests.
-func blockingRun(s *scenario.Scenario, alg provision.Algorithm, load int, rng *rand.Rand) (float64, error) {
+func blockingRun(s *scenario.Scenario, alg provision.Algorithm, load int, rng *rand.Rand, reg *metrics.Registry) (float64, error) {
 	sim := des.New()
-	mgr := provision.NewManager(s.Overlay)
+	mgr := provision.NewManagerMetrics(s.Overlay, reg)
 	interarrival := float64(blockingHolding) / float64(load)
 
 	var (

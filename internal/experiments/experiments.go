@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"sflow/internal/abstract"
@@ -19,6 +20,7 @@ import (
 	"sflow/internal/core"
 	"sflow/internal/exact"
 	"sflow/internal/flow"
+	"sflow/internal/metrics"
 	"sflow/internal/scenario"
 	"sflow/internal/stats"
 )
@@ -48,6 +50,13 @@ type Config struct {
 	// worker count — only wall-clock timing columns (Fig 10b) carry
 	// scheduling noise.
 	Workers int
+	// Metrics, when non-nil, collects counters and histograms from the
+	// sweep and everything it calls into (federation protocol, routing,
+	// abstract-graph builds, provisioning). Non-volatile metrics are sums
+	// of deterministic per-cell work, so Snapshot().StableText() is
+	// byte-identical at any worker count for a fixed Seed; wall-clock and
+	// scheduling metrics are marked volatile and appear only in Text().
+	Metrics *metrics.Registry
 }
 
 // withDefaults fills unset fields with the paper's defaults and rejects
@@ -177,15 +186,30 @@ func trialSeed(base int64, size, trial int) int64 {
 // series (and hence Table/CSV output) byte-identical at any worker count.
 func run(cfg Config, columns []string, fn func(size, trial int) (map[string]float64, error)) ([]Point, error) {
 	cells := make([]map[string]float64, len(cfg.Sizes)*cfg.Trials)
+	// Per-cell instrumentation: the cell count is a deterministic sum; the
+	// wall-time histogram and the pool-occupancy peak depend on scheduling,
+	// so both are volatile.
+	cellsDone := cfg.Metrics.Counter("exp_cells_total")
+	cellWall := cfg.Metrics.Histogram("exp_cell_wall_us",
+		metrics.ExponentialBounds(100, 10, 6), metrics.Volatile())
+	var active, peak atomic.Int64
 	err := forEachCell(len(cells), cfg.workers(), func(i int) error {
 		size, trial := cfg.Sizes[i/cfg.Trials], i%cfg.Trials
+		if now := active.Add(1); now > peak.Load() {
+			peak.Store(now) // best-effort peak; the gauge is volatile anyway
+		}
+		start := time.Now()
 		vals, err := fn(size, trial)
+		cellWall.Observe(time.Since(start).Microseconds())
+		active.Add(-1)
+		cellsDone.Inc()
 		if err != nil {
 			return fmt.Errorf("experiments: size %d trial %d: %w", size, trial, err)
 		}
 		cells[i] = vals
 		return nil
 	})
+	cfg.Metrics.Gauge("exp_pool_peak_active_workers", metrics.Volatile()).Set(peak.Load())
 	if err != nil {
 		return nil, err
 	}
@@ -244,7 +268,7 @@ func generalScenario(cfg Config, size, trial int, kind scenario.Kind) (*scenario
 	// host's cores; keep the per-cell all-pairs computation sequential so
 	// a single-worker sweep reproduces the historical behaviour exactly
 	// and a parallel sweep does not oversubscribe.
-	ag, err := abstract.BuildWorkers(s.Overlay, s.Req, 1)
+	ag, err := abstract.BuildWorkersMetrics(s.Overlay, s.Req, 1, cfg.Metrics)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -272,7 +296,7 @@ func Fig10a(cfg Config) (*Series, error) {
 		cc := func(fg *flow.Graph) float64 { return fg.CorrectnessCoefficient(opt.Flow) }
 		vals := make(map[string]float64, len(cols))
 
-		sf, err := core.Federate(s.Overlay, s.Req, s.SourceNID, core.Options{})
+		sf, err := core.Federate(s.Overlay, s.Req, s.SourceNID, core.Options{Metrics: cfg.Metrics})
 		if err != nil {
 			return nil, fmt.Errorf("sflow: %w", err)
 		}
@@ -331,7 +355,7 @@ func Fig10b(cfg Config) (*Series, error) {
 		const reps = 5
 		var sfTotal time.Duration
 		for i := 0; i <= reps; i++ {
-			sf, err := core.Federate(s.Overlay, s.Req, s.SourceNID, core.Options{})
+			sf, err := core.Federate(s.Overlay, s.Req, s.SourceNID, core.Options{Metrics: cfg.Metrics})
 			if err != nil {
 				return nil, fmt.Errorf("sflow: %w", err)
 			}
@@ -395,7 +419,7 @@ func Fig10c(cfg Config) (*Series, error) {
 			return nil, err
 		}
 		vals := make(map[string]float64, len(cols))
-		sf, err := core.Federate(s.Overlay, s.Req, s.SourceNID, core.Options{})
+		sf, err := core.Federate(s.Overlay, s.Req, s.SourceNID, core.Options{Metrics: cfg.Metrics})
 		if err != nil {
 			return nil, fmt.Errorf("sflow: %w", err)
 		}
@@ -445,7 +469,7 @@ func Fig10d(cfg Config) (*Series, error) {
 			return nil, fmt.Errorf("optimal: %w", err)
 		}
 		vals["optimal"] = float64(opt.Metric.Bandwidth)
-		sf, err := core.Federate(s.Overlay, s.Req, s.SourceNID, core.Options{})
+		sf, err := core.Federate(s.Overlay, s.Req, s.SourceNID, core.Options{Metrics: cfg.Metrics})
 		if err != nil {
 			return nil, fmt.Errorf("sflow: %w", err)
 		}
@@ -495,7 +519,7 @@ func AblationLookahead(cfg Config) (*Series, error) {
 		}
 		vals := make(map[string]float64, len(cols))
 		for hops := 1; hops <= 3; hops++ {
-			sf, err := core.Federate(s.Overlay, s.Req, s.SourceNID, core.Options{Hops: hops})
+			sf, err := core.Federate(s.Overlay, s.Req, s.SourceNID, core.Options{Hops: hops, Metrics: cfg.Metrics})
 			if err != nil {
 				return nil, fmt.Errorf("hops=%d: %w", hops, err)
 			}
@@ -535,12 +559,12 @@ func AblationReduction(cfg Config) (*Series, error) {
 			return nil, err
 		}
 		vals := make(map[string]float64, len(cols))
-		full, err := core.Federate(s.Overlay, s.Req, s.SourceNID, core.Options{})
+		full, err := core.Federate(s.Overlay, s.Req, s.SourceNID, core.Options{Metrics: cfg.Metrics})
 		if err != nil {
 			return nil, fmt.Errorf("full: %w", err)
 		}
 		vals["full"] = float64(full.Metric.Bandwidth) / float64(opt.Metric.Bandwidth)
-		greedy, err := core.Federate(s.Overlay, s.Req, s.SourceNID, core.Options{DisableReductions: true})
+		greedy, err := core.Federate(s.Overlay, s.Req, s.SourceNID, core.Options{DisableReductions: true, Metrics: cfg.Metrics})
 		if err != nil {
 			return nil, fmt.Errorf("greedy: %w", err)
 		}

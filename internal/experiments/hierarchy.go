@@ -28,7 +28,7 @@ func Hierarchy(cfg Config) (*Series, error) {
 			return nil, err
 		}
 		vals := make(map[string]float64, len(cols))
-		sf, err := core.Federate(s.Overlay, s.Req, s.SourceNID, core.Options{})
+		sf, err := core.Federate(s.Overlay, s.Req, s.SourceNID, core.Options{Metrics: cfg.Metrics})
 		if err != nil {
 			return nil, fmt.Errorf("sflow: %w", err)
 		}

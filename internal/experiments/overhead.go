@@ -21,14 +21,14 @@ func Overhead(cfg Config) (*Series, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.Federate(s.Overlay, s.Req, s.SourceNID, core.Options{})
+		res, err := core.Federate(s.Overlay, s.Req, s.SourceNID, core.Options{Metrics: cfg.Metrics})
 		if err != nil {
 			return nil, fmt.Errorf("sflow: %w", err)
 		}
 		// With the default two-hop view the splitting node usually sees
 		// the merge and pins it; a one-hop view forces the claim races
 		// whose re-computations the paper attributes the Fig 10(b) gap to.
-		oneHop, err := core.Federate(s.Overlay, s.Req, s.SourceNID, core.Options{Hops: 1})
+		oneHop, err := core.Federate(s.Overlay, s.Req, s.SourceNID, core.Options{Hops: 1, Metrics: cfg.Metrics})
 		if err != nil {
 			return nil, fmt.Errorf("sflow hops=1: %w", err)
 		}

@@ -23,14 +23,14 @@ func RepairChurn(cfg Config) (*Series, error) {
 		if err != nil {
 			return nil, err
 		}
-		before, err := core.Federate(s.Overlay, s.Req, s.SourceNID, core.Options{})
+		before, err := core.Federate(s.Overlay, s.Req, s.SourceNID, core.Options{Metrics: cfg.Metrics})
 		if err != nil {
 			return nil, fmt.Errorf("sflow: %w", err)
 		}
 		victimSID := s.Req.TopoOrder()[1]
 		victim, _ := before.Flow.Assigned(victimSID)
 
-		rep, err := core.Repair(s.Overlay, s.Req, before.Flow, []int{victim}, core.Options{})
+		rep, err := core.Repair(s.Overlay, s.Req, before.Flow, []int{victim}, core.Options{Metrics: cfg.Metrics})
 		if err != nil {
 			return nil, fmt.Errorf("repair: %w", err)
 		}
@@ -39,7 +39,7 @@ func RepairChurn(cfg Config) (*Series, error) {
 		if err := surviving.RemoveInstance(victim); err != nil {
 			return nil, err
 		}
-		scratch, err := core.Federate(surviving, s.Req, s.SourceNID, core.Options{})
+		scratch, err := core.Federate(surviving, s.Req, s.SourceNID, core.Options{Metrics: cfg.Metrics})
 		if err != nil {
 			return nil, fmt.Errorf("scratch: %w", err)
 		}

@@ -1,0 +1,419 @@
+// Package metrics is a lightweight, allocation-conscious instrumentation
+// registry for the federation engine: named counters, gauges and fixed-bucket
+// histograms with atomic updates and a deterministic snapshot.
+//
+// Design constraints, in order:
+//
+//  1. Near-zero cost when disabled. Every lookup on a nil *Registry returns a
+//     nil handle, and every update on a nil handle is a no-op — so
+//     instrumented code unconditionally calls Counter(...).Add(...) without
+//     guards, and an un-instrumented run pays one nil check per update site.
+//     Hot loops accumulate into a local int64 and publish once per call.
+//  2. Deterministic output. Snapshot sorts every section by metric key, so
+//     two runs that perform the same logical work render byte-identical
+//     snapshots regardless of goroutine scheduling or worker counts.
+//     Wall-clock and scheduling-dependent metrics are registered as volatile
+//     and excluded from the stable rendering (Snapshot.StableText).
+//  3. Concurrency-safe. Handles update via sync/atomic; the registry maps are
+//     guarded by a mutex only on the (rare) handle-resolution path.
+//
+// Metric keys are "name" or "name{k1=\"v1\",k2=\"v2\"}" with label names
+// sorted, the conventional exposition-format key.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name=value dimension of a metric key.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Option configures a metric at resolution time.
+type Option func(*metricOpts)
+
+type metricOpts struct {
+	labels   []Label
+	volatile bool
+}
+
+// WithLabels attaches name=value dimensions to the metric key. Label names
+// are sorted into the key, so the same set in any order resolves the same
+// metric.
+func WithLabels(labels ...Label) Option {
+	return func(o *metricOpts) { o.labels = append(o.labels, labels...) }
+}
+
+// Volatile marks the metric as scheduling- or wall-clock-dependent (timings,
+// pool occupancy). Volatile metrics appear in Snapshot.Text but are excluded
+// from Snapshot.StableText, the rendering the determinism guarantees cover.
+func Volatile() Option {
+	return func(o *metricOpts) { o.volatile = true }
+}
+
+// Key renders the canonical metric key for a name and label set.
+func Key(name string, labels ...Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Name, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Registry holds the metrics of one run (or one process). The zero value is
+// not usable; construct with New. A nil *Registry is the no-op default: every
+// method on it is safe and free.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+func resolveOpts(opts []Option) metricOpts {
+	var mo metricOpts
+	for _, o := range opts {
+		o(&mo)
+	}
+	return mo
+}
+
+// Counter resolves (creating on first use) the monotonically increasing
+// counter with the given name and options. Returns nil on a nil registry.
+func (r *Registry) Counter(name string, opts ...Option) *Counter {
+	if r == nil {
+		return nil
+	}
+	mo := resolveOpts(opts)
+	key := Key(name, mo.labels...)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[key]
+	if !ok {
+		c = &Counter{key: key, volatile: mo.volatile}
+		r.counters[key] = c
+	}
+	return c
+}
+
+// Gauge resolves the gauge (a settable level) with the given name and
+// options. Returns nil on a nil registry.
+func (r *Registry) Gauge(name string, opts ...Option) *Gauge {
+	if r == nil {
+		return nil
+	}
+	mo := resolveOpts(opts)
+	key := Key(name, mo.labels...)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[key]
+	if !ok {
+		g = &Gauge{key: key, volatile: mo.volatile}
+		r.gauges[key] = g
+	}
+	return g
+}
+
+// Histogram resolves the fixed-bucket histogram with the given name, bucket
+// upper bounds (ascending; an implicit +Inf bucket is appended) and options.
+// The bounds of the first resolution win; later resolutions under the same
+// key reuse the existing buckets. Returns nil on a nil registry.
+func (r *Registry) Histogram(name string, bounds []int64, opts ...Option) *Histogram {
+	if r == nil {
+		return nil
+	}
+	mo := resolveOpts(opts)
+	key := Key(name, mo.labels...)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[key]
+	if !ok {
+		bs := append([]int64(nil), bounds...)
+		sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+		h = &Histogram{key: key, volatile: mo.volatile, bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+		r.histograms[key] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing count. Updates are atomic; a nil
+// *Counter ignores them.
+type Counter struct {
+	key      string
+	volatile bool
+	v        atomic.Int64
+}
+
+// Add increases the counter by n (negative n is ignored: counters only go
+// up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable level. Updates are atomic; a nil *Gauge ignores them.
+type Gauge struct {
+	key      string
+	volatile bool
+	v        atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by delta (either sign).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current level (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts observations into fixed buckets (upper-bound inclusive)
+// plus an overflow bucket, and tracks sum and count. Updates are atomic; a
+// nil *Histogram ignores them.
+type Histogram struct {
+	key      string
+	volatile bool
+	bounds   []int64
+	counts   []atomic.Int64
+	sum      atomic.Int64
+	count    atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= v })
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values (0 on nil).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// LinearBounds returns n bucket upper bounds start, start+width, ... — a
+// convenience for percent-style histograms.
+func LinearBounds(start, width int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = start + int64(i)*width
+	}
+	return out
+}
+
+// ExponentialBounds returns n bucket upper bounds start, start*factor, ... —
+// a convenience for duration-style histograms.
+func ExponentialBounds(start, factor int64, n int) []int64 {
+	out := make([]int64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// CounterValue is one counter in a snapshot.
+type CounterValue struct {
+	Key      string `json:"key"`
+	Value    int64  `json:"value"`
+	Volatile bool   `json:"volatile,omitempty"`
+}
+
+// GaugeValue is one gauge in a snapshot.
+type GaugeValue struct {
+	Key      string `json:"key"`
+	Value    int64  `json:"value"`
+	Volatile bool   `json:"volatile,omitempty"`
+}
+
+// BucketValue is one histogram bucket in a snapshot. UpperBound is
+// math.MaxInt64 for the overflow bucket (rendered "+Inf").
+type BucketValue struct {
+	UpperBound int64 `json:"le"`
+	Count      int64 `json:"count"`
+}
+
+// HistogramValue is one histogram in a snapshot.
+type HistogramValue struct {
+	Key      string        `json:"key"`
+	Count    int64         `json:"count"`
+	Sum      int64         `json:"sum"`
+	Buckets  []BucketValue `json:"buckets"`
+	Volatile bool          `json:"volatile,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of a registry, each section sorted by
+// metric key. It is safe to render and marshal after the registry moves on.
+type Snapshot struct {
+	Counters   []CounterValue   `json:"counters"`
+	Gauges     []GaugeValue     `json:"gauges"`
+	Histograms []HistogramValue `json:"histograms"`
+}
+
+// Snapshot captures the current values. On a nil registry it returns an
+// empty (but usable) snapshot.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		counters = append(counters, c)
+	}
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
+	histograms := make([]*Histogram, 0, len(r.histograms))
+	for _, h := range r.histograms {
+		histograms = append(histograms, h)
+	}
+	r.mu.Unlock()
+
+	for _, c := range counters {
+		s.Counters = append(s.Counters, CounterValue{Key: c.key, Value: c.v.Load(), Volatile: c.volatile})
+	}
+	for _, g := range gauges {
+		s.Gauges = append(s.Gauges, GaugeValue{Key: g.key, Value: g.v.Load(), Volatile: g.volatile})
+	}
+	for _, h := range histograms {
+		hv := HistogramValue{Key: h.key, Count: h.count.Load(), Sum: h.sum.Load(), Volatile: h.volatile}
+		for i := range h.counts {
+			ub := int64(math.MaxInt64)
+			if i < len(h.bounds) {
+				ub = h.bounds[i]
+			}
+			hv.Buckets = append(hv.Buckets, BucketValue{UpperBound: ub, Count: h.counts[i].Load()})
+		}
+		s.Histograms = append(s.Histograms, hv)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Key < s.Counters[j].Key })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Key < s.Gauges[j].Key })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Key < s.Histograms[j].Key })
+	return s
+}
+
+// Text renders every metric, one per line, sections sorted by key.
+func (s *Snapshot) Text() string { return s.render(true) }
+
+// StableText renders only the non-volatile metrics — the subset guaranteed
+// byte-identical across runs doing the same logical work at any worker
+// count. It returns "" when nothing non-volatile was recorded.
+func (s *Snapshot) StableText() string { return s.render(false) }
+
+func (s *Snapshot) render(includeVolatile bool) string {
+	var b strings.Builder
+	for _, c := range s.Counters {
+		if c.Volatile && !includeVolatile {
+			continue
+		}
+		fmt.Fprintf(&b, "counter %s %d%s\n", c.Key, c.Value, volatileTag(c.Volatile))
+	}
+	for _, g := range s.Gauges {
+		if g.Volatile && !includeVolatile {
+			continue
+		}
+		fmt.Fprintf(&b, "gauge %s %d%s\n", g.Key, g.Value, volatileTag(g.Volatile))
+	}
+	for _, h := range s.Histograms {
+		if h.Volatile && !includeVolatile {
+			continue
+		}
+		fmt.Fprintf(&b, "histogram %s count=%d sum=%d", h.Key, h.Count, h.Sum)
+		for _, bk := range h.Buckets {
+			if bk.UpperBound == math.MaxInt64 {
+				fmt.Fprintf(&b, " le=+Inf:%d", bk.Count)
+			} else {
+				fmt.Fprintf(&b, " le=%d:%d", bk.UpperBound, bk.Count)
+			}
+		}
+		b.WriteString(volatileTag(h.Volatile))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func volatileTag(v bool) string {
+	if v {
+		return " (volatile)"
+	}
+	return ""
+}
+
+// JSON renders the snapshot as indented JSON with deterministic ordering
+// (sections are pre-sorted slices).
+func (s *Snapshot) JSON() ([]byte, error) { return json.MarshalIndent(s, "", "  ") }

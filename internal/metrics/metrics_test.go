@@ -1,0 +1,187 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// A nil registry and the nil handles it returns must absorb every operation.
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", []int64{1, 2})
+	c.Add(5)
+	c.Inc()
+	g.Set(3)
+	g.Add(-1)
+	h.Observe(7)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil handles accumulated values")
+	}
+	snap := r.Snapshot()
+	if snap.Text() != "" || snap.StableText() != "" {
+		t.Fatalf("nil registry snapshot not empty: %q", snap.Text())
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := New()
+	c := r.Counter("reqs")
+	c.Add(2)
+	c.Inc()
+	c.Add(-7) // counters only go up
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	g := r.Gauge("level")
+	g.Set(10)
+	g.Add(-4)
+	if got := g.Value(); got != 6 {
+		t.Fatalf("gauge = %d, want 6", got)
+	}
+	h := r.Histogram("lat", []int64{10, 100})
+	for _, v := range []int64{1, 10, 11, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 || h.Sum() != 1022 {
+		t.Fatalf("histogram count=%d sum=%d", h.Count(), h.Sum())
+	}
+	snap := r.Snapshot()
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("histograms = %d", len(snap.Histograms))
+	}
+	buckets := snap.Histograms[0].Buckets
+	// Bounds are upper-inclusive: 1 and 10 land in le=10; 11 in le=100;
+	// 1000 overflows.
+	want := []int64{2, 1, 1}
+	for i, w := range want {
+		if buckets[i].Count != w {
+			t.Fatalf("bucket %d = %d, want %d (%+v)", i, buckets[i].Count, w, buckets)
+		}
+	}
+}
+
+// The same (name, labels) set resolves the same metric regardless of label
+// order, and keys render with sorted label names.
+func TestLabelKeyCanonicalisation(t *testing.T) {
+	r := New()
+	a := r.Counter("m", WithLabels(Label{"b", "2"}, Label{"a", "1"}))
+	b := r.Counter("m", WithLabels(Label{"a", "1"}, Label{"b", "2"}))
+	if a != b {
+		t.Fatal("label order produced distinct metrics")
+	}
+	a.Inc()
+	snap := r.Snapshot()
+	if len(snap.Counters) != 1 || snap.Counters[0].Key != `m{a="1",b="2"}` {
+		t.Fatalf("key = %+v", snap.Counters)
+	}
+}
+
+// Snapshots sort by key and render byte-identically for identical logical
+// content, regardless of resolution order.
+func TestSnapshotDeterministicOrdering(t *testing.T) {
+	build := func(order []string) string {
+		r := New()
+		for _, name := range order {
+			r.Counter(name).Add(int64(len(name)))
+		}
+		r.Gauge("z_gauge").Set(1)
+		r.Gauge("a_gauge").Set(2)
+		r.Histogram("hist", []int64{5}).Observe(3)
+		return r.Snapshot().Text()
+	}
+	t1 := build([]string{"b", "a", "c"})
+	t2 := build([]string{"c", "b", "a"})
+	if t1 != t2 {
+		t.Fatalf("snapshot order depends on resolution order:\n%s\nvs\n%s", t1, t2)
+	}
+	if !strings.Contains(t1, "counter a 1\n") {
+		t.Fatalf("unexpected rendering:\n%s", t1)
+	}
+}
+
+// Volatile metrics show in Text but not in StableText.
+func TestVolatileExcludedFromStableText(t *testing.T) {
+	r := New()
+	r.Counter("stable_total").Inc()
+	r.Counter("wall_us_total", Volatile()).Add(123)
+	r.Gauge("occupancy", Volatile()).Set(4)
+	r.Histogram("cell_us", []int64{10}, Volatile()).Observe(7)
+	full, stable := r.Snapshot().Text(), r.Snapshot().StableText()
+	for _, key := range []string{"wall_us_total", "occupancy", "cell_us"} {
+		if !strings.Contains(full, key) {
+			t.Fatalf("Text missing %q:\n%s", key, full)
+		}
+		if strings.Contains(stable, key) {
+			t.Fatalf("StableText leaks volatile %q:\n%s", key, stable)
+		}
+	}
+	if !strings.Contains(stable, "stable_total") {
+		t.Fatalf("StableText missing stable metric:\n%s", stable)
+	}
+	if !strings.Contains(full, "(volatile)") {
+		t.Fatalf("Text does not tag volatile metrics:\n%s", full)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := New()
+	r.Counter("c", WithLabels(Label{"k", "v"})).Add(9)
+	r.Histogram("h", []int64{1}).Observe(2)
+	data, err := r.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Counters) != 1 || back.Counters[0].Value != 9 {
+		t.Fatalf("round trip lost counters: %+v", back)
+	}
+	if len(back.Histograms) != 1 || back.Histograms[0].Sum != 2 {
+		t.Fatalf("round trip lost histograms: %+v", back)
+	}
+}
+
+// Concurrent updates through shared and per-goroutine handles must be safe
+// and lose nothing (run under -race in the race-hot target).
+func TestConcurrentUpdates(t *testing.T) {
+	r := New()
+	const goroutines, perG = 8, 1000
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for i := 0; i < goroutines; i++ {
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared_total")
+			h := r.Histogram("obs", []int64{500})
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				h.Observe(int64(j))
+				r.Gauge("g").Set(int64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total").Value(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := r.Histogram("obs", nil).Count(); got != goroutines*perG {
+		t.Fatalf("histogram count = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestBoundHelpers(t *testing.T) {
+	lin := LinearBounds(10, 10, 3)
+	if lin[0] != 10 || lin[1] != 20 || lin[2] != 30 {
+		t.Fatalf("linear = %v", lin)
+	}
+	exp := ExponentialBounds(1, 10, 4)
+	if exp[3] != 1000 {
+		t.Fatalf("exponential = %v", exp)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"sflow/internal/flow"
+	"sflow/internal/metrics"
 	"sflow/internal/overlay"
 	"sflow/internal/qos"
 	"sflow/internal/require"
@@ -55,12 +56,29 @@ type Manager struct {
 	// (0 = unlimited); inUse counts the active admissions per instance.
 	capacity int
 	inUse    map[int]int
+	// totalBW is the aggregate link bandwidth of the pristine overlay and
+	// reservedBW the bandwidth currently held by admissions — together the
+	// residual-utilization ratio behind the metrics histogram.
+	totalBW    int64
+	reservedBW int64
+	metrics    *metrics.Registry
 }
 
 // NewManager starts provisioning on a copy of the given overlay; the
 // original is never modified.
 func NewManager(ov *overlay.Overlay) *Manager {
-	return &Manager{residual: ov.Clone(), inUse: make(map[int]int)}
+	return NewManagerMetrics(ov, nil)
+}
+
+// NewManagerMetrics is NewManager with instrumentation into reg (nil reg
+// disables it): admissions, rejections, releases and a residual-bandwidth
+// utilization histogram observed after every admission.
+func NewManagerMetrics(ov *overlay.Overlay, reg *metrics.Registry) *Manager {
+	m := &Manager{residual: ov.Clone(), inUse: make(map[int]int), metrics: reg}
+	for _, l := range m.residual.Links() {
+		m.totalBW += l.Bandwidth
+	}
+	return m
 }
 
 // SetInstanceCapacity bounds the number of concurrent admissions each
@@ -110,7 +128,7 @@ func (m *Manager) Admit(req *require.Requirement, src int, demand int64, alg Alg
 	view := m.residual
 	if m.capacity > 0 {
 		if m.inUse[src] >= m.capacity {
-			return nil, fmt.Errorf("%w: source instance %d at compute capacity", ErrRejected, src)
+			return nil, m.reject(fmt.Errorf("%w: source instance %d at compute capacity", ErrRejected, src))
 		}
 		view = m.residual.Clone()
 		for nid, n := range m.inUse {
@@ -123,11 +141,11 @@ func (m *Manager) Admit(req *require.Requirement, src int, demand int64, alg Alg
 	}
 	fg, metric, err := alg(view, req, src)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrRejected, err)
+		return nil, m.reject(fmt.Errorf("%w: %v", ErrRejected, err))
 	}
 	if !metric.Reachable() || metric.Bandwidth < demand {
-		return nil, fmt.Errorf("%w: achievable bandwidth %d below demand %d",
-			ErrRejected, metric.Bandwidth, demand)
+		return nil, m.reject(fmt.Errorf("%w: achievable bandwidth %d below demand %d",
+			ErrRejected, metric.Bandwidth, demand))
 	}
 	if err := fg.Validate(req, view); err != nil {
 		return nil, fmt.Errorf("provision: algorithm returned invalid flow: %w", err)
@@ -146,8 +164,8 @@ func (m *Manager) Admit(req *require.Requirement, src int, demand int64, alg Alg
 	for link, need := range needs {
 		cur, ok := m.residual.LinkMetric(link[0], link[1])
 		if !ok || cur.Bandwidth < need {
-			return nil, fmt.Errorf("%w: link %d->%d carries %d streams needing %d, has %d",
-				ErrRejected, link[0], link[1], need/demand, need, cur.Bandwidth)
+			return nil, m.reject(fmt.Errorf("%w: link %d->%d carries %d streams needing %d, has %d",
+				ErrRejected, link[0], link[1], need/demand, need, cur.Bandwidth))
 		}
 		reserved[link] = reservation{amount: need, latency: cur.Latency}
 	}
@@ -162,7 +180,30 @@ func (m *Manager) Admit(req *require.Requirement, src int, demand int64, alg Alg
 	}
 	a := &Admission{Req: req, Flow: fg, Metric: metric, Demand: demand, reserved: reserved}
 	m.admitted = append(m.admitted, a)
+	for _, need := range needs {
+		m.reservedBW += need
+	}
+	if reg := m.metrics; reg != nil {
+		reg.Counter("provision_admitted_total").Inc()
+		m.observeUtilization()
+	}
 	return a, nil
+}
+
+// reject counts the rejection (when instrumented) and passes err through.
+func (m *Manager) reject(err error) error {
+	m.metrics.Counter("provision_rejected_total").Inc()
+	return err
+}
+
+// observeUtilization records the share of the pristine overlay's aggregate
+// bandwidth currently reserved, in percent, into a 10-point histogram.
+func (m *Manager) observeUtilization() {
+	if m.totalBW <= 0 {
+		return
+	}
+	m.metrics.Histogram("provision_utilization_pct", metrics.LinearBounds(10, 10, 10)).
+		Observe(m.reservedBW * 100 / m.totalBW)
 }
 
 // Release returns an admission's reserved bandwidth to the residual overlay
@@ -194,6 +235,13 @@ func (m *Manager) Release(a *Admission) error {
 		if err := m.residual.AddLink(link[0], link[1], r.amount, r.latency); err != nil {
 			return fmt.Errorf("provision: restore link %d->%d: %w", link[0], link[1], err)
 		}
+	}
+	for _, r := range a.reserved {
+		m.reservedBW -= r.amount
+	}
+	if reg := m.metrics; reg != nil {
+		reg.Counter("provision_released_total").Inc()
+		m.observeUtilization()
 	}
 	return nil
 }

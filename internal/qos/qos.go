@@ -22,6 +22,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"sflow/internal/metrics"
 )
 
 // InfBandwidth is the bandwidth of the empty path: wider than any link.
@@ -101,17 +103,49 @@ func (r *Result) Metric(dst int) Metric { return r.Dist[dst] }
 // not be modified.
 func (r *Result) PathTo(dst int) []int { return r.paths[dst] }
 
+// instr caches the counter handles of one instrumented routing computation.
+// The zero value (nil handles) is the uninstrumented fast path: hot loops
+// accumulate into locals and the publishing Adds below are nil-check no-ops.
+type instr struct {
+	runs, relaxations, fallbacks *metrics.Counter
+}
+
+// instrFor resolves the qos counter handles once per computation; reg may be
+// nil.
+func instrFor(reg *metrics.Registry) instr {
+	if reg == nil {
+		return instr{}
+	}
+	return instr{
+		runs:        reg.Counter("qos_shortest_widest_runs_total"),
+		relaxations: reg.Counter("qos_relaxations_total"),
+		fallbacks:   reg.Counter("qos_phase2_fallbacks_total"),
+	}
+}
+
 // ShortestWidest computes shortest-widest paths from src to every node of g.
 // Arcs with non-positive bandwidth are ignored.
 func ShortestWidest(g Graph, src int) *Result {
+	return shortestWidest(g, src, instr{})
+}
+
+// ShortestWidestMetrics is ShortestWidest with instrumentation: Dijkstra arc
+// relaxations and phase-2 fallback activations are counted into reg (nil reg
+// disables the accounting).
+func ShortestWidestMetrics(g Graph, src int, reg *metrics.Registry) *Result {
+	return shortestWidest(g, src, instrFor(reg))
+}
+
+func shortestWidest(g Graph, src int, ins instr) *Result {
 	res := &Result{
 		Source: src,
 		Dist:   map[int]Metric{src: Empty},
 		paths:  map[int][]int{src: {src}},
 	}
+	var relaxed, fallbacks int64
 
 	// Phase 1: maximum bottleneck bandwidth to every node.
-	width, wprev := widestDijkstra(g, src)
+	width, wprev := widestDijkstra(g, src, &relaxed)
 
 	// Group nodes by achievable width; one phase-2 run per distinct width.
 	byWidth := make(map[int64][]int)
@@ -131,7 +165,7 @@ func ShortestWidest(g Graph, src int) *Result {
 	// only links of bandwidth >= w; nodes whose widest width is exactly w
 	// take their final answer from this run.
 	for _, w := range widths {
-		lat, prev := latencyDijkstra(g, src, w)
+		lat, prev := latencyDijkstra(g, src, w, &relaxed)
 		for _, n := range byWidth[w] {
 			if l, ok := lat[n]; ok {
 				res.Dist[n] = Metric{Bandwidth: w, Latency: l}
@@ -145,6 +179,7 @@ func ShortestWidest(g Graph, src int) *Result {
 			// would otherwise see the node silently dropped, i.e.
 			// falsely reported unreachable. Fall back to the phase-1
 			// widest-tree path with a latency recomputed along it.
+			fallbacks++
 			path := rebuild(wprev, src, n)
 			l, ok := pathLatency(g, path, w)
 			if !ok {
@@ -156,6 +191,9 @@ func ShortestWidest(g Graph, src int) *Result {
 			res.paths[n] = path
 		}
 	}
+	ins.runs.Inc()
+	ins.relaxations.Add(relaxed)
+	ins.fallbacks.Add(fallbacks)
 	return res
 }
 
@@ -194,8 +232,8 @@ func pathLatency(g Graph, path []int, minBW int64) (int64, bool) {
 
 // widestDijkstra returns the maximum bottleneck bandwidth from src to every
 // reachable node, plus the predecessor map of the widest tree. The source
-// maps to InfBandwidth.
-func widestDijkstra(g Graph, src int) (map[int]int64, map[int]int) {
+// maps to InfBandwidth. Every arc relaxation attempt is tallied into relaxed.
+func widestDijkstra(g Graph, src int, relaxed *int64) (map[int]int64, map[int]int) {
 	width := map[int]int64{src: InfBandwidth}
 	prev := make(map[int]int)
 	done := make(map[int]bool)
@@ -216,6 +254,7 @@ func widestDijkstra(g Graph, src int) (map[int]int64, map[int]int) {
 			if a.Bandwidth <= 0 || done[a.To] {
 				continue
 			}
+			*relaxed++
 			cand := min64(e.key, a.Bandwidth)
 			if cur, ok := width[a.To]; !ok || cand > cur {
 				width[a.To] = cand
@@ -228,8 +267,9 @@ func widestDijkstra(g Graph, src int) (map[int]int64, map[int]int) {
 }
 
 // latencyDijkstra returns minimum total latency from src using only arcs with
-// bandwidth >= minBW, plus the predecessor map for path reconstruction.
-func latencyDijkstra(g Graph, src int, minBW int64) (map[int]int64, map[int]int) {
+// bandwidth >= minBW, plus the predecessor map for path reconstruction. Every
+// arc relaxation attempt is tallied into relaxed.
+func latencyDijkstra(g Graph, src int, minBW int64, relaxed *int64) (map[int]int64, map[int]int) {
 	lat := map[int]int64{src: 0}
 	prev := make(map[int]int)
 	done := make(map[int]bool)
@@ -250,6 +290,7 @@ func latencyDijkstra(g Graph, src int, minBW int64) (map[int]int64, map[int]int)
 			if a.Bandwidth < minBW || a.Bandwidth <= 0 || done[a.To] {
 				continue
 			}
+			*relaxed++
 			cand := e.key + a.Latency
 			if cur, ok := lat[a.To]; !ok || cand < cur {
 				lat[a.To] = cand
@@ -281,7 +322,8 @@ func rebuild(prev map[int]int, src, dst int) []int {
 // bottleneck bandwidth of the selected minimum-latency path — which is NOT
 // in general the widest available, exactly the gap QoS routing exploits.
 func ShortestLatency(g Graph, src int) *Result {
-	lat, prev := latencyDijkstra(g, src, 1)
+	var relaxed int64
+	lat, prev := latencyDijkstra(g, src, 1, &relaxed)
 	res := &Result{
 		Source: src,
 		Dist:   make(map[int]Metric, len(lat)),
@@ -342,7 +384,7 @@ const parallelAllPairsMin = 24
 // join. g must be safe for concurrent reads (true for every implementation
 // in this module: Nodes/Out only read prebuilt state).
 func ComputeAllPairs(g Graph) *AllPairs {
-	return computeAllPairs(g, 0, true)
+	return computeAllPairs(g, 0, true, instr{})
 }
 
 // ComputeAllPairsWorkers is ComputeAllPairs with an explicit worker count:
@@ -350,10 +392,23 @@ func ComputeAllPairs(g Graph) *AllPairs {
 // computation, anything larger fans the per-source runs out over that many
 // goroutines even on small graphs.
 func ComputeAllPairsWorkers(g Graph, workers int) *AllPairs {
-	return computeAllPairs(g, workers, false)
+	return computeAllPairs(g, workers, false, instr{})
 }
 
-func computeAllPairs(g Graph, workers int, auto bool) *AllPairs {
+// ComputeAllPairsMetrics is ComputeAllPairs with instrumentation into reg
+// (nil reg disables it). Counter totals are sums over deterministic
+// per-source runs, so they are identical at any worker count.
+func ComputeAllPairsMetrics(g Graph, reg *metrics.Registry) *AllPairs {
+	return computeAllPairs(g, 0, true, instrFor(reg))
+}
+
+// ComputeAllPairsWorkersMetrics is ComputeAllPairsWorkers with
+// instrumentation into reg (nil reg disables it).
+func ComputeAllPairsWorkersMetrics(g Graph, workers int, reg *metrics.Registry) *AllPairs {
+	return computeAllPairs(g, workers, false, instrFor(reg))
+}
+
+func computeAllPairs(g Graph, workers int, auto bool, ins instr) *AllPairs {
 	nodes := g.Nodes()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -367,7 +422,7 @@ func computeAllPairs(g Graph, workers int, auto bool) *AllPairs {
 	ap := &AllPairs{results: make(map[int]*Result, len(nodes))}
 	if workers <= 1 {
 		for _, n := range nodes {
-			ap.results[n] = ShortestWidest(g, n)
+			ap.results[n] = shortestWidest(g, n, ins)
 		}
 		return ap
 	}
@@ -383,7 +438,7 @@ func computeAllPairs(g Graph, workers int, auto bool) *AllPairs {
 				if i >= len(nodes) {
 					return
 				}
-				perSource[i] = ShortestWidest(g, nodes[i])
+				perSource[i] = shortestWidest(g, nodes[i], ins)
 			}
 		}()
 	}

@@ -12,11 +12,19 @@
 //
 // The primary entry point is Federate, the paper's fully distributed sFlow
 // algorithm: every node computes with only a two-hop local view and
-// coordinates through sfederate messages. The package also exposes the
-// centralised algorithms the paper builds on or compares against: the
-// polynomial Baseline for path requirements, the reduction Heuristic for
-// general DAGs, the exhaustive Optimal, and the Fixed / RandomPlacement /
-// ServicePath controls.
+// coordinates through sfederate messages. The centralised algorithms the
+// paper builds on or compares against — the polynomial baseline for path
+// requirements, the reduction heuristic for general DAGs, the exhaustive
+// optimal, the fixed / random / servicepath controls and the hierarchical
+// cluster federation — run through the unified Solve entry point (see
+// Algorithms for the names); the historical per-algorithm functions remain
+// as deprecated wrappers.
+//
+// Passing a NewMetrics registry through Options.Metrics,
+// SolveOptions.Metrics or ExperimentConfig.Metrics collects counters,
+// gauges and histograms from every layer (protocol messages and bytes,
+// routing relaxations, abstract-graph builds, admission control); read it
+// back with Snapshot.
 //
 // Basic use:
 //
@@ -31,15 +39,11 @@ package sflow
 import (
 	"math/rand"
 
-	"sflow/internal/abstract"
 	"sflow/internal/augment"
-	"sflow/internal/baseline"
 	"sflow/internal/choice"
 	"sflow/internal/cluster"
-	"sflow/internal/control"
 	"sflow/internal/core"
 	"sflow/internal/dot"
-	"sflow/internal/exact"
 	"sflow/internal/experiments"
 	"sflow/internal/flow"
 	"sflow/internal/npc"
@@ -47,7 +51,6 @@ import (
 	"sflow/internal/plot"
 	"sflow/internal/provision"
 	"sflow/internal/qos"
-	"sflow/internal/reduce"
 	"sflow/internal/require"
 	"sflow/internal/sat"
 	"sflow/internal/scenario"
@@ -169,87 +172,52 @@ func Federate(ov *Overlay, req *Requirement, src int, opts Options) (*Result, er
 // Baseline runs the paper's polynomial baseline algorithm on a single-path
 // requirement (Table 1): all-pairs shortest-widest, abstract graph,
 // shortest-widest abstract path, expansion.
+//
+// Deprecated: use Solve("baseline", ov, req, src, SolveOptions{}).
 func Baseline(ov *Overlay, req *Requirement, src int) (*FlowGraph, Metric, error) {
-	ag, err := abstract.Build(ov, req)
-	if err != nil {
-		return nil, qos.Unreachable, err
-	}
-	r, err := baseline.Solve(ag, src, nil)
-	if err != nil {
-		return nil, qos.Unreachable, err
-	}
-	return r.Flow, r.Metric, nil
+	return legacySolve("baseline", ov, req, src, SolveOptions{})
 }
 
 // Heuristic runs the centralised reduction heuristic (path reduction +
 // split-and-merge reduction over the baseline) on an arbitrary requirement.
+//
+// Deprecated: use Solve("heuristic", ov, req, src, SolveOptions{}).
 func Heuristic(ov *Overlay, req *Requirement, src int) (*FlowGraph, Metric, error) {
-	ag, err := abstract.Build(ov, req)
-	if err != nil {
-		return nil, qos.Unreachable, err
-	}
-	r, err := reduce.Solve(ag, src, nil)
-	if err != nil {
-		return nil, qos.Unreachable, err
-	}
-	return r.Flow, r.Metric, nil
+	return legacySolve("heuristic", ov, req, src, SolveOptions{})
 }
 
 // Optimal computes the globally optimal service flow graph by exhaustive
 // branch-and-bound search — exponential in general (Theorem 1), intended for
 // small instances and benchmarking.
+//
+// Deprecated: use Solve("optimal", ov, req, src, SolveOptions{}).
 func Optimal(ov *Overlay, req *Requirement, src int) (*FlowGraph, Metric, error) {
-	ag, err := abstract.Build(ov, req)
-	if err != nil {
-		return nil, qos.Unreachable, err
-	}
-	r, err := exact.Solve(ag, src, exact.Options{})
-	if err != nil {
-		return nil, qos.Unreachable, err
-	}
-	return r.Flow, r.Metric, nil
+	return legacySolve("optimal", ov, req, src, SolveOptions{})
 }
 
 // Fixed runs the fixed control algorithm: each service on the instance
 // behind the widest direct link, no lookahead.
+//
+// Deprecated: use Solve("fixed", ov, req, src, SolveOptions{}).
 func Fixed(ov *Overlay, req *Requirement, src int) (*FlowGraph, Metric, error) {
-	ag, err := abstract.Build(ov, req)
-	if err != nil {
-		return nil, qos.Unreachable, err
-	}
-	r, err := control.Fixed(ag, src)
-	if err != nil {
-		return nil, qos.Unreachable, err
-	}
-	return r.Flow, r.Metric, nil
+	return legacySolve("fixed", ov, req, src, SolveOptions{})
 }
 
 // RandomPlacement runs the random control algorithm with the given rng.
+//
+// Deprecated: use Solve("random", ov, req, src, SolveOptions{Rng: rng}).
 func RandomPlacement(ov *Overlay, req *Requirement, src int, rng *rand.Rand) (*FlowGraph, Metric, error) {
-	ag, err := abstract.Build(ov, req)
-	if err != nil {
-		return nil, qos.Unreachable, err
-	}
-	r, err := control.Random(ag, src, rng)
-	if err != nil {
-		return nil, qos.Unreachable, err
-	}
-	return r.Flow, r.Metric, nil
+	return legacySolve("random", ov, req, src, SolveOptions{Rng: rng})
 }
 
-// ServicePath runs the end-to-end single-path control algorithm (Gu et
-// al.). On non-path requirements it only federates the main chain; the
-// returned flow graph is then partial and the metric unreachable.
+// ServicePath runs the end-to-end single-path control algorithm (Gu et al.).
+// On non-path requirements it only federates the main (longest) chain: the
+// returned flow graph is partial, the metric unreachable, and the error is a
+// *PartialFederationError matching errors.Is(err, ErrPartialFederation).
+//
+// Deprecated: use Solve("servicepath", ov, req, src, SolveOptions{}).
 func ServicePath(ov *Overlay, req *Requirement, src int) (*FlowGraph, Metric, error) {
-	ag, err := abstract.Build(ov, req)
-	if err != nil {
-		return nil, qos.Unreachable, err
-	}
-	r, err := control.ServicePath(ag, src)
-	if err != nil {
-		return nil, qos.Unreachable, err
-	}
-	return r.Flow, r.Metric, nil
+	return legacySolve("servicepath", ov, req, src, SolveOptions{})
 }
 
 // RepairResult is the outcome of repairing a federation after instance
@@ -268,7 +236,7 @@ func Repair(ov *Overlay, req *Requirement, prev *FlowGraph, failed []int, opts O
 // induced streams and the critical-path latency. It returns an unreachable
 // metric when the assignment cannot realise every stream.
 func EvaluateAssignment(ov *Overlay, req *Requirement, assign map[int]int) (Metric, error) {
-	ag, err := abstract.Build(ov, req)
+	ag, err := buildAbstract(ov, req, SolveOptions{})
 	if err != nil {
 		return qos.Unreachable, err
 	}
@@ -406,6 +374,13 @@ var ErrRejected = provision.ErrRejected
 // NewProvisioner starts admission control over a copy of ov.
 func NewProvisioner(ov *Overlay) *Provisioner { return provision.NewManager(ov) }
 
+// NewProvisionerMetrics is NewProvisioner with instrumentation into reg
+// (nil reg disables it): admission/rejection/release counts and a
+// residual-bandwidth utilization histogram.
+func NewProvisionerMetrics(ov *Overlay, reg *Metrics) *Provisioner {
+	return provision.NewManagerMetrics(ov, reg)
+}
+
 // SFlowAlgorithm adapts the distributed sFlow protocol for provisioning.
 func SFlowAlgorithm(opts Options) FederationAlgorithm {
 	return func(ov *Overlay, req *Requirement, src int) (*FlowGraph, Metric, error) {
@@ -486,7 +461,7 @@ func FlowDOT(ov *Overlay, fg *FlowGraph) string { return dot.Flow(ov, fg) }
 // AbstractDOT renders the service abstract graph of a requirement over an
 // overlay (Fig 6 of the paper) in Graphviz DOT format.
 func AbstractDOT(ov *Overlay, req *Requirement) (string, error) {
-	ag, err := abstract.Build(ov, req)
+	ag, err := buildAbstract(ov, req, SolveOptions{})
 	if err != nil {
 		return "", err
 	}

@@ -1,6 +1,7 @@
 package sflow_test
 
 import (
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -114,10 +115,19 @@ func TestPublicCentralisedAlgorithms(t *testing.T) {
 	if _, rm, err := sflow.RandomPlacement(ov, req, 1, rand.New(rand.NewSource(1))); err != nil || !rm.Reachable() {
 		t.Fatalf("random: %v %+v", err, rm)
 	}
-	if spFlow, spMetric, err := sflow.ServicePath(ov, req, 1); err != nil {
-		t.Fatal(err)
-	} else if spMetric.Reachable() || spFlow.Complete(req) {
+	spFlow, spMetric, err := sflow.ServicePath(ov, req, 1)
+	if !errors.Is(err, sflow.ErrPartialFederation) {
+		t.Fatalf("service path on a DAG: got err %v, want ErrPartialFederation", err)
+	}
+	var partial *sflow.PartialFederationError
+	if !errors.As(err, &partial) || partial.Flow == nil {
+		t.Fatalf("service path error should carry the partial flow, got %v", err)
+	}
+	if spMetric.Reachable() || spFlow == nil || spFlow.Complete(req) {
 		t.Fatal("service path should be partial on a DAG")
+	}
+	if partial.Flow != spFlow {
+		t.Fatal("wrapper flow and error flow should be the same partial graph")
 	}
 
 	// Baseline works on the path sub-requirement.

@@ -1,0 +1,223 @@
+package sflow
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"sflow/internal/abstract"
+	"sflow/internal/baseline"
+	"sflow/internal/cluster"
+	"sflow/internal/control"
+	"sflow/internal/exact"
+	"sflow/internal/metrics"
+	"sflow/internal/qos"
+	"sflow/internal/reduce"
+)
+
+// Metrics is a registry of counters, gauges and histograms that the library
+// fills in as it works: protocol messages and bytes, Dijkstra relaxations,
+// abstract-graph builds, admissions, sweep cells. A nil *Metrics anywhere one
+// is accepted disables instrumentation at (near) zero cost. All updates are
+// atomic and safe for concurrent use.
+type Metrics = metrics.Registry
+
+// MetricsSnapshot is a point-in-time, deterministically ordered copy of a
+// Metrics registry. Text() renders everything; StableText() omits volatile
+// (wall-clock / scheduling dependent) metrics, so for a fixed seed it is
+// byte-identical at any worker count. JSON() is the machine-readable form.
+type MetricsSnapshot = metrics.Snapshot
+
+// NewMetrics returns an empty metrics registry. Pass it in Options.Metrics,
+// SolveOptions.Metrics or ExperimentConfig.Metrics and read it back with its
+// Snapshot method.
+func NewMetrics() *Metrics { return metrics.New() }
+
+// Unreachable is the Metric reported when no route (or no complete
+// federation) exists; its Reachable method returns false.
+var Unreachable = qos.Unreachable
+
+// Solution is the outcome of one centralised federation algorithm: the
+// computed service flow graph and its end-to-end quality.
+type Solution struct {
+	Flow   *FlowGraph
+	Metric Metric
+}
+
+// SolveOptions tunes Solve. The zero value is ready to use.
+type SolveOptions struct {
+	// Rng drives the "random" algorithm. Nil defaults to a fixed seed so
+	// Solve stays reproducible by default.
+	Rng *rand.Rand
+	// ClusterK is the cluster count of the "hierarchical" algorithm
+	// (0 defaults to 4, clamped to the overlay's instance count).
+	ClusterK int
+	// Workers bounds the all-pairs shortest-widest fan-out behind the
+	// abstract-graph build: 0 uses runtime.GOMAXPROCS(0), 1 forces the
+	// sequential computation.
+	Workers int
+	// Metrics, when non-nil, collects instrumentation from the build and
+	// the algorithm run.
+	Metrics *Metrics
+}
+
+// ErrUnknownAlgorithm is returned by Solve for a name outside Algorithms().
+var ErrUnknownAlgorithm = errors.New("sflow: unknown algorithm")
+
+// ErrPartialFederation is the sentinel wrapped by every error that carries a
+// partial federation: the algorithm placed only part of the requirement
+// (ServicePath on a non-path requirement federates just the main chain).
+// Match with errors.Is and recover the partial flow graph with errors.As on
+// *PartialFederationError.
+var ErrPartialFederation = errors.New("sflow: partial federation")
+
+// PartialFederationError reports that an algorithm could not satisfy the full
+// requirement and carries what it did federate. It unwraps to
+// ErrPartialFederation.
+type PartialFederationError struct {
+	// Flow is the partial service flow graph (for ServicePath: the main
+	// source-to-sink chain, off-chain services unplaced).
+	Flow *FlowGraph
+}
+
+func (e *PartialFederationError) Error() string {
+	return "sflow: partial federation: requirement not fully placed"
+}
+
+// Unwrap makes errors.Is(err, ErrPartialFederation) work.
+func (e *PartialFederationError) Unwrap() error { return ErrPartialFederation }
+
+// buildAbstract builds the service abstract graph behind every centralised
+// algorithm, mapping build failures (a required service without instances)
+// onto the facade's (nil, Unreachable, error) convention.
+func buildAbstract(ov *Overlay, req *Requirement, opts SolveOptions) (*abstract.Graph, error) {
+	return abstract.BuildWorkersMetrics(ov, req, opts.Workers, opts.Metrics)
+}
+
+// abstractSolver runs one named algorithm over a pre-built abstract graph.
+type abstractSolver func(ag *abstract.Graph, src int, opts SolveOptions) (*Solution, error)
+
+// abstractSolvers maps algorithm names to implementations sharing one
+// abstract-graph build. "hierarchical" is dispatched separately by Solve
+// because the cluster hierarchy works on the raw overlay.
+var abstractSolvers = map[string]abstractSolver{
+	"baseline": func(ag *abstract.Graph, src int, _ SolveOptions) (*Solution, error) {
+		r, err := baseline.Solve(ag, src, nil)
+		if err != nil {
+			return nil, err
+		}
+		return &Solution{Flow: r.Flow, Metric: r.Metric}, nil
+	},
+	"heuristic": func(ag *abstract.Graph, src int, _ SolveOptions) (*Solution, error) {
+		r, err := reduce.Solve(ag, src, nil)
+		if err != nil {
+			return nil, err
+		}
+		return &Solution{Flow: r.Flow, Metric: r.Metric}, nil
+	},
+	"optimal": func(ag *abstract.Graph, src int, _ SolveOptions) (*Solution, error) {
+		r, err := exact.Solve(ag, src, exact.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return &Solution{Flow: r.Flow, Metric: r.Metric}, nil
+	},
+	"fixed": func(ag *abstract.Graph, src int, _ SolveOptions) (*Solution, error) {
+		r, err := control.Fixed(ag, src)
+		if err != nil {
+			return nil, err
+		}
+		return &Solution{Flow: r.Flow, Metric: r.Metric}, nil
+	},
+	"random": func(ag *abstract.Graph, src int, opts SolveOptions) (*Solution, error) {
+		rng := opts.Rng
+		if rng == nil {
+			rng = rand.New(rand.NewSource(1))
+		}
+		r, err := control.Random(ag, src, rng)
+		if err != nil {
+			return nil, err
+		}
+		return &Solution{Flow: r.Flow, Metric: r.Metric}, nil
+	},
+	"servicepath": func(ag *abstract.Graph, src int, _ SolveOptions) (*Solution, error) {
+		r, err := control.ServicePath(ag, src)
+		if err != nil {
+			return nil, err
+		}
+		if !r.Complete {
+			return nil, &PartialFederationError{Flow: r.Flow}
+		}
+		return &Solution{Flow: r.Flow, Metric: r.Metric}, nil
+	},
+}
+
+// Algorithms lists the names Solve accepts, sorted.
+func Algorithms() []string {
+	names := make([]string, 0, len(abstractSolvers)+1)
+	for name := range abstractSolvers {
+		names = append(names, name)
+	}
+	names = append(names, "hierarchical")
+	sort.Strings(names)
+	return names
+}
+
+// Solve runs the named centralised federation algorithm over the overlay:
+//
+//   - "baseline": the paper's polynomial algorithm for path requirements
+//   - "heuristic": the reduction heuristic for general DAGs
+//   - "optimal": the exhaustive branch-and-bound global optimum
+//   - "fixed": widest-direct-link greedy control
+//   - "random": random feasible placement control (seed via SolveOptions.Rng)
+//   - "servicepath": end-to-end single-path control; on non-path
+//     requirements it returns a *PartialFederationError carrying the
+//     main-chain flow graph
+//   - "hierarchical": cluster-based divide-and-conquer federation
+//     (cluster count via SolveOptions.ClusterK)
+//
+// All algorithms except "hierarchical" share a single abstract-graph build.
+// The returned Solution is non-nil exactly when the error is nil.
+func Solve(name string, ov *Overlay, req *Requirement, src int, opts SolveOptions) (*Solution, error) {
+	if name == "hierarchical" {
+		k := opts.ClusterK
+		if k == 0 {
+			k = 4
+		}
+		if n := ov.NumInstances(); k > n {
+			k = n
+		}
+		r, err := cluster.Federate(ov, req, src, k)
+		if err != nil {
+			return nil, err
+		}
+		return &Solution{Flow: r.Flow, Metric: r.Metric}, nil
+	}
+	fn, ok := abstractSolvers[name]
+	if !ok {
+		return nil, fmt.Errorf("%w %q (have %s)", ErrUnknownAlgorithm,
+			name, strings.Join(Algorithms(), ", "))
+	}
+	ag, err := buildAbstract(ov, req, opts)
+	if err != nil {
+		return nil, err
+	}
+	return fn(ag, src, opts)
+}
+
+// legacySolve adapts Solve to the historical (flow, metric, error) wrapper
+// shape, surfacing partial federations as their flow graph plus the typed
+// error.
+func legacySolve(name string, ov *Overlay, req *Requirement, src int, opts SolveOptions) (*FlowGraph, Metric, error) {
+	sol, err := Solve(name, ov, req, src, opts)
+	if err != nil {
+		var partial *PartialFederationError
+		if errors.As(err, &partial) {
+			return partial.Flow, qos.Unreachable, err
+		}
+		return nil, qos.Unreachable, err
+	}
+	return sol.Flow, sol.Metric, nil
+}

@@ -1,0 +1,170 @@
+package sflow_test
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sflow"
+)
+
+// pathScenario generates a seeded path-requirement scenario every algorithm
+// in the registry (including baseline and servicepath) can solve.
+func pathScenario(t *testing.T) *sflow.Scenario {
+	t.Helper()
+	sc, err := sflow.GenerateScenario(sflow.ScenarioConfig{
+		Seed: 5, NetworkSize: 20, Services: 5,
+		InstancesPerService: 3, Kind: sflow.KindPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func TestSolveRegistryCompleteness(t *testing.T) {
+	sc := pathScenario(t)
+	names := sflow.Algorithms()
+	if len(names) != 7 {
+		t.Fatalf("Algorithms() = %v, want 7 names", names)
+	}
+	for _, name := range names {
+		sol, err := sflow.Solve(name, sc.Overlay, sc.Req, sc.SourceNID, sflow.SolveOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sol == nil || sol.Flow == nil {
+			t.Fatalf("%s: nil solution", name)
+		}
+		if !sol.Metric.Reachable() {
+			t.Fatalf("%s: unreachable metric on a solvable path scenario", name)
+		}
+		if !sol.Flow.Complete(sc.Req) {
+			t.Fatalf("%s: incomplete flow graph", name)
+		}
+	}
+}
+
+func TestSolveUnknownAlgorithm(t *testing.T) {
+	sc := pathScenario(t)
+	_, err := sflow.Solve("simulated-annealing", sc.Overlay, sc.Req, sc.SourceNID, sflow.SolveOptions{})
+	if !errors.Is(err, sflow.ErrUnknownAlgorithm) {
+		t.Fatalf("got %v, want ErrUnknownAlgorithm", err)
+	}
+	for _, name := range sflow.Algorithms() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q should list %q", err, name)
+		}
+	}
+}
+
+// TestSolveMatchesLegacyWrappers pins the deprecated per-algorithm functions
+// to the registry: on a seeded scenario each wrapper and its Solve equivalent
+// must choose the same instances with the same quality.
+func TestSolveMatchesLegacyWrappers(t *testing.T) {
+	sc := pathScenario(t)
+	type legacy func() (*sflow.FlowGraph, sflow.Metric, error)
+	cases := []struct {
+		name   string
+		opts   sflow.SolveOptions
+		legacy legacy
+	}{
+		{"baseline", sflow.SolveOptions{}, func() (*sflow.FlowGraph, sflow.Metric, error) {
+			return sflow.Baseline(sc.Overlay, sc.Req, sc.SourceNID)
+		}},
+		{"heuristic", sflow.SolveOptions{}, func() (*sflow.FlowGraph, sflow.Metric, error) {
+			return sflow.Heuristic(sc.Overlay, sc.Req, sc.SourceNID)
+		}},
+		{"optimal", sflow.SolveOptions{}, func() (*sflow.FlowGraph, sflow.Metric, error) {
+			return sflow.Optimal(sc.Overlay, sc.Req, sc.SourceNID)
+		}},
+		{"fixed", sflow.SolveOptions{}, func() (*sflow.FlowGraph, sflow.Metric, error) {
+			return sflow.Fixed(sc.Overlay, sc.Req, sc.SourceNID)
+		}},
+		{"random", sflow.SolveOptions{Rng: rand.New(rand.NewSource(9))}, func() (*sflow.FlowGraph, sflow.Metric, error) {
+			return sflow.RandomPlacement(sc.Overlay, sc.Req, sc.SourceNID, rand.New(rand.NewSource(9)))
+		}},
+		{"servicepath", sflow.SolveOptions{}, func() (*sflow.FlowGraph, sflow.Metric, error) {
+			return sflow.ServicePath(sc.Overlay, sc.Req, sc.SourceNID)
+		}},
+		{"hierarchical", sflow.SolveOptions{ClusterK: 4}, func() (*sflow.FlowGraph, sflow.Metric, error) {
+			return sflow.Hierarchical(sc.Overlay, sc.Req, sc.SourceNID, 4)
+		}},
+	}
+	for _, tc := range cases {
+		sol, err := sflow.Solve(tc.name, sc.Overlay, sc.Req, sc.SourceNID, tc.opts)
+		if err != nil {
+			t.Fatalf("Solve(%s): %v", tc.name, err)
+		}
+		fg, m, err := tc.legacy()
+		if err != nil {
+			t.Fatalf("legacy %s: %v", tc.name, err)
+		}
+		if sol.Metric != m {
+			t.Fatalf("%s: Solve metric %+v != legacy %+v", tc.name, sol.Metric, m)
+		}
+		want := fg.Assignment()
+		got := sol.Flow.Assignment()
+		if len(got) != len(want) {
+			t.Fatalf("%s: assignment sizes differ: %v vs %v", tc.name, got, want)
+		}
+		for sid, nid := range want {
+			if got[sid] != nid {
+				t.Fatalf("%s: service %d on instance %d (Solve) vs %d (legacy)",
+					tc.name, sid, got[sid], nid)
+			}
+		}
+	}
+}
+
+// TestSolveInstrumentation checks Solve fills a registry passed through
+// SolveOptions.
+func TestSolveInstrumentation(t *testing.T) {
+	sc := pathScenario(t)
+	reg := sflow.NewMetrics()
+	if _, err := sflow.Solve("heuristic", sc.Overlay, sc.Req, sc.SourceNID,
+		sflow.SolveOptions{Metrics: reg}); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	text := snap.StableText()
+	for _, key := range []string{"abstract_builds_total", "qos_relaxations_total"} {
+		if !strings.Contains(text, key) {
+			t.Fatalf("snapshot missing %s:\n%s", key, text)
+		}
+	}
+}
+
+// TestMetricsSnapshotDeterminism pins the tentpole acceptance criterion: an
+// instrumented fixed-seed Fig10a sweep yields a non-empty metrics snapshot
+// whose stable rendering is byte-identical at 1 and 4 workers.
+func TestMetricsSnapshotDeterminism(t *testing.T) {
+	sweep := func(workers int) string {
+		reg := sflow.NewMetrics()
+		_, err := sflow.Fig10a(sflow.ExperimentConfig{
+			Sizes: []int{10, 20}, Trials: 3, Seed: 1,
+			Workers: workers, Metrics: reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return reg.Snapshot().StableText()
+	}
+	s1 := sweep(1)
+	s4 := sweep(4)
+	if !strings.Contains(s1, "counter exp_cells_total 6") {
+		t.Fatalf("snapshot missing the sweep's cell counter:\n%s", s1)
+	}
+	if !strings.Contains(s1, "core_messages_delivered_total") {
+		t.Fatalf("snapshot missing protocol counters:\n%s", s1)
+	}
+	if s1 != s4 {
+		t.Fatalf("stable snapshot differs between 1 and 4 workers:\n--- workers=1\n%s\n--- workers=4\n%s", s1, s4)
+	}
+	// The volatile wall-clock histogram must render in the full text but
+	// stay out of the stable one.
+	if strings.Contains(s1, "exp_cell_wall_us") {
+		t.Fatal("volatile metric leaked into StableText")
+	}
+}
