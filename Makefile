@@ -2,7 +2,11 @@
 
 GO ?= go
 
-.PHONY: all build test race race-hot check smoke cover bench vet fmt figures examples clean
+# Pinned linter + fuzz budget, overridable from the environment/CI.
+STATICCHECK_VERSION ?= 2025.1.1
+FUZZTIME ?= 30s
+
+.PHONY: all build test race race-hot check smoke cover bench vet fmt fmt-check lint staticcheck fuzz figures examples clean
 
 all: build test
 
@@ -41,6 +45,25 @@ vet:
 fmt:
 	gofmt -l -w .
 
+# Fail (with the offending files listed) if anything is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Static analysis gate: formatting, go vet and a pinned staticcheck.
+# staticcheck downloads on first use, so it needs network (CI always has it).
+lint: fmt-check vet staticcheck
+
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+
+# Short-budget fuzzing of the two codec trust boundaries: the TCP frame
+# reader and the protocol wire codec (including the reliability wrapper).
+fuzz:
+	$(GO) test ./internal/transport -run '^$$' -fuzz FuzzReadFrame -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/transport -run '^$$' -fuzz FuzzFrameRoundTrip -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core -run '^$$' -fuzz FuzzWireDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core -run '^$$' -fuzz FuzzWireRoundTrip -fuzztime $(FUZZTIME)
+
 # Regenerate every reproduced figure (tables + CSV + SVG under results/).
 figures:
 	$(GO) run ./cmd/sflowbench -fig all -trials 30 -csv results -svg results
@@ -52,5 +75,6 @@ examples:
 	$(GO) run ./examples/npcomplete
 	$(GO) run ./examples/provision
 
+# results/ holds committed reproduced figures — never delete it here.
 clean:
-	rm -rf results cover.out
+	rm -f cover.out

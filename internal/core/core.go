@@ -84,11 +84,48 @@ type Options struct {
 	// Used by Repair to keep unaffected placements stable; normal
 	// federations leave it nil.
 	Pins map[int]int
+	// Faults, when non-nil, wraps the run's transport in the seeded
+	// fault-injecting decorator (message loss, duplication, reordering,
+	// node crashes) and implies Reliable. The consumer's virtual node is
+	// always crash-exempt.
+	Faults *transport.Faults
+	// Reliable enables the reliability sublayer — per-message sequence
+	// numbers, receiver-side dedup, ack/retransmit with exponential
+	// backoff, and a per-federation deadline that degrades an
+	// uncompletable run into a *PartialFederationError. Off by default: a
+	// clean run is exactly the historical protocol.
+	Reliable bool
+	// RetryBudget caps the retransmissions per message before its
+	// destination is declared unresponsive (default 5).
+	RetryBudget int
+	// RetryBackoffUS is the first retransmission delay in microseconds
+	// (virtual time on the DES transport, wall clock elsewhere); each
+	// further attempt doubles it. The default 25000 sits above the round
+	// trip of the longest generated overlay links, so a clean DES run
+	// never retransmits spuriously, and keeps the default budget's full
+	// backoff chain inside the default deadline.
+	RetryBackoffUS int64
+	// DeadlineUS is the per-federation timeout in microseconds: a
+	// reliable run that has not completed by then gives up and returns a
+	// *PartialFederationError (default 1_000_000).
+	DeadlineUS int64
 }
 
 func (o Options) withDefaults() Options {
 	if o.Hops == 0 {
 		o.Hops = 2
+	}
+	if o.Faults != nil {
+		o.Reliable = true
+	}
+	if o.RetryBudget == 0 {
+		o.RetryBudget = 5
+	}
+	if o.RetryBackoffUS == 0 {
+		o.RetryBackoffUS = 25_000
+	}
+	if o.DeadlineUS == 0 {
+		o.DeadlineUS = 1_000_000
 	}
 	return o
 }
@@ -106,6 +143,12 @@ type Stats struct {
 	// NodesInvolved is the number of distinct service instances that
 	// processed an sfederate message.
 	NodesInvolved int
+	// Retries counts protocol messages retransmitted by the reliability
+	// sublayer (zero when it is disabled).
+	Retries int
+	// Dedups counts duplicate deliveries suppressed by the receiver-side
+	// sequence-number dedup (zero when the sublayer is disabled).
+	Dedups int
 	// VirtualTime is the DES virtual time (microseconds) from injection
 	// until the last sink report (zero on the goroutine transport).
 	VirtualTime int64
@@ -150,6 +193,11 @@ type coreInstr struct {
 	recomputations *metrics.Counter
 	attempts       *metrics.Histogram
 	computeUS      *metrics.Counter
+	retries        *metrics.Counter
+	dedups         *metrics.Counter
+	unresponsive   *metrics.Counter
+	timeouts       *metrics.Counter
+	partials       *metrics.Counter
 }
 
 // instrFor resolves the protocol counters once per run; reg may be nil. The
@@ -168,6 +216,11 @@ func instrFor(reg *metrics.Registry, transportName string) coreInstr {
 		recomputations: reg.Counter("core_recomputations_total"),
 		attempts:       reg.Histogram("core_convergence_attempts", []int64{1, 2, 3, 5, 8}),
 		computeUS:      reg.Counter("core_compute_us_total", metrics.Volatile()),
+		retries:        reg.Counter("core_retries_total"),
+		dedups:         reg.Counter("core_dedups_total"),
+		unresponsive:   reg.Counter("core_unresponsive_peers_total"),
+		timeouts:       reg.Counter("core_federation_timeouts_total"),
+		partials:       reg.Counter("core_partial_federations_total"),
 	}
 }
 
@@ -234,11 +287,67 @@ func Federate(ov *overlay.Overlay, req *require.Requirement, src int, opts Optio
 		e.ins = instrFor(e.opts.Metrics, "des")
 		e.tr = transport.NewDES(e.linkLatency, e.handle)
 	}
+	if e.opts.Faults != nil {
+		cfg := *e.opts.Faults
+		// The consumer's virtual node must survive: it injects the
+		// request and collects the sink reports.
+		cfg.CrashExempt = append(append([]int{}, cfg.CrashExempt...), userNID)
+		if cfg.Metrics == nil {
+			cfg.Metrics = e.opts.Metrics
+		}
+		faulty, err := transport.NewFaulty(e.tr, cfg)
+		if err != nil {
+			if closer, ok := e.tr.(interface{ Close() }); ok {
+				closer.Close()
+			}
+			return nil, err
+		}
+		e.tr = faulty
+	}
 	e.ins.federations.Inc()
+
+	if e.opts.Reliable {
+		e.rel = relState{
+			enabled:      true,
+			budget:       e.opts.RetryBudget,
+			backoffUS:    e.opts.RetryBackoffUS,
+			nextSeq:      make(map[int]uint64),
+			seen:         make(map[pkey]bool),
+			pending:      make(map[pkey]*pendingMsg),
+			unresponsive: make(map[int]bool),
+		}
+		cancel := e.tr.After(e.opts.DeadlineUS, func() {
+			e.mu.Lock()
+			expired := !e.rel.done && len(e.sinks) != len(e.req.Sinks())
+			var newlyDead []pkey
+			if expired {
+				// Anything still awaiting an ack at the deadline is as good
+				// as unresponsive — the retry chain never completed for it.
+				for k := range e.rel.pending {
+					if !e.rel.unresponsive[k.dst] {
+						e.rel.unresponsive[k.dst] = true
+						newlyDead = append(newlyDead, k)
+					}
+				}
+			}
+			e.mu.Unlock()
+			if expired {
+				e.ins.timeouts.Inc()
+				e.ins.unresponsive.Add(int64(len(newlyDead)))
+				for _, k := range newlyDead {
+					e.trace(trace.KindGiveUp, k.src, k.dst, -1, "federation deadline expired")
+				}
+			}
+			e.shutdownReliable()
+		})
+		e.mu.Lock()
+		e.rel.cancelDeadline = cancel
+		e.mu.Unlock()
+	}
 
 	e.trace(trace.KindSend, userNID, src, req.Source(), "sfederate")
 	e.ins.sfederateSent.Inc()
-	e.tr.Send(userNID, src, sfederate{partial: flow.New(), pins: clonePins(e.opts.Pins)})
+	e.sendProto(userNID, src, sfederate{partial: flow.New(), pins: clonePins(e.opts.Pins)})
 	delivered := e.tr.Run()
 	e.ins.delivered.Add(int64(delivered))
 
@@ -248,6 +357,9 @@ func Federate(ov *overlay.Overlay, req *require.Requirement, src int, opts Optio
 		return nil, e.err
 	}
 	if len(e.sinks) != len(req.Sinks()) {
+		if e.rel.enabled {
+			return nil, e.partialError(delivered)
+		}
 		return nil, fmt.Errorf("%w: %d of %d sinks reported", ErrStuck, len(e.sinks), len(req.Sinks()))
 	}
 	final := flow.New()
@@ -282,6 +394,7 @@ type engine struct {
 	doneAt int64
 	err    error
 	stats  Stats
+	rel    relState // reliability sublayer (see reliable.go)
 }
 
 // nodeState is the per-instance protocol state.
@@ -329,6 +442,10 @@ func (e *engine) handle(from, to int, msg any) {
 	case report:
 		e.trace(trace.KindDeliver, to, from, m.sinkSID, "report")
 		e.onReport(m)
+	case reliable:
+		e.onReliable(from, to, m)
+	case ack:
+		e.onAck(from, to, m)
 	default:
 		e.fail(fmt.Errorf("core: unknown message %T", msg))
 	}
@@ -354,16 +471,21 @@ func (e *engine) onSfederate(to int, m sfederate) {
 	if err := ns.partial.Merge(m.partial); err != nil {
 		e.err = fmt.Errorf("core: node %d merging branches: %w", to, err)
 		e.mu.Unlock()
+		e.shutdownReliable()
 		return
 	}
 	for sid, nid := range m.pins {
 		ns.pins[sid] = nid
 	}
 	if ns.arrived < ns.expected || ns.processed {
-		if ns.arrived > ns.expected {
+		overrun := ns.arrived > ns.expected
+		if overrun {
 			e.err = fmt.Errorf("core: node %d received %d arrivals, expected %d", to, ns.arrived, ns.expected)
 		}
 		e.mu.Unlock()
+		if overrun {
+			e.shutdownReliable()
+		}
 		return
 	}
 	ns.processed = true
@@ -374,17 +496,28 @@ func (e *engine) onSfederate(to int, m sfederate) {
 
 func (e *engine) onReport(m report) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.err != nil {
+		e.mu.Unlock()
 		return
 	}
 	if _, dup := e.sinks[m.sinkSID]; dup {
+		// The reliability sublayer dedups before dispatch, so a duplicate
+		// here is a protocol bug on any transport.
 		e.err = fmt.Errorf("core: duplicate report for sink service %d", m.sinkSID)
+		e.mu.Unlock()
+		e.shutdownReliable()
 		return
 	}
 	e.sinks[m.sinkSID] = m.partial
 	if t := e.tr.Now(); t > e.doneAt {
 		e.doneAt = t
+	}
+	complete := len(e.sinks) == len(e.req.Sinks())
+	e.mu.Unlock()
+	if complete {
+		// Every sink has reported: stop retransmission timers and the
+		// deadline so the transport can reach quiescence.
+		e.shutdownReliable()
 	}
 }
 
@@ -395,7 +528,7 @@ func (e *engine) process(ns *nodeState) {
 		// Sink: report the accumulated flow graph to the consumer.
 		e.trace(trace.KindReport, ns.nid, userNID, ns.sid, "")
 		e.ins.reportsSent.Inc()
-		e.tr.Send(ns.nid, userNID, report{sinkSID: ns.sid, partial: ns.partial.Clone()})
+		e.sendProto(ns.nid, userNID, report{sinkSID: ns.sid, partial: ns.partial.Clone()})
 		return
 	}
 
@@ -412,6 +545,7 @@ func (e *engine) process(ns *nodeState) {
 	failed := e.err != nil
 	e.mu.Unlock()
 	if failed {
+		e.shutdownReliable()
 		return
 	}
 
@@ -426,7 +560,7 @@ func (e *engine) process(ns *nodeState) {
 		to := choice.edges[d].ToNID
 		e.trace(trace.KindSend, ns.nid, to, d, "sfederate")
 		e.ins.sfederateSent.Inc()
-		e.tr.Send(ns.nid, to, sfederate{partial: ns.partial.Clone(), pins: clonePins(choice.pins)})
+		e.sendProto(ns.nid, to, sfederate{partial: ns.partial.Clone(), pins: clonePins(choice.pins)})
 	}
 }
 
@@ -710,10 +844,11 @@ func (e *engine) solveGreedy(ns *nodeState, view *overlay.Overlay, pins map[int]
 
 func (e *engine) fail(err error) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.err == nil {
 		e.err = err
 	}
+	e.mu.Unlock()
+	e.shutdownReliable()
 }
 
 func clonePins(p map[int]int) map[int]int {

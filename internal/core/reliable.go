@@ -1,0 +1,283 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sflow/internal/flow"
+	"sflow/internal/trace"
+)
+
+// The protocol as published assumes lossless, in-order, crash-free message
+// delivery. This file adds the reliability sublayer that lets it survive a
+// faulty transport (transport.Faulty, or any lossy medium): every data
+// message carries a per-sender sequence number, receivers acknowledge and
+// deduplicate, senders retransmit with exponential backoff up to a bounded
+// budget, and a per-federation deadline turns a run that cannot complete
+// into a typed *PartialFederationError instead of an indefinite stall. The
+// sublayer is off by default — a clean run is byte-for-byte the historical
+// protocol — and switches on with Options.Reliable or Options.Faults.
+
+// ErrPartialFederation is the sentinel wrapped by every error that carries a
+// partial federation: the algorithm placed only part of the requirement.
+// Match with errors.Is and recover the partial flow graph with errors.As on
+// *PartialFederationError.
+var ErrPartialFederation = errors.New("sflow: partial federation")
+
+// PartialFederationError reports that a federation could not satisfy the
+// full requirement and carries what it did federate. It unwraps to
+// ErrPartialFederation (and to its Cause, when set).
+type PartialFederationError struct {
+	// Flow is the partial service flow graph: for the servicepath control
+	// algorithm the main source-to-sink chain, for a faulty distributed
+	// run the merge of the sink reports that did arrive.
+	Flow *flow.Graph
+	// Unresponsive lists the instances (ascending) whose messages
+	// exhausted the retransmission budget — crashed or unreachable nodes;
+	// feed it to RepairPartial to re-federate around them.
+	Unresponsive []int
+	// Stats describes the protocol run that gave up (zero for
+	// centralised algorithms).
+	Stats Stats
+	// Cause, when non-nil, is the underlying condition (for example the
+	// ErrStuck sink-count error of a timed-out distributed run).
+	Cause error
+}
+
+func (e *PartialFederationError) Error() string {
+	if len(e.Unresponsive) > 0 {
+		return fmt.Sprintf("sflow: partial federation: requirement not fully placed (unresponsive instances %v)", e.Unresponsive)
+	}
+	return "sflow: partial federation: requirement not fully placed"
+}
+
+// Unwrap makes errors.Is(err, ErrPartialFederation) — and, when a cause is
+// attached, errors.Is against the cause chain — work.
+func (e *PartialFederationError) Unwrap() []error {
+	if e.Cause != nil {
+		return []error{ErrPartialFederation, e.Cause}
+	}
+	return []error{ErrPartialFederation}
+}
+
+// reliable wraps one protocol data message with its per-sender sequence
+// number.
+type reliable struct {
+	seq     uint64
+	payload any
+}
+
+// ack acknowledges receipt of the data message with the given sequence
+// number; it is itself unacknowledged (and may be lost, which a
+// retransmission recovers).
+type ack struct {
+	seq uint64
+}
+
+// pkey identifies one reliable message: sender, destination, sequence.
+type pkey struct {
+	src, dst int
+	seq      uint64
+}
+
+// pendingMsg is the sender-side retransmission state of one unacked message.
+type pendingMsg struct {
+	msg      any
+	attempts int
+	cancel   func() bool
+}
+
+// relState is the engine's reliability sublayer state; the zero value is the
+// disabled sublayer.
+type relState struct {
+	enabled   bool
+	budget    int   // retransmissions per message before giving up
+	backoffUS int64 // first retransmission delay; doubles per attempt
+
+	// The fields below are guarded by engine.mu.
+	nextSeq        map[int]uint64
+	seen           map[pkey]bool
+	pending        map[pkey]*pendingMsg
+	unacked        int
+	done           bool // shut down: no further retries or timers
+	cancelDeadline func() bool
+	unresponsive   map[int]bool
+}
+
+// sendProto sends one protocol data message, through the reliability
+// sublayer when it is enabled.
+func (e *engine) sendProto(from, to int, msg any) {
+	if !e.rel.enabled {
+		e.tr.Send(from, to, msg)
+		return
+	}
+	e.mu.Lock()
+	if e.rel.done {
+		e.mu.Unlock()
+		return
+	}
+	seq := e.rel.nextSeq[from] + 1
+	e.rel.nextSeq[from] = seq
+	k := pkey{src: from, dst: to, seq: seq}
+	p := &pendingMsg{msg: msg}
+	e.rel.pending[k] = p
+	e.rel.unacked++
+	e.mu.Unlock()
+	e.tr.Send(from, to, reliable{seq: seq, payload: msg})
+	e.scheduleRetry(k, p)
+}
+
+// scheduleRetry arms the retransmission timer for a pending message. The
+// timer is cancelled if the message was acked (or the sublayer shut down)
+// before the timer could be recorded.
+func (e *engine) scheduleRetry(k pkey, p *pendingMsg) {
+	delay := e.rel.backoffUS << uint(p.attempts)
+	cancel := e.tr.After(delay, func() { e.retry(k) })
+	e.mu.Lock()
+	if cur, still := e.rel.pending[k]; !still || cur != p || e.rel.done {
+		e.mu.Unlock()
+		cancel()
+		return
+	}
+	p.cancel = cancel
+	e.mu.Unlock()
+}
+
+// retry retransmits one still-unacked message, or — once the budget is
+// spent — declares its destination unresponsive.
+func (e *engine) retry(k pkey) {
+	e.mu.Lock()
+	p, ok := e.rel.pending[k]
+	if !ok || e.rel.done {
+		e.mu.Unlock()
+		return
+	}
+	p.attempts++
+	if p.attempts > e.rel.budget {
+		delete(e.rel.pending, k)
+		e.rel.unacked--
+		e.rel.unresponsive[k.dst] = true
+		drained := e.rel.unacked == 0
+		e.mu.Unlock()
+		e.ins.unresponsive.Inc()
+		e.trace(trace.KindGiveUp, k.src, k.dst, -1, "retry budget exhausted")
+		if drained {
+			// Nothing is in flight and nothing ever will be: give up
+			// now instead of waiting out the deadline.
+			e.shutdownReliable()
+		}
+		return
+	}
+	e.stats.Retries++
+	e.mu.Unlock()
+	e.ins.retries.Inc()
+	e.tr.Send(k.src, k.dst, reliable{seq: k.seq, payload: p.msg})
+	e.scheduleRetry(k, p)
+}
+
+// onReliable delivers one sequenced data message: acknowledge always,
+// dispatch the payload only the first time. The ack is sent after the
+// dispatch so that by the time the sender sees its last message acked, every
+// follow-up message the dispatch produced is already registered as pending —
+// which makes "no unacked messages and the federation incomplete" a safe
+// give-up condition.
+func (e *engine) onReliable(from, to int, m reliable) {
+	k := pkey{src: from, dst: to, seq: m.seq}
+	e.mu.Lock()
+	if e.rel.seen[k] {
+		e.stats.Dedups++
+		e.mu.Unlock()
+		e.ins.dedups.Inc()
+		e.tr.Send(to, from, ack{seq: m.seq})
+		return
+	}
+	e.rel.seen[k] = true
+	e.mu.Unlock()
+	e.handle(from, to, m.payload)
+	e.tr.Send(to, from, ack{seq: m.seq})
+}
+
+// onAck settles one pending message and gives up early when nothing remains
+// in flight for an incomplete federation.
+func (e *engine) onAck(from, to int, m ack) {
+	k := pkey{src: to, dst: from, seq: m.seq}
+	e.mu.Lock()
+	p, ok := e.rel.pending[k]
+	if !ok {
+		e.mu.Unlock()
+		return
+	}
+	delete(e.rel.pending, k)
+	e.rel.unacked--
+	drained := e.rel.unacked == 0 && !e.rel.done
+	complete := len(e.sinks) == len(e.req.Sinks())
+	cancel := p.cancel
+	e.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	if drained && !complete {
+		e.shutdownReliable()
+	}
+}
+
+// shutdownReliable stops the reliability sublayer: every retransmission
+// timer and the federation deadline are cancelled so the transport can reach
+// quiescence. Called when the federation completes, fails, gives up, or hits
+// its deadline; the run's outcome is decided afterwards from the sink
+// reports that made it.
+func (e *engine) shutdownReliable() {
+	if !e.rel.enabled {
+		return
+	}
+	e.mu.Lock()
+	if e.rel.done {
+		e.mu.Unlock()
+		return
+	}
+	e.rel.done = true
+	cancels := make([]func() bool, 0, len(e.rel.pending)+1)
+	for _, p := range e.rel.pending {
+		if p.cancel != nil {
+			cancels = append(cancels, p.cancel)
+		}
+	}
+	e.rel.pending = make(map[pkey]*pendingMsg)
+	e.rel.unacked = 0
+	if e.rel.cancelDeadline != nil {
+		cancels = append(cancels, e.rel.cancelDeadline)
+		e.rel.cancelDeadline = nil
+	}
+	e.mu.Unlock()
+	for _, cancel := range cancels {
+		cancel()
+	}
+}
+
+// partialError assembles the typed error of a federation that ended without
+// all sinks reporting, merging whatever partial flow graphs did arrive.
+func (e *engine) partialError(delivered int) *PartialFederationError {
+	partial := flow.New()
+	for _, g := range e.sinks {
+		// Partial graphs from disjoint branches merge cleanly; a
+		// conflicting merge cannot happen because claims serialise the
+		// shared services — but stay defensive and keep what merged.
+		_ = partial.Merge(g)
+	}
+	unresponsive := make([]int, 0, len(e.rel.unresponsive))
+	for nid := range e.rel.unresponsive {
+		unresponsive = append(unresponsive, nid)
+	}
+	sort.Ints(unresponsive)
+	e.stats.Messages = delivered
+	e.stats.NodesInvolved = len(e.nodes)
+	e.ins.partials.Inc()
+	return &PartialFederationError{
+		Flow:         partial,
+		Unresponsive: unresponsive,
+		Stats:        e.stats,
+		Cause: fmt.Errorf("%w: %d of %d sinks reported before the federation gave up",
+			ErrStuck, len(e.sinks), len(e.req.Sinks())),
+	}
+}

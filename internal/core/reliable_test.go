@@ -1,0 +1,327 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"sflow/internal/metrics"
+	"sflow/internal/scenario"
+	"sflow/internal/trace"
+	"sflow/internal/transport"
+)
+
+// testScenario builds a reproducible mid-size workload for fault tests.
+func testScenario(t *testing.T, seed int64) *scenario.Scenario {
+	t.Helper()
+	s, err := scenario.Generate(scenario.Config{
+		Seed: seed, NetworkSize: 20, Services: 5, InstancesPerService: 2,
+		Kind: scenario.KindSplitMerge,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestReliableCleanRunMatchesBaseProtocol(t *testing.T) {
+	// With the sublayer on but no faults injected, the federation result
+	// must equal the plain run exactly — the acks ride alongside without
+	// disturbing placement, and nothing retransmits.
+	s := testScenario(t, 31)
+	plain, err := Federate(s.Overlay, s.Req, s.SourceNID, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := Federate(s.Overlay, s.Req, s.SourceNID, Options{Reliable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Flow.String() != rel.Flow.String() {
+		t.Fatalf("reliable clean run changed the flow graph:\n%s\nvs\n%s", plain.Flow, rel.Flow)
+	}
+	if rel.Stats.Retries != 0 || rel.Stats.Dedups != 0 {
+		t.Fatalf("clean reliable run retried/deduped: %+v", rel.Stats)
+	}
+	// Every data message is acknowledged: delivered = 2 * plain.
+	if rel.Stats.Messages != 2*plain.Stats.Messages {
+		t.Fatalf("reliable delivered %d messages, plain %d (want exactly 2x)",
+			rel.Stats.Messages, plain.Stats.Messages)
+	}
+}
+
+func TestReliableSurvivesMessageLoss(t *testing.T) {
+	// Moderate loss on the DES transport: retransmission must converge to
+	// the same flow graph the clean run produces.
+	s := testScenario(t, 32)
+	clean, err := Federate(s.Overlay, s.Req, s.SourceNID, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawRetry bool
+	for seed := int64(0); seed < 5; seed++ {
+		res, err := Federate(s.Overlay, s.Req, s.SourceNID, Options{
+			Faults: &transport.Faults{Seed: seed, Drop: 0.15},
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if clean.Flow.String() != res.Flow.String() {
+			t.Fatalf("seed %d: lossy run placed differently:\n%s\nvs\n%s", seed, clean.Flow, res.Flow)
+		}
+		if res.Stats.Retries > 0 {
+			sawRetry = true
+		}
+	}
+	if !sawRetry {
+		t.Fatal("15% loss over 5 seeds never triggered a retransmission")
+	}
+}
+
+func TestReliableDedupsDuplicates(t *testing.T) {
+	s := testScenario(t, 33)
+	res, err := Federate(s.Overlay, s.Req, s.SourceNID, Options{
+		Faults: &transport.Faults{Seed: 2, Duplicate: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Dedups == 0 {
+		t.Fatal("50% duplication produced no dedups — receiver idempotency untested")
+	}
+}
+
+func TestReliableSurvivesReordering(t *testing.T) {
+	s := testScenario(t, 34)
+	clean, err := Federate(s.Overlay, s.Req, s.SourceNID, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Federate(s.Overlay, s.Req, s.SourceNID, Options{
+		Faults: &transport.Faults{Seed: 3, Reorder: 0.3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Flow.String() != res.Flow.String() {
+		t.Fatalf("reordered run placed differently:\n%s\nvs\n%s", clean.Flow, res.Flow)
+	}
+}
+
+func TestReliableDeterministicOnDES(t *testing.T) {
+	// Fixed fault seed, DES transport: stats and flow graph must be
+	// byte-identical across runs.
+	s := testScenario(t, 35)
+	run := func() (string, Stats) {
+		res, err := Federate(s.Overlay, s.Req, s.SourceNID, Options{
+			Faults: &transport.Faults{Seed: 6, Drop: 0.2, Duplicate: 0.1, Reorder: 0.1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := res.Stats
+		st.ComputeTime = 0 // wall-clock, excluded from the determinism claim
+		return res.Flow.String(), st
+	}
+	flowA, statsA := run()
+	flowB, statsB := run()
+	if flowA != flowB {
+		t.Fatalf("flow differs across identical runs:\n%s\nvs\n%s", flowA, flowB)
+	}
+	if statsA != statsB {
+		t.Fatalf("stats differ across identical runs: %+v vs %+v", statsA, statsB)
+	}
+}
+
+func TestReliablePartialFederationOnCrash(t *testing.T) {
+	// Crash one sink-serving instance permanently from the start: the
+	// federation must degrade into a typed partial error instead of
+	// hanging, and both sentinels must match.
+	o, req := diamondOverlay(t)
+	reg := metrics.New()
+	rec := trace.New()
+	_, err := Federate(o, req, 10, Options{
+		Metrics: reg,
+		Trace:   rec,
+		Faults: &transport.Faults{
+			Seed:    1,
+			Crashes: []transport.Crash{{Node: 41, After: 0, Down: -1}, {Node: 40, After: 0, Down: -1}},
+		},
+	})
+	if err == nil {
+		t.Fatal("federation across a dead merge service succeeded")
+	}
+	if !errors.Is(err, ErrPartialFederation) {
+		t.Fatalf("err = %v, want ErrPartialFederation in chain", err)
+	}
+	if !errors.Is(err, ErrStuck) {
+		t.Fatalf("err = %v, want ErrStuck in cause chain", err)
+	}
+	var perr *PartialFederationError
+	if !errors.As(err, &perr) {
+		t.Fatalf("err = %T, want *PartialFederationError", err)
+	}
+	if len(perr.Unresponsive) == 0 {
+		t.Fatalf("no unresponsive instances in %+v", perr)
+	}
+	for _, nid := range perr.Unresponsive {
+		if nid != 40 && nid != 41 {
+			t.Fatalf("unresponsive %v, want a subset of the crashed {40, 41}", perr.Unresponsive)
+		}
+	}
+	if perr.Stats.Retries == 0 {
+		t.Fatal("no retransmissions before giving up")
+	}
+	if rec.Count(trace.KindGiveUp) == 0 {
+		t.Fatal("no give-up event traced")
+	}
+	snap := reg.Snapshot().StableText()
+	for _, name := range []string{"core_retries_total", "core_unresponsive_peers_total", "core_partial_federations_total"} {
+		if !strings.Contains(snap, name) {
+			t.Errorf("metric %s missing from snapshot", name)
+		}
+	}
+}
+
+func TestCrashMidFederationRepairMatchesOfflineRefederation(t *testing.T) {
+	// The headline self-healing property: crash an instance mid-federation,
+	// let the run degrade into a partial error, repair around the victim —
+	// and the result must equal an offline re-federation over the overlay
+	// with the victim removed.
+	o, req := diamondOverlay(t)
+	// Clean run places the merge service on 41 (the optimal). Crash 41
+	// after it has been touched once, so it dies mid-protocol.
+	_, err := Federate(o, req, 10, Options{
+		Faults: &transport.Faults{
+			Seed:    1,
+			Crashes: []transport.Crash{{Node: 41, After: 1, Down: -1}},
+		},
+	})
+	var perr *PartialFederationError
+	if !errors.As(err, &perr) {
+		t.Fatalf("err = %v, want *PartialFederationError", err)
+	}
+	found := false
+	for _, nid := range perr.Unresponsive {
+		if nid == 41 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("crashed instance 41 not in unresponsive set %v", perr.Unresponsive)
+	}
+
+	rep, err := RepairPartial(o, req, 10, perr, Options{})
+	if err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	if err := rep.Flow.Validate(req, o); err != nil {
+		t.Fatalf("repaired flow invalid: %v", err)
+	}
+
+	// Offline control: remove the victim and federate from scratch.
+	surviving := o.Clone()
+	if err := surviving.RemoveInstance(41); err != nil {
+		t.Fatal(err)
+	}
+	offline, err := Federate(surviving, req, 10, Options{})
+	if err != nil {
+		t.Fatalf("offline re-federation: %v", err)
+	}
+	if rep.Flow.String() != offline.Flow.String() {
+		t.Fatalf("repair and offline re-federation disagree:\n%s\nvs\n%s", rep.Flow, offline.Flow)
+	}
+	if nid, _ := rep.Flow.Assigned(4); nid != 40 {
+		t.Fatalf("merge repaired onto %d, want the surviving 40", nid)
+	}
+}
+
+func TestRepairPartialValidation(t *testing.T) {
+	o, req := diamondOverlay(t)
+	if _, err := RepairPartial(o, req, 10, nil, Options{}); err == nil {
+		t.Fatal("nil partial error accepted")
+	}
+	perr := &PartialFederationError{Unresponsive: []int{10}}
+	if _, err := RepairPartial(o, req, 10, perr, Options{}); err == nil {
+		t.Fatal("unresponsive source accepted")
+	}
+	// Unresponsive entries outside the overlay (the consumer's virtual
+	// node) are ignored, not an error.
+	perr = &PartialFederationError{Unresponsive: []int{-1, 41}}
+	rep, err := RepairPartial(o, req, 10, perr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nid, _ := rep.Flow.Assigned(4); nid != 40 {
+		t.Fatalf("merge on %d, want 40 with 41 removed", nid)
+	}
+}
+
+func TestReliableFaultsOnGoroutineTransport(t *testing.T) {
+	// The concurrent transport with loss: wall-clock timers drive the
+	// retransmissions. Keep the backoff tight so the test stays fast.
+	s := testScenario(t, 36)
+	res, err := Federate(s.Overlay, s.Req, s.SourceNID, Options{
+		Concurrent:     true,
+		Faults:         &transport.Faults{Seed: 4, Drop: 0.1, Duplicate: 0.1},
+		RetryBackoffUS: 5_000,
+		DeadlineUS:     5_000_000,
+	})
+	if err != nil {
+		// A run that degrades under an unlucky interleaving must still
+		// produce the typed error, not hang or crash.
+		var perr *PartialFederationError
+		if !errors.As(err, &perr) {
+			t.Fatalf("err = %v, want success or *PartialFederationError", err)
+		}
+		return
+	}
+	if err := res.Flow.Validate(s.Req, s.Overlay); err != nil {
+		t.Fatalf("flow invalid: %v", err)
+	}
+}
+
+func TestReliableFaultsOverLoopbackTCP(t *testing.T) {
+	// Full serialisation path: the reliable/ack wire frames cross real
+	// sockets with loss and duplication injected above them.
+	s := testScenario(t, 37)
+	res, err := Federate(s.Overlay, s.Req, s.SourceNID, Options{
+		Loopback:       true,
+		Faults:         &transport.Faults{Seed: 5, Drop: 0.1, Duplicate: 0.2},
+		RetryBackoffUS: 5_000,
+		DeadlineUS:     5_000_000,
+	})
+	if err != nil {
+		var perr *PartialFederationError
+		if !errors.As(err, &perr) {
+			t.Fatalf("err = %v, want success or *PartialFederationError", err)
+		}
+		return
+	}
+	if res.Stats.Messages == 0 {
+		t.Fatal("no messages delivered")
+	}
+}
+
+func TestReliableGiveUpBeforeDeadline(t *testing.T) {
+	// A permanently dead destination must be detected by retry-budget
+	// exhaustion well before the (huge) deadline: virtual time at give-up
+	// stays far under it.
+	o, req := diamondOverlay(t)
+	reg := metrics.New()
+	_, err := Federate(o, req, 10, Options{
+		Metrics:    reg,
+		DeadlineUS: 3_600_000_000, // one virtual hour
+		Faults: &transport.Faults{
+			Seed:    1,
+			Crashes: []transport.Crash{{Node: 40, After: 0, Down: -1}, {Node: 41, After: 0, Down: -1}},
+		},
+	})
+	var perr *PartialFederationError
+	if !errors.As(err, &perr) {
+		t.Fatalf("err = %v, want *PartialFederationError", err)
+	}
+	if got := reg.Snapshot().StableText(); !strings.Contains(got, "core_unresponsive_peers_total") {
+		t.Error("unresponsive counter missing")
+	}
+}

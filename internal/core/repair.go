@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -111,4 +112,126 @@ func Repair(ov *overlay.Overlay, req *require.Requirement, prev *flow.Graph, fai
 		reg.Counter("core_repair_moved_services_total").Add(int64(len(out.Moved)))
 	}
 	return out, nil
+}
+
+// maxRepairRounds bounds the re-repair loop of RepairPartial: each round may
+// only discover more unresponsive instances, and an overlay that keeps losing
+// instances eventually cannot host the requirement anyway.
+const maxRepairRounds = 3
+
+// RepairPartial re-federates after a federation under faults gave up with a
+// *PartialFederationError: the unresponsive instances are removed from the
+// overlay and the requirement is federated again from src over the survivors,
+// keeping every placement of the partial flow graph that landed on a
+// surviving instance pinned. If the caller leaves Options.Faults set, the
+// repair run is itself fault-injected and may come back partial again; up to
+// maxRepairRounds such rounds are retried, widening the removed set each
+// time, before the last partial error is returned. With a clean (fault-free)
+// Options the result equals an offline re-federation over the reduced
+// overlay.
+func RepairPartial(ov *overlay.Overlay, req *require.Requirement, src int, perr *PartialFederationError, opts Options) (*RepairResult, error) {
+	if perr == nil {
+		return nil, fmt.Errorf("core: repair-partial called without a partial federation error")
+	}
+	dead := make(map[int]bool)
+	for _, nid := range perr.Unresponsive {
+		// The consumer's virtual node can show up unresponsive when sink
+		// reports were lost; it is not an overlay instance and cannot be
+		// removed.
+		if _, ok := ov.Instance(nid); ok {
+			dead[nid] = true
+		}
+	}
+	if dead[src] {
+		return nil, fmt.Errorf("core: source instance %d unresponsive; the consumer must re-issue the request", src)
+	}
+	prev := perr.Flow
+	if prev == nil {
+		prev = flow.New()
+	}
+
+	surviving := ov.Clone()
+	for _, nid := range sortedKeys(dead) {
+		if err := surviving.RemoveInstance(nid); err != nil {
+			return nil, err
+		}
+	}
+	reg := opts.Metrics
+	reg.Counter("core_repair_partial_total").Inc()
+
+	for round := 0; ; round++ {
+		// Pin every partial-flow placement that survived; everything else
+		// is up for (re)placement.
+		pins := make(map[int]int)
+		for _, sid := range req.Services() {
+			if sid == req.Source() {
+				continue
+			}
+			if nid, ok := prev.Assigned(sid); ok && !dead[nid] {
+				pins[sid] = nid
+			}
+		}
+		opts.Pins = pins
+
+		res, err := Federate(surviving, req, src, opts)
+		if err == nil {
+			out := &RepairResult{Result: res}
+			for _, sid := range req.Services() {
+				if sid == req.Source() {
+					continue
+				}
+				before, placed := prev.Assigned(sid)
+				if !placed || dead[before] {
+					out.Affected = append(out.Affected, sid)
+				} else if after, _ := res.Flow.Assigned(sid); before != after {
+					out.Moved = append(out.Moved, sid)
+				}
+			}
+			sort.Ints(out.Affected)
+			sort.Ints(out.Moved)
+			if reg != nil {
+				reg.Counter("core_repairs_total").Inc()
+				reg.Counter("core_repair_affected_services_total").Add(int64(len(out.Affected)))
+				reg.Counter("core_repair_moved_services_total").Add(int64(len(out.Moved)))
+			}
+			return out, nil
+		}
+		var again *PartialFederationError
+		if !errors.As(err, &again) || round+1 >= maxRepairRounds {
+			reg.Counter("core_repair_failures_total").Inc()
+			return nil, fmt.Errorf("core: repair federation: %w", err)
+		}
+		// The repair run itself hit unresponsive instances: widen the
+		// removed set and go again.
+		reg.Counter("core_re_repairs_total").Inc()
+		grew := false
+		for _, nid := range again.Unresponsive {
+			if _, ok := surviving.Instance(nid); !ok || dead[nid] {
+				continue
+			}
+			if nid == src {
+				return nil, fmt.Errorf("core: source instance %d unresponsive; the consumer must re-issue the request", src)
+			}
+			dead[nid] = true
+			grew = true
+			if err := surviving.RemoveInstance(nid); err != nil {
+				return nil, err
+			}
+		}
+		if !grew {
+			// Same fault pattern, no new information: retrying cannot
+			// converge.
+			reg.Counter("core_repair_failures_total").Inc()
+			return nil, fmt.Errorf("core: repair federation: %w", err)
+		}
+	}
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
 }

@@ -10,12 +10,41 @@ import (
 
 // wireMessage is the serialised form of the protocol messages for
 // byte-oriented transports (the loopback TCP transport). The partial flow
-// graph reuses flow.Graph's JSON representation.
+// graph reuses flow.Graph's JSON representation. A data message wrapped by
+// the reliability sublayer is flattened: Rel marks the wrapper and Seq
+// carries its sequence number.
 type wireMessage struct {
-	Kind    string      `json:"kind"` // "sfederate" or "report"
+	Kind    string      `json:"kind"` // "sfederate", "report" or "ack"
+	Rel     bool        `json:"rel,omitempty"`
+	Seq     uint64      `json:"seq,omitempty"`
 	Pins    map[int]int `json:"pins,omitempty"`
 	SinkSID int         `json:"sinkSID,omitempty"`
 	Partial *flow.Graph `json:"partial"`
+}
+
+// toWire flattens one protocol message into its wire form.
+func toWire(msg any) (wireMessage, error) {
+	switch m := msg.(type) {
+	case sfederate:
+		return wireMessage{Kind: "sfederate", Pins: m.pins, Partial: m.partial}, nil
+	case report:
+		return wireMessage{Kind: "report", SinkSID: m.sinkSID, Partial: m.partial}, nil
+	case ack:
+		return wireMessage{Kind: "ack", Seq: m.seq}, nil
+	case reliable:
+		w, err := toWire(m.payload)
+		if err != nil {
+			return w, err
+		}
+		if w.Rel || w.Kind == "ack" {
+			return w, fmt.Errorf("core: cannot wrap %q in a reliable frame", w.Kind)
+		}
+		w.Rel = true
+		w.Seq = m.seq
+		return w, nil
+	default:
+		return wireMessage{}, fmt.Errorf("core: cannot encode message %T", msg)
+	}
 }
 
 // wireCodec encodes/decodes the protocol messages as JSON frames, counting
@@ -27,18 +56,11 @@ type wireCodec struct {
 
 // Encode implements transport.Codec.
 func (c wireCodec) Encode(msg any) ([]byte, error) {
-	var (
-		data []byte
-		err  error
-	)
-	switch m := msg.(type) {
-	case sfederate:
-		data, err = json.Marshal(wireMessage{Kind: "sfederate", Pins: m.pins, Partial: m.partial})
-	case report:
-		data, err = json.Marshal(wireMessage{Kind: "report", SinkSID: m.sinkSID, Partial: m.partial})
-	default:
-		return nil, fmt.Errorf("core: cannot encode message %T", msg)
+	w, err := toWire(msg)
+	if err != nil {
+		return nil, err
 	}
+	data, err := json.Marshal(w)
 	if err == nil {
 		c.tx.Add(int64(len(data)))
 	}
@@ -55,16 +77,23 @@ func (c wireCodec) Decode(data []byte) (any, error) {
 	if w.Partial == nil {
 		w.Partial = flow.New()
 	}
+	var msg any
 	switch w.Kind {
 	case "sfederate":
 		pins := w.Pins
 		if pins == nil {
 			pins = map[int]int{}
 		}
-		return sfederate{partial: w.Partial, pins: pins}, nil
+		msg = sfederate{partial: w.Partial, pins: pins}
 	case "report":
-		return report{sinkSID: w.SinkSID, partial: w.Partial}, nil
+		msg = report{sinkSID: w.SinkSID, partial: w.Partial}
+	case "ack":
+		return ack{seq: w.Seq}, nil
 	default:
 		return nil, fmt.Errorf("core: unknown wire kind %q", w.Kind)
 	}
+	if w.Rel {
+		return reliable{seq: w.Seq, payload: msg}, nil
+	}
+	return msg, nil
 }

@@ -23,6 +23,7 @@ func TestSweepCSVDeterministicAcrossWorkerCounts(t *testing.T) {
 	}{
 		{"fig10a", Fig10a},
 		{"ablation-reduction", AblationReduction},
+		{"faults", FaultSweep},
 	} {
 		seq, err := entry.fn(detCfg(1))
 		if err != nil {

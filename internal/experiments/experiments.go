@@ -180,12 +180,19 @@ func trialSeed(base int64, size, trial int) int64 {
 }
 
 // run executes fn for every (size, trial) pair and assembles mean values per
-// column. Cells fan out over cfg.workers() goroutines — every cell owns an
-// independent seed via trialSeed, so results do not depend on execution
-// order — and are reassembled in (size, trial) order, making the returned
-// series (and hence Table/CSV output) byte-identical at any worker count.
+// column: the standard sweep over cfg.Sizes.
 func run(cfg Config, columns []string, fn func(size, trial int) (map[string]float64, error)) ([]Point, error) {
-	cells := make([]map[string]float64, len(cfg.Sizes)*cfg.Trials)
+	return runOver(cfg, cfg.Sizes, columns, fn)
+}
+
+// runOver executes fn for every (x, trial) pair over an arbitrary x-axis and
+// assembles mean values per column. Cells fan out over cfg.workers()
+// goroutines — every cell owns an independent seed via trialSeed, so results
+// do not depend on execution order — and are reassembled in (x, trial) order,
+// making the returned series (and hence Table/CSV output) byte-identical at
+// any worker count.
+func runOver(cfg Config, xs []int, columns []string, fn func(x, trial int) (map[string]float64, error)) ([]Point, error) {
+	cells := make([]map[string]float64, len(xs)*cfg.Trials)
 	// Per-cell instrumentation: the cell count is a deterministic sum; the
 	// wall-time histogram and the pool-occupancy peak depend on scheduling,
 	// so both are volatile.
@@ -194,17 +201,17 @@ func run(cfg Config, columns []string, fn func(size, trial int) (map[string]floa
 		metrics.ExponentialBounds(100, 10, 6), metrics.Volatile())
 	var active, peak atomic.Int64
 	err := forEachCell(len(cells), cfg.workers(), func(i int) error {
-		size, trial := cfg.Sizes[i/cfg.Trials], i%cfg.Trials
+		x, trial := xs[i/cfg.Trials], i%cfg.Trials
 		if now := active.Add(1); now > peak.Load() {
 			peak.Store(now) // best-effort peak; the gauge is volatile anyway
 		}
 		start := time.Now()
-		vals, err := fn(size, trial)
+		vals, err := fn(x, trial)
 		cellWall.Observe(time.Since(start).Microseconds())
 		active.Add(-1)
 		cellsDone.Inc()
 		if err != nil {
-			return fmt.Errorf("experiments: size %d trial %d: %w", size, trial, err)
+			return fmt.Errorf("experiments: x=%d trial %d: %w", x, trial, err)
 		}
 		cells[i] = vals
 		return nil
@@ -213,8 +220,8 @@ func run(cfg Config, columns []string, fn func(size, trial int) (map[string]floa
 	if err != nil {
 		return nil, err
 	}
-	points := make([]Point, 0, len(cfg.Sizes))
-	for si, size := range cfg.Sizes {
+	points := make([]Point, 0, len(xs))
+	for si, x := range xs {
 		samples := make(map[string][]float64, len(columns))
 		for trial := 0; trial < cfg.Trials; trial++ {
 			vals := cells[si*cfg.Trials+trial]
@@ -223,7 +230,7 @@ func run(cfg Config, columns []string, fn func(size, trial int) (map[string]floa
 			}
 		}
 		p := Point{
-			X:      size,
+			X:      x,
 			Values: make(map[string]float64, len(columns)),
 			Std:    make(map[string]float64, len(columns)),
 		}
@@ -599,6 +606,7 @@ func All(cfg Config) ([]*Series, error) {
 		{"repair", RepairChurn},
 		{"blocking", Blocking},
 		{"hierarchy", Hierarchy},
+		{"faults", FaultSweep},
 	} {
 		s, err := e.fn(cfg)
 		if err != nil {

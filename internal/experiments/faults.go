@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"sflow/internal/core"
+	"sflow/internal/transport"
+)
+
+// faultRates is the loss-rate sweep (percent) of the FaultSweep x-axis.
+var faultRates = []int{0, 5, 10, 15, 20, 25, 30}
+
+// FaultSweep measures the protocol's resilience under a faulty transport
+// (experiment for the fault-injection layer): the x-axis is the message loss
+// rate in percent — duplication runs at a quarter and reordering at half of
+// it — and every cell federates seeded scenarios over the deterministic DES
+// transport wrapped in the fault injector.
+//
+// Columns:
+//
+//   - success: fraction of federations completing under loss alone
+//   - success_churn: fraction completing when, additionally, nodes crash
+//   - healed: fraction of churn runs that end with a full flow graph after
+//     RepairPartial re-federates around the unresponsive instances
+//   - msg_overhead: messages delivered under loss relative to the fault-free
+//     run of the same scenario (retransmissions, duplicates, acks)
+//   - retries: retransmissions per federation under loss
+//   - dedups: duplicate deliveries suppressed per federation under loss
+//
+// The scenario of a (rate, trial) cell depends only on the trial — the same
+// workloads are replayed at every rate — and every fault decision is derived
+// from the cell's seed, so the series is byte-identical at any worker count.
+func FaultSweep(cfg Config) (*Series, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	cols := []string{"success", "success_churn", "healed", "msg_overhead", "retries", "dedups"}
+	points, err := runOver(cfg, faultRates, cols, func(rate, trial int) (map[string]float64, error) {
+		// The scenario is pinned per trial (not per rate): each rate
+		// stresses the same federation, so the columns isolate the
+		// fault-injection effect.
+		size := cfg.Sizes[trial%len(cfg.Sizes)]
+		s, _, err := generalScenario(cfg, size, trial, mixedKind(trial))
+		if err != nil {
+			return nil, err
+		}
+		clean, err := core.Federate(s.Overlay, s.Req, s.SourceNID, core.Options{Metrics: cfg.Metrics})
+		if err != nil {
+			return nil, fmt.Errorf("clean: %w", err)
+		}
+
+		p := float64(rate) / 100
+		seed := trialSeed(cfg.Seed, size, trial) + 13
+		vals := map[string]float64{}
+
+		// Loss, duplication and reordering — no crashes.
+		lossy, err := core.Federate(s.Overlay, s.Req, s.SourceNID, core.Options{
+			Metrics: cfg.Metrics,
+			Faults:  &transport.Faults{Seed: seed, Drop: p, Duplicate: p / 4, Reorder: p / 2},
+		})
+		var st core.Stats
+		switch {
+		case err == nil:
+			vals["success"] = 1
+			st = lossy.Stats
+		default:
+			var perr *core.PartialFederationError
+			if !errors.As(err, &perr) {
+				return nil, fmt.Errorf("lossy: %w", err)
+			}
+			st = perr.Stats
+		}
+		vals["msg_overhead"] = float64(st.Messages) / float64(clean.Stats.Messages)
+		vals["retries"] = float64(st.Retries)
+		vals["dedups"] = float64(st.Dedups)
+
+		// Loss plus crash churn; the source instance is exempt (its
+		// failure needs a consumer re-issue, not a repair).
+		churnOpts := core.Options{
+			Metrics: cfg.Metrics,
+			Faults: &transport.Faults{
+				Seed: seed + 1, Drop: p, Duplicate: p / 4, Reorder: p / 2,
+				CrashRate: p / 2, CrashExempt: []int{s.SourceNID},
+			},
+		}
+		churn, err := core.Federate(s.Overlay, s.Req, s.SourceNID, churnOpts)
+		switch {
+		case err == nil:
+			vals["success_churn"] = 1
+			vals["healed"] = 1
+			_ = churn
+		default:
+			var perr *core.PartialFederationError
+			if !errors.As(err, &perr) {
+				return nil, fmt.Errorf("churn: %w", err)
+			}
+			// Self-heal: re-federate around the unresponsive instances
+			// over a recovered (fault-free) control plane.
+			if _, err := core.RepairPartial(s.Overlay, s.Req, s.SourceNID, perr, core.Options{Metrics: cfg.Metrics}); err == nil {
+				vals["healed"] = 1
+			}
+		}
+		return vals, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Series{
+		ID:      "faults",
+		Title:   "Federation under transport faults (success, self-healing and message overhead vs loss rate)",
+		XLabel:  "LossRatePct",
+		YLabel:  "fraction / ratio / count",
+		Columns: cols,
+		Points:  points,
+	}, nil
+}

@@ -27,6 +27,9 @@ const (
 	KindRecompute
 	// KindReport is a sink reporting the completed flow graph.
 	KindReport
+	// KindGiveUp is a sender exhausting its retransmission budget towards
+	// an unresponsive peer.
+	KindGiveUp
 )
 
 // String returns the kind's name.
@@ -44,6 +47,8 @@ func (k Kind) String() string {
 		return "recompute"
 	case KindReport:
 		return "report"
+	case KindGiveUp:
+		return "giveup"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

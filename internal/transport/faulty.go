@@ -1,0 +1,308 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+
+	"sflow/internal/metrics"
+)
+
+// Faults configures the fault-injecting transport decorator. All rates are
+// probabilities in [0, 1]. Every decision is derived by hashing the seed with
+// the message's (from, to, per-pair sequence) coordinates — not by consuming
+// a shared random stream — so on a deterministic base transport (the DES) a
+// fixed seed reproduces the exact same fault pattern, and on the concurrent
+// transports the decision for a given message does not depend on goroutine
+// interleaving.
+type Faults struct {
+	// Seed drives every fault decision.
+	Seed int64
+	// Drop is the probability that a message is silently discarded.
+	Drop float64
+	// Duplicate is the probability that a delivered message is delivered
+	// twice back-to-back (exercising receiver idempotency).
+	Duplicate float64
+	// Reorder is the probability that a message is held back and released
+	// only after the next message passes through the decorator, so it
+	// arrives out of order. A message still held when the transport runs
+	// out of traffic is never released — indistinguishable from a drop —
+	// which a retransmitting protocol layer recovers from.
+	Reorder float64
+	// CrashRate is the probability that a node is crash-scheduled: after
+	// CrashAfter messages touching the node (sent or received) it goes
+	// down, and every message to or from it is discarded for the CrashDown
+	// following touches.
+	CrashRate float64
+	// CrashAfter is the number of touches before a rate-scheduled node
+	// goes down; 0 derives a per-node value in [1, 8] from the seed.
+	CrashAfter int
+	// CrashDown is how many touches a crashed node stays down for:
+	// positive counts restart the node afterwards, negative means down
+	// forever, 0 derives a per-node value in [4, 16) from the seed.
+	CrashDown int
+	// Crashes is an explicit crash schedule applied in addition to the
+	// rate-scheduled ones (tests and repair scenarios pin exact victims).
+	Crashes []Crash
+	// CrashExempt lists nodes that are never crash-scheduled (drops on
+	// their links still apply); protocol virtual nodes and the federation
+	// source belong here.
+	CrashExempt []int
+	// Metrics, when non-nil, receives the fault counters
+	// (faults_*_total).
+	Metrics *metrics.Registry
+}
+
+// Crash takes one node down after a fixed number of touches.
+type Crash struct {
+	// Node is the victim.
+	Node int
+	// After is how many messages touching the node pass before it goes
+	// down (0: down from the start).
+	After int
+	// Down is how many further touches the node stays down for; <= 0
+	// means it never restarts.
+	Down int
+}
+
+// validate rejects nonsense rates.
+func (f Faults) validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{{"Drop", f.Drop}, {"Duplicate", f.Duplicate}, {"Reorder", f.Reorder}, {"CrashRate", f.CrashRate}} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("transport: fault rate %s = %v out of [0, 1]", r.name, r.v)
+		}
+	}
+	return nil
+}
+
+// FaultCounts is a snapshot of what the decorator did.
+type FaultCounts struct {
+	// Sent counts messages handed to Send.
+	Sent int64
+	// Delivered counts messages actually forwarded to the base transport
+	// (duplicates and released reorders included).
+	Delivered int64
+	// Dropped counts messages discarded by the loss rate.
+	Dropped int64
+	// Duplicated counts extra copies injected.
+	Duplicated int64
+	// Reordered counts messages held back and later released out of
+	// order.
+	Reordered int64
+	// Stranded counts held-back messages never released (effectively
+	// dropped at quiescence).
+	Stranded int64
+	// CrashDropped counts messages discarded because an endpoint was
+	// down.
+	CrashDropped int64
+}
+
+// crashWindow is a resolved down interval over a node's touch counter.
+type crashWindow struct {
+	after int
+	down  int // <= 0: forever
+}
+
+type heldMsg struct {
+	from, to int
+	msg      any
+}
+
+// Faulty injects seeded, deterministic faults in front of any Transport.
+// Faults act at the send boundary: a crashed node neither receives nor emits
+// messages, but a message already in flight when its endpoint goes down is
+// still delivered.
+type Faulty struct {
+	base Transport
+	cfg  Faults
+
+	mu       sync.Mutex
+	pairSeq  map[[2]int]uint64
+	activity map[int]int
+	windows  map[int]*crashWindow // nil entry: node never crashes
+	held     []heldMsg
+	counts   FaultCounts
+
+	insDropped      *metrics.Counter
+	insDuplicated   *metrics.Counter
+	insReordered    *metrics.Counter
+	insCrashDropped *metrics.Counter
+}
+
+var _ Transport = (*Faulty)(nil)
+
+// NewFaulty wraps a base transport with the fault injector.
+func NewFaulty(base Transport, cfg Faults) (*Faulty, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	f := &Faulty{
+		base:     base,
+		cfg:      cfg,
+		pairSeq:  make(map[[2]int]uint64),
+		activity: make(map[int]int),
+		windows:  make(map[int]*crashWindow),
+
+		insDropped:      cfg.Metrics.Counter("faults_dropped_total"),
+		insDuplicated:   cfg.Metrics.Counter("faults_duplicated_total"),
+		insReordered:    cfg.Metrics.Counter("faults_reordered_total"),
+		insCrashDropped: cfg.Metrics.Counter("faults_crash_dropped_total"),
+	}
+	for _, c := range cfg.Crashes {
+		w := &crashWindow{after: c.After, down: c.Down}
+		if w.after < 0 {
+			w.after = 0
+		}
+		f.windows[c.Node] = w
+	}
+	for _, n := range cfg.CrashExempt {
+		if _, explicit := f.windows[n]; !explicit {
+			f.windows[n] = nil
+		}
+	}
+	return f, nil
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed 64-bit hash.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// fault-decision salts, one stream per fault type.
+const (
+	saltDrop = iota + 1
+	saltDup
+	saltReorder
+	saltCrash
+	saltCrashAfter
+	saltCrashDown
+)
+
+// roll returns a uniform [0, 1) value fully determined by the inputs.
+func (f *Faulty) roll(salt uint64, fields ...uint64) float64 {
+	h := mix64(uint64(f.cfg.Seed)) ^ mix64(salt)
+	for _, v := range fields {
+		h = mix64(h ^ mix64(v))
+	}
+	return float64(h>>11) / float64(uint64(1)<<53)
+}
+
+// windowOf resolves (lazily, deterministically) whether a node is
+// crash-scheduled and over which touch interval. Caller holds f.mu.
+func (f *Faulty) windowOf(n int) *crashWindow {
+	w, ok := f.windows[n]
+	if ok {
+		return w
+	}
+	un := uint64(int64(n))
+	if f.cfg.CrashRate > 0 && f.roll(saltCrash, un) < f.cfg.CrashRate {
+		after := f.cfg.CrashAfter
+		if after == 0 {
+			after = 1 + int(mix64(uint64(f.cfg.Seed)^mix64(saltCrashAfter)^mix64(un))%8)
+		}
+		down := f.cfg.CrashDown
+		if down == 0 {
+			down = 4 + int(mix64(uint64(f.cfg.Seed)^mix64(saltCrashDown)^mix64(un))%12)
+		}
+		w = &crashWindow{after: after, down: down}
+	}
+	f.windows[n] = w
+	return w
+}
+
+// touch advances a node's activity counter and reports whether the node is
+// down at this touch. Caller holds f.mu.
+func (f *Faulty) touch(n int) bool {
+	a := f.activity[n]
+	f.activity[n] = a + 1
+	w := f.windowOf(n)
+	if w == nil || a < w.after {
+		return false
+	}
+	return w.down <= 0 || a < w.after+w.down
+}
+
+// Send implements Transport: it decides the message's fate from the seed and
+// its coordinates, forwards surviving copies to the base transport, and
+// releases any previously held message afterwards so the held one arrives
+// out of order.
+func (f *Faulty) Send(from, to int, msg any) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.counts.Sent++
+
+	downFrom := f.touch(from)
+	downTo := f.touch(to)
+	key := [2]int{from, to}
+	seq := f.pairSeq[key]
+	f.pairSeq[key] = seq + 1
+
+	ufrom, uto := uint64(int64(from)), uint64(int64(to))
+	switch {
+	case downFrom || downTo:
+		f.counts.CrashDropped++
+		f.insCrashDropped.Inc()
+	case f.cfg.Drop > 0 && f.roll(saltDrop, ufrom, uto, seq) < f.cfg.Drop:
+		f.counts.Dropped++
+		f.insDropped.Inc()
+	case f.cfg.Reorder > 0 && f.roll(saltReorder, ufrom, uto, seq) < f.cfg.Reorder:
+		f.counts.Reordered++
+		f.insReordered.Inc()
+		f.held = append(f.held, heldMsg{from: from, to: to, msg: msg})
+		return // released after the next message, below
+	default:
+		f.counts.Delivered++
+		f.base.Send(from, to, msg)
+		if f.cfg.Duplicate > 0 && f.roll(saltDup, ufrom, uto, seq) < f.cfg.Duplicate {
+			f.counts.Duplicated++
+			f.counts.Delivered++
+			f.insDuplicated.Inc()
+			f.base.Send(from, to, msg)
+		}
+	}
+	f.flushHeld()
+}
+
+// flushHeld releases every held message after the current one. Caller holds
+// f.mu.
+func (f *Faulty) flushHeld() {
+	for _, h := range f.held {
+		f.counts.Delivered++
+		f.base.Send(h.from, h.to, h.msg)
+	}
+	f.held = f.held[:0]
+}
+
+// After implements Transport by delegation; timers are never faulted.
+func (f *Faulty) After(delay int64, fn func()) (cancel func() bool) {
+	return f.base.After(delay, fn)
+}
+
+// Run implements Transport. Messages still held from pre-Run sends are
+// released first; one held during the run with no traffic after it stays
+// stranded (the retransmission layer's problem, by design).
+func (f *Faulty) Run() int {
+	f.mu.Lock()
+	f.flushHeld()
+	f.mu.Unlock()
+	n := f.base.Run()
+	f.mu.Lock()
+	f.counts.Stranded = int64(len(f.held))
+	f.mu.Unlock()
+	return n
+}
+
+// Now implements Transport by delegation.
+func (f *Faulty) Now() int64 { return f.base.Now() }
+
+// Counts returns a snapshot of the injected-fault counters.
+func (f *Faulty) Counts() FaultCounts {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.counts
+}

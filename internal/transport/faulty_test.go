@@ -1,0 +1,263 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// faultyOverDES wires a Faulty decorator over a zero-latency DES and returns
+// the decorator plus the delivery log (filled during Run).
+func faultyOverDES(t *testing.T, cfg Faults) (*Faulty, *[]string) {
+	t.Helper()
+	var log []string
+	base := NewDES(func(int, int) int64 { return 0 }, func(from, to int, msg any) {
+		log = append(log, fmt.Sprintf("%d->%d:%v", from, to, msg))
+	})
+	f, err := NewFaulty(base, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, &log
+}
+
+func TestFaultyValidatesRates(t *testing.T) {
+	for _, cfg := range []Faults{{Drop: -0.1}, {Drop: 1.5}, {Duplicate: 2}, {Reorder: -1}, {CrashRate: 7}} {
+		if _, err := NewFaulty(nil, cfg); err == nil {
+			t.Errorf("NewFaulty(%+v) accepted an out-of-range rate", cfg)
+		}
+	}
+}
+
+func TestFaultyCleanPassThrough(t *testing.T) {
+	f, log := faultyOverDES(t, Faults{Seed: 1})
+	for i := 0; i < 50; i++ {
+		f.Send(0, 1, i)
+	}
+	f.Run()
+	if len(*log) != 50 {
+		t.Fatalf("delivered %d of 50 with zero fault rates", len(*log))
+	}
+	c := f.Counts()
+	if c.Sent != 50 || c.Delivered != 50 || c.Dropped+c.Duplicated+c.Reordered+c.CrashDropped != 0 {
+		t.Fatalf("counts = %+v", c)
+	}
+}
+
+func TestFaultyDropsAtConfiguredRate(t *testing.T) {
+	f, log := faultyOverDES(t, Faults{Seed: 7, Drop: 0.3})
+	const n = 2000
+	for i := 0; i < n; i++ {
+		f.Send(0, 1, i)
+	}
+	f.Run()
+	c := f.Counts()
+	if c.Dropped == 0 || c.Delivered != int64(len(*log)) || c.Dropped+c.Delivered != n {
+		t.Fatalf("counts = %+v, delivered log %d", c, len(*log))
+	}
+	rate := float64(c.Dropped) / n
+	if rate < 0.25 || rate > 0.35 {
+		t.Fatalf("empirical drop rate %.3f, configured 0.3", rate)
+	}
+}
+
+func TestFaultyDuplicatesBackToBack(t *testing.T) {
+	f, log := faultyOverDES(t, Faults{Seed: 3, Duplicate: 0.5})
+	const n = 200
+	for i := 0; i < n; i++ {
+		f.Send(0, 1, i)
+	}
+	f.Run()
+	c := f.Counts()
+	if c.Duplicated == 0 {
+		t.Fatal("no duplicates at rate 0.5")
+	}
+	if int64(len(*log)) != n+c.Duplicated {
+		t.Fatalf("delivered %d, want %d originals + %d duplicates", len(*log), n, c.Duplicated)
+	}
+	// Duplicates arrive immediately after their original.
+	dups := 0
+	for i := 1; i < len(*log); i++ {
+		if (*log)[i] == (*log)[i-1] {
+			dups++
+		}
+	}
+	if int64(dups) != c.Duplicated {
+		t.Fatalf("found %d back-to-back pairs, counter says %d", dups, c.Duplicated)
+	}
+}
+
+func TestFaultyReordersHeldMessage(t *testing.T) {
+	// Find a seed/coordinate where exactly one early message is reordered,
+	// then check it is delivered after its successor.
+	f, log := faultyOverDES(t, Faults{Seed: 5, Reorder: 0.3})
+	const n = 100
+	for i := 0; i < n; i++ {
+		f.Send(0, 1, i)
+	}
+	f.Run()
+	c := f.Counts()
+	if c.Reordered == 0 {
+		t.Fatal("no reorders at rate 0.3 over 100 messages")
+	}
+	if c.Delivered+c.Stranded != n {
+		t.Fatalf("counts = %+v, want delivered+stranded = %d", c, n)
+	}
+	// With every message surviving, delivery must be a permutation with at
+	// least one inversion.
+	seen := make(map[string]bool, len(*log))
+	inversions := 0
+	prev := -1
+	for _, entry := range *log {
+		if seen[entry] {
+			t.Fatalf("duplicate delivery %s without Duplicate configured", entry)
+		}
+		seen[entry] = true
+		var from, to, v int
+		fmt.Sscanf(entry, "%d->%d:%d", &from, &to, &v)
+		if v < prev {
+			inversions++
+		}
+		prev = v
+	}
+	if inversions == 0 {
+		t.Fatalf("reordered %d messages but delivery is in order", c.Reordered)
+	}
+}
+
+func TestFaultyDeterministicAcrossRuns(t *testing.T) {
+	run := func() []string {
+		f, log := faultyOverDES(t, Faults{Seed: 11, Drop: 0.2, Duplicate: 0.1, Reorder: 0.1, CrashRate: 0.2})
+		for i := 0; i < 300; i++ {
+			f.Send(i%7, (i+1)%7, i)
+		}
+		f.Run()
+		return *log
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs delivered %d vs %d messages", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delivery %d differs: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFaultySeedChangesPattern(t *testing.T) {
+	counts := func(seed int64) FaultCounts {
+		f, _ := faultyOverDES(t, Faults{Seed: seed, Drop: 0.2})
+		for i := 0; i < 500; i++ {
+			f.Send(0, 1, i)
+		}
+		f.Run()
+		return f.Counts()
+	}
+	if counts(1) == counts(2) {
+		t.Fatal("different seeds produced identical fault counts over 500 messages")
+	}
+}
+
+func TestFaultyExplicitCrashWindow(t *testing.T) {
+	// Node 2 goes down after 2 touches and stays down for 2 touches.
+	f, log := faultyOverDES(t, Faults{Seed: 1, Crashes: []Crash{{Node: 2, After: 2, Down: 2}}})
+	for i := 0; i < 6; i++ {
+		f.Send(1, 2, i) // touches 2 once per send
+	}
+	f.Run()
+	// Touch counter of node 2 at send i is i: sends 0,1 pass (touch 0,1),
+	// sends 2,3 are crash-dropped (touch 2,3), sends 4,5 pass again.
+	want := []string{"1->2:0", "1->2:1", "1->2:4", "1->2:5"}
+	if len(*log) != len(want) {
+		t.Fatalf("delivered %v, want %v", *log, want)
+	}
+	for i := range want {
+		if (*log)[i] != want[i] {
+			t.Fatalf("delivered %v, want %v", *log, want)
+		}
+	}
+	if c := f.Counts(); c.CrashDropped != 2 {
+		t.Fatalf("CrashDropped = %d, want 2", c.CrashDropped)
+	}
+}
+
+func TestFaultyCrashForever(t *testing.T) {
+	f, log := faultyOverDES(t, Faults{Seed: 1, Crashes: []Crash{{Node: 2, After: 0, Down: -1}}})
+	for i := 0; i < 10; i++ {
+		f.Send(1, 2, i)
+		f.Send(2, 3, i) // a crashed node does not emit either
+	}
+	f.Run()
+	if len(*log) != 0 {
+		t.Fatalf("messages through a permanently crashed node: %v", *log)
+	}
+	if c := f.Counts(); c.CrashDropped != 20 {
+		t.Fatalf("CrashDropped = %d, want 20", c.CrashDropped)
+	}
+}
+
+func TestFaultyCrashExemptNeverCrashes(t *testing.T) {
+	f, log := faultyOverDES(t, Faults{Seed: 9, CrashRate: 1, CrashExempt: []int{0, 1}})
+	for i := 0; i < 50; i++ {
+		f.Send(0, 1, i)
+	}
+	f.Run()
+	if len(*log) != 50 {
+		t.Fatalf("delivered %d of 50 between crash-exempt nodes at CrashRate 1", len(*log))
+	}
+}
+
+func TestFaultyRateCrashEventuallyDropsTraffic(t *testing.T) {
+	f, _ := faultyOverDES(t, Faults{Seed: 4, CrashRate: 1})
+	for i := 0; i < 100; i++ {
+		f.Send(0, 1, i)
+	}
+	f.Run()
+	if c := f.Counts(); c.CrashDropped == 0 {
+		t.Fatalf("CrashRate 1 never crashed an endpoint: %+v", c)
+	}
+}
+
+func TestFaultyAfterDelegates(t *testing.T) {
+	fired := false
+	base := NewDES(func(int, int) int64 { return 0 }, func(int, int, any) {})
+	f, err := NewFaulty(base, Faults{Seed: 1, Drop: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.After(10, func() { fired = true })
+	f.Run()
+	if !fired {
+		t.Fatal("timer armed through the decorator did not fire (timers must never be faulted)")
+	}
+}
+
+func TestFaultyConcurrentSendsRace(t *testing.T) {
+	// Under -race: concurrent senders over the goroutine transport.
+	nodes := []int{0, 1, 2, 3}
+	base := NewGoroutine(nodes, func(int, int, any) {})
+	f, err := NewFaulty(base, Faults{Seed: 2, Drop: 0.2, Duplicate: 0.2, Reorder: 0.2, CrashRate: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				f.Send(g, (g+1)%4, i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	f.Run()
+	c := f.Counts()
+	if c.Sent != 400 {
+		t.Fatalf("Sent = %d, want 400", c.Sent)
+	}
+	if c.Delivered+c.Dropped+c.CrashDropped+c.Stranded-c.Duplicated != 400 {
+		t.Fatalf("counters do not balance: %+v", c)
+	}
+}

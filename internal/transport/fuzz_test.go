@@ -1,0 +1,72 @@
+package transport
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReadFrame feeds arbitrary byte streams to the length-prefixed frame
+// reader: it must never panic or over-allocate, and whatever it accepts must
+// round-trip through writeFrame unchanged.
+func FuzzReadFrame(f *testing.F) {
+	var seed bytes.Buffer
+	_ = writeFrame(&seed, 3, []byte(`{"kind":"sfederate"}`))
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3, 4, 5, 6, 7, 8}) // oversized length
+	f.Add(bytes.Repeat([]byte{0x41}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		from, payload, err := readFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var rt bytes.Buffer
+		if err := writeFrame(&rt, from, payload); err != nil {
+			t.Fatalf("re-encode of accepted frame failed: %v", err)
+		}
+		from2, payload2, err := readFrame(&rt)
+		if err != nil {
+			t.Fatalf("re-decode of accepted frame failed: %v", err)
+		}
+		if from2 != from || !bytes.Equal(payload2, payload) {
+			t.Fatalf("frame did not round-trip: (%d, %x) vs (%d, %x)", from, payload, from2, payload2)
+		}
+	})
+}
+
+// FuzzFrameRoundTrip drives the writer side: every (from, payload) pair under
+// the frame bound must survive a write/read cycle, and truncated streams must
+// error instead of fabricating data.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(int64(0), []byte{})
+	f.Add(int64(-1), []byte("report"))
+	f.Add(int64(1<<40), bytes.Repeat([]byte{7}, 100))
+	f.Fuzz(func(t *testing.T, from int64, payload []byte) {
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, int(from), payload); err != nil {
+			if len(payload) > maxFrame {
+				return // correctly refused
+			}
+			t.Fatalf("writeFrame(%d, %d bytes): %v", from, len(payload), err)
+		}
+		full := buf.Bytes()
+		gotFrom, gotPayload, err := readFrame(bytes.NewReader(full))
+		if err != nil {
+			t.Fatalf("readFrame after writeFrame: %v", err)
+		}
+		if gotFrom != int(from) || !bytes.Equal(gotPayload, payload) {
+			t.Fatalf("round-trip mismatch: wrote (%d, %x), read (%d, %x)", from, payload, gotFrom, gotPayload)
+		}
+		if len(full) > 1 {
+			if _, _, err := readFrame(bytes.NewReader(full[:len(full)-1])); err == nil {
+				t.Fatal("truncated frame decoded without error")
+			} else if err == io.EOF && len(full)-1 >= 12 {
+				// Truncation inside the payload must be ErrUnexpectedEOF,
+				// not a clean EOF that looks like end-of-stream.
+				t.Fatal("payload truncation reported clean EOF")
+			}
+		}
+	})
+}

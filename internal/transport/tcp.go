@@ -8,6 +8,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Codec serialises protocol messages for a byte-oriented transport. The
@@ -110,6 +111,39 @@ func (t *TCP) Send(from, to int, msg any) {
 	}
 }
 
+// After implements Transport: a wall-clock timer holding an in-flight token,
+// so Run cannot declare quiescence while the timer is armed.
+func (t *TCP) After(delay int64, fn func()) (cancel func() bool) {
+	t.inflight.Add(1)
+	var settled atomic.Bool
+	timer := time.AfterFunc(time.Duration(delay)*time.Microsecond, func() {
+		if settled.Swap(true) {
+			return
+		}
+		fn()
+		t.release()
+	})
+	return func() bool {
+		if !settled.CompareAndSwap(false, true) {
+			return false
+		}
+		timer.Stop()
+		t.release()
+		return true
+	}
+}
+
+// release returns one in-flight token and wakes Run when the count reaches
+// zero.
+func (t *TCP) release() {
+	if t.inflight.Add(-1) == 0 {
+		select {
+		case t.done <- struct{}{}:
+		default:
+		}
+	}
+}
+
 // Run implements Transport: node workers drain their inboxes until
 // quiescence, then all sockets are closed.
 func (t *TCP) Run() int {
@@ -130,12 +164,7 @@ func (t *TCP) Run() int {
 				}
 				t.count.Add(1)
 				t.handler(e.from, nid, e.msg)
-				if t.inflight.Add(-1) == 0 {
-					select {
-					case t.done <- struct{}{}:
-					default:
-					}
-				}
+				t.release()
 			}
 		}(nid, b)
 	}
@@ -232,6 +261,11 @@ func readFrame(r io.Reader) (from int, payload []byte, err error) {
 	from = int(int64(binary.BigEndian.Uint64(header[4:])))
 	payload = make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			// A stream ending exactly after a header that promised a
+			// payload is a truncated frame, not a clean shutdown.
+			err = io.ErrUnexpectedEOF
+		}
 		return 0, nil, err
 	}
 	return from, payload, nil

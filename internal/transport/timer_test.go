@@ -1,0 +1,106 @@
+package transport
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestDESAfterFiresAtVirtualTime(t *testing.T) {
+	var firedAt int64 = -1
+	var tr *DES
+	tr = NewDES(func(int, int) int64 { return 0 }, func(int, int, any) {})
+	tr.After(250, func() { firedAt = tr.Now() })
+	tr.Run()
+	if firedAt != 250 {
+		t.Fatalf("timer fired at %d, want 250", firedAt)
+	}
+}
+
+func TestDESAfterCancel(t *testing.T) {
+	fired := false
+	tr := NewDES(func(int, int) int64 { return 0 }, func(int, int, any) {})
+	cancel := tr.After(10, func() { fired = true })
+	if !cancel() {
+		t.Fatal("first cancel reported false")
+	}
+	if cancel() {
+		t.Fatal("second cancel reported true")
+	}
+	tr.Run()
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestDESAfterNegativeDelayClamped(t *testing.T) {
+	fired := false
+	tr := NewDES(func(int, int) int64 { return 0 }, func(int, int, any) {})
+	tr.After(-5, func() { fired = true })
+	tr.Run()
+	if !fired {
+		t.Fatal("timer with negative delay never fired")
+	}
+}
+
+func TestGoroutineAfterHoldsQuiescence(t *testing.T) {
+	// Run must not return before an armed timer fires, even with no
+	// message traffic at all.
+	var fired atomic.Bool
+	tr := NewGoroutine([]int{0, 1}, func(int, int, any) {})
+	tr.After(20_000, func() { fired.Store(true) }) // 20ms
+	tr.Run()
+	if !fired.Load() {
+		t.Fatal("Run returned before the armed timer fired")
+	}
+}
+
+func TestGoroutineAfterCancelReleasesQuiescence(t *testing.T) {
+	tr := NewGoroutine([]int{0, 1}, func(int, int, any) {})
+	cancel := tr.After(3_600_000_000, func() { t.Error("cancelled timer fired") }) // 1h
+	if !cancel() {
+		t.Fatal("cancel reported false for an armed timer")
+	}
+	if cancel() {
+		t.Fatal("second cancel reported true")
+	}
+	// Would hang until the timer if the token were not released.
+	tr.Send(0, 1, "ping")
+	tr.Run()
+}
+
+func TestGoroutineAfterTimerSends(t *testing.T) {
+	var got atomic.Int64
+	var tr *Goroutine
+	tr = NewGoroutine([]int{0, 1}, func(from, to int, msg any) { got.Add(1) })
+	tr.After(1000, func() { tr.Send(0, 1, "from timer") })
+	tr.Run()
+	if got.Load() != 1 {
+		t.Fatalf("delivered %d messages, want the timer's 1", got.Load())
+	}
+}
+
+func TestTCPAfterHoldsQuiescence(t *testing.T) {
+	var fired atomic.Bool
+	tr, err := NewTCP([]int{0, 1}, func(int, int, any) {}, jsonCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.After(20_000, func() { fired.Store(true) })
+	tr.Run()
+	if !fired.Load() {
+		t.Fatal("Run returned before the armed timer fired")
+	}
+}
+
+func TestTCPAfterCancelReleasesQuiescence(t *testing.T) {
+	tr, err := NewTCP([]int{0, 1}, func(int, int, any) {}, jsonCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel := tr.After(3_600_000_000, func() { t.Error("cancelled timer fired") })
+	if !cancel() {
+		t.Fatal("cancel reported false for an armed timer")
+	}
+	tr.Send(0, 1, 42)
+	tr.Run()
+}

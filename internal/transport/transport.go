@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sflow/internal/des"
 )
@@ -35,6 +36,15 @@ type Transport interface {
 	// from within handlers. The goroutine transport's Send is safe for
 	// concurrent use.
 	Send(from, to int, msg any)
+	// After schedules fn once after the given delay in microseconds —
+	// virtual time on the DES transport, wall-clock time on the goroutine
+	// and TCP transports. A pending timer counts as outstanding work, so
+	// Run does not declare quiescence while one is armed. The returned
+	// cancel function stops the timer and reports whether it did so before
+	// fn started; cancelling twice is safe. Timers give the protocol layer
+	// its retransmission and deadline clocks without binding it to one
+	// notion of time.
+	After(delay int64, fn func()) (cancel func() bool)
 	// Run delivers messages until no work remains and returns the number
 	// of messages delivered. Run must be called exactly once.
 	Run() int
@@ -69,6 +79,29 @@ func (t *DES) Send(from, to int, msg any) {
 		t.delivered++
 		t.handler(from, to, msg)
 	})
+}
+
+// After implements Transport: the timer is a simulator event. A cancelled
+// event stays in the queue but fires as a no-op.
+func (t *DES) After(delay int64, fn func()) (cancel func() bool) {
+	if delay < 0 {
+		delay = 0
+	}
+	var cancelled, fired bool
+	_ = t.sim.Schedule(delay, func() {
+		if cancelled {
+			return
+		}
+		fired = true
+		fn()
+	})
+	return func() bool {
+		if fired || cancelled {
+			return false
+		}
+		cancelled = true
+		return true
+	}
 }
 
 // Run implements Transport.
@@ -165,6 +198,39 @@ func (t *Goroutine) Send(from, to int, msg any) {
 	b.put(envelope{from: from, msg: msg})
 }
 
+// After implements Transport: a wall-clock timer holding an in-flight token,
+// so Run cannot declare quiescence while the timer is armed.
+func (t *Goroutine) After(delay int64, fn func()) (cancel func() bool) {
+	t.inflight.Add(1)
+	var settled atomic.Bool
+	timer := time.AfterFunc(time.Duration(delay)*time.Microsecond, func() {
+		if settled.Swap(true) {
+			return
+		}
+		fn()
+		t.release()
+	})
+	return func() bool {
+		if !settled.CompareAndSwap(false, true) {
+			return false
+		}
+		timer.Stop()
+		t.release()
+		return true
+	}
+}
+
+// release returns one in-flight token and wakes Run when the count reaches
+// zero.
+func (t *Goroutine) release() {
+	if t.inflight.Add(-1) == 0 {
+		select {
+		case t.done <- struct{}{}:
+		default:
+		}
+	}
+}
+
 // Run implements Transport: it starts the node goroutines, waits for
 // quiescence (no queued or in-process messages), stops them, and returns the
 // delivered count.
@@ -186,20 +252,16 @@ func (t *Goroutine) Run() int {
 				t.handler(e.from, nid, e.msg)
 				// Decrement after the handler so sends from within
 				// it are already counted.
-				if t.inflight.Add(-1) == 0 {
-					select {
-					case t.done <- struct{}{}:
-					default:
-					}
-				}
+				t.release()
 			}
 		}(nid, b)
 	}
 
-	// Wait until the in-flight count settles at zero. Messages only enter
-	// the system before Run (the protocol's injection) or from within
-	// handlers — and a handler's own message is counted until it returns —
-	// so the count reaches zero exactly once, at true quiescence.
+	// Wait until the in-flight count settles at zero. Messages and timers
+	// only enter the system before Run (the protocol's injection) or from
+	// within handlers and timer callbacks — each of which holds its own
+	// token until it returns — so the count only reaches zero at true
+	// quiescence; spurious wakeups re-check and keep waiting.
 	for t.inflight.Load() != 0 {
 		<-t.done
 	}

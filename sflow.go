@@ -57,6 +57,7 @@ import (
 	"sflow/internal/service"
 	"sflow/internal/topology"
 	"sflow/internal/trace"
+	"sflow/internal/transport"
 	"sflow/internal/workload"
 )
 
@@ -231,6 +232,27 @@ func Repair(ov *Overlay, req *Requirement, prev *FlowGraph, failed []int, opts O
 	return core.Repair(ov, req, prev, failed, opts)
 }
 
+// Faults configures the seeded fault-injecting transport decorator (message
+// loss, duplication, reordering, node crashes). Pass one in Options.Faults to
+// run a federation over a faulty transport; the reliability sublayer
+// (sequence numbers, acks, retransmission, deadline) switches on with it.
+type Faults = transport.Faults
+
+// Crash pins one explicit node crash in a Faults schedule.
+type Crash = transport.Crash
+
+// FaultCounts is a snapshot of what a fault-injecting transport did to the
+// traffic that crossed it.
+type FaultCounts = transport.FaultCounts
+
+// RepairPartial re-federates after a federation under faults gave up with a
+// *PartialFederationError: the unresponsive instances are removed and the
+// requirement is re-federated over the survivors, keeping the partial flow
+// graph's surviving placements pinned.
+func RepairPartial(ov *Overlay, req *Requirement, src int, perr *PartialFederationError, opts Options) (*RepairResult, error) {
+	return core.RepairPartial(ov, req, src, perr, opts)
+}
+
 // EvaluateAssignment scores a complete SID -> NID instance assignment
 // against a requirement over an overlay: the bottleneck bandwidth across all
 // induced streams and the critical-path latency. It returns an unreachable
@@ -257,6 +279,7 @@ var (
 	RepairChurn       = experiments.RepairChurn
 	BlockingUnderLoad = experiments.Blocking
 	HierarchyCompare  = experiments.Hierarchy
+	FaultSweep        = experiments.FaultSweep
 	AllExperiments    = experiments.All
 	ExperimentReport  = experiments.Report
 	ParseScenarioKind = scenario.ParseKind

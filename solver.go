@@ -11,6 +11,7 @@ import (
 	"sflow/internal/baseline"
 	"sflow/internal/cluster"
 	"sflow/internal/control"
+	"sflow/internal/core"
 	"sflow/internal/exact"
 	"sflow/internal/metrics"
 	"sflow/internal/qos"
@@ -68,26 +69,17 @@ var ErrUnknownAlgorithm = errors.New("sflow: unknown algorithm")
 
 // ErrPartialFederation is the sentinel wrapped by every error that carries a
 // partial federation: the algorithm placed only part of the requirement
-// (ServicePath on a non-path requirement federates just the main chain).
+// (ServicePath on a non-path requirement federates just the main chain; a
+// distributed run under faults times out or exhausts its retry budget).
 // Match with errors.Is and recover the partial flow graph with errors.As on
 // *PartialFederationError.
-var ErrPartialFederation = errors.New("sflow: partial federation")
+var ErrPartialFederation = core.ErrPartialFederation
 
 // PartialFederationError reports that an algorithm could not satisfy the full
-// requirement and carries what it did federate. It unwraps to
-// ErrPartialFederation.
-type PartialFederationError struct {
-	// Flow is the partial service flow graph (for ServicePath: the main
-	// source-to-sink chain, off-chain services unplaced).
-	Flow *FlowGraph
-}
-
-func (e *PartialFederationError) Error() string {
-	return "sflow: partial federation: requirement not fully placed"
-}
-
-// Unwrap makes errors.Is(err, ErrPartialFederation) work.
-func (e *PartialFederationError) Unwrap() error { return ErrPartialFederation }
+// requirement and carries what it did federate — plus, for distributed runs,
+// the unresponsive instances (feed them to RepairPartial) and the protocol
+// stats. It unwraps to ErrPartialFederation and to its Cause when set.
+type PartialFederationError = core.PartialFederationError
 
 // buildAbstract builds the service abstract graph behind every centralised
 // algorithm, mapping build failures (a required service without instances)
