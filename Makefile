@@ -6,12 +6,13 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 FUZZTIME ?= 30s
 
-.PHONY: all build test race race-hot check smoke cover bench vet fmt fmt-check lint staticcheck fuzz figures examples clean
+.PHONY: all build test race race-hot race-session check smoke cover cover-check bench vet fmt fmt-check lint staticcheck fuzz figures examples clean
 
 all: build test
 
-# Tier-1 gate: what CI runs on every PR.
-check: build vet test smoke
+# Tier-1 gate: what CI runs on every PR. The equivalence-oracle property
+# tests of the incremental session run race-instrumented on every gate.
+check: build vet test race-session smoke
 
 # Race-instrumented end-to-end run of the metrics-enabled benchmark driver:
 # a small Fig 10(a) sweep at several workers with a snapshot written, the
@@ -30,11 +31,28 @@ race:
 
 # Race-check the packages that run worker pools and concurrent transports.
 race-hot:
-	$(GO) test -race ./internal/metrics/... ./internal/transport/... ./internal/core/... ./internal/experiments/... ./internal/qos/...
+	$(GO) test -race ./internal/metrics/... ./internal/transport/... ./internal/core/... ./internal/experiments/... ./internal/qos/... ./internal/session/...
+
+# Race-instrumented equivalence-oracle tests: the session's incremental
+# flushes fan per-source recomputation out over a worker pool, so the oracle
+# traces run under the race detector on every check (-short keeps the gate
+# fast; the full 5x1000-event traces run in `make race-hot` and CI).
+race-session:
+	$(GO) test -race -short ./internal/session/ -run 'TestEquivalenceOracleTrace|TestBatchedEventsSingleFlush'
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -1
+
+# Coverage floor gate: total statement coverage must not drop below the
+# checked-in floor (coverage-floor.txt). Raise the floor when coverage
+# genuinely improves; never lower it to make a PR pass.
+cover-check: cover
+	@total=$$($(GO) tool cover -func=cover.out | tail -1 | grep -Eo '[0-9]+\.[0-9]+'); \
+	floor=$$(cat coverage-floor.txt); \
+	ok=$$(awk -v t="$$total" -v f="$$floor" 'BEGIN { print (t >= f) ? 1 : 0 }'); \
+	if [ "$$ok" != 1 ]; then echo "coverage $$total% below floor $$floor%"; exit 1; fi; \
+	echo "coverage $$total% >= floor $$floor%"
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -63,6 +81,7 @@ fuzz:
 	$(GO) test ./internal/transport -run '^$$' -fuzz FuzzFrameRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzWireDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzWireRoundTrip -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/linkstate -run '^$$' -fuzz FuzzLinkstateIncremental -fuzztime $(FUZZTIME)
 
 # Regenerate every reproduced figure (tables + CSV + SVG under results/).
 figures:

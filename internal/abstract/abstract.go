@@ -61,6 +61,20 @@ func BuildWorkersMetrics(ov *overlay.Overlay, req *require.Requirement, workers 
 	})
 }
 
+// FromAllPairs wraps an externally maintained all-pairs shortest-widest
+// table into an abstract graph, skipping the rebuild Build would do. The
+// caller guarantees ap is current for ov (an incremental session's flushed
+// table); the required-service validation still runs, since instances may
+// have left since the table was first built.
+func FromAllPairs(ov *overlay.Overlay, req *require.Requirement, ap *qos.AllPairs) (*Graph, error) {
+	for _, sid := range req.Services() {
+		if len(ov.InstancesOf(sid)) == 0 {
+			return nil, fmt.Errorf("abstract: required service %d has no instance in the overlay", sid)
+		}
+	}
+	return &Graph{req: req, ov: ov, ap: ap}, nil
+}
+
 func build(ov *overlay.Overlay, req *require.Requirement, reg *metrics.Registry, allPairs func(qos.Graph) *qos.AllPairs) (*Graph, error) {
 	for _, sid := range req.Services() {
 		if len(ov.InstancesOf(sid)) == 0 {

@@ -130,6 +130,17 @@ const maxRepairRounds = 3
 // Options the result equals an offline re-federation over the reduced
 // overlay.
 func RepairPartial(ov *overlay.Overlay, req *require.Requirement, src int, perr *PartialFederationError, opts Options) (*RepairResult, error) {
+	surviving := ov.Clone()
+	return RepairPartialOn(surviving, surviving.RemoveInstance, req, src, perr, opts)
+}
+
+// RepairPartialOn is RepairPartial over a caller-maintained overlay: surviving
+// is mutated in place (not cloned), and every instance removal — the initial
+// unresponsive set and any discovered during re-repair rounds — goes through
+// the remove callback, so a caller holding derived caches (an incremental
+// federation session) can keep them in sync instead of rebuilding. Passing
+// surviving.RemoveInstance as remove recovers the stateless behaviour.
+func RepairPartialOn(surviving *overlay.Overlay, remove func(nid int) error, req *require.Requirement, src int, perr *PartialFederationError, opts Options) (*RepairResult, error) {
 	if perr == nil {
 		return nil, fmt.Errorf("core: repair-partial called without a partial federation error")
 	}
@@ -138,7 +149,7 @@ func RepairPartial(ov *overlay.Overlay, req *require.Requirement, src int, perr 
 		// The consumer's virtual node can show up unresponsive when sink
 		// reports were lost; it is not an overlay instance and cannot be
 		// removed.
-		if _, ok := ov.Instance(nid); ok {
+		if _, ok := surviving.Instance(nid); ok {
 			dead[nid] = true
 		}
 	}
@@ -150,9 +161,8 @@ func RepairPartial(ov *overlay.Overlay, req *require.Requirement, src int, perr 
 		prev = flow.New()
 	}
 
-	surviving := ov.Clone()
 	for _, nid := range sortedKeys(dead) {
-		if err := surviving.RemoveInstance(nid); err != nil {
+		if err := remove(nid); err != nil {
 			return nil, err
 		}
 	}
@@ -214,7 +224,7 @@ func RepairPartial(ov *overlay.Overlay, req *require.Requirement, src int, perr 
 			}
 			dead[nid] = true
 			grew = true
-			if err := surviving.RemoveInstance(nid); err != nil {
+			if err := remove(nid); err != nil {
 				return nil, err
 			}
 		}

@@ -24,6 +24,7 @@ func TestSweepCSVDeterministicAcrossWorkerCounts(t *testing.T) {
 		{"fig10a", Fig10a},
 		{"ablation-reduction", AblationReduction},
 		{"faults", FaultSweep},
+		{"dynamics", Dynamics},
 	} {
 		seq, err := entry.fn(detCfg(1))
 		if err != nil {

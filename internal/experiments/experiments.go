@@ -607,6 +607,7 @@ func All(cfg Config) ([]*Series, error) {
 		{"blocking", Blocking},
 		{"hierarchy", Hierarchy},
 		{"faults", FaultSweep},
+		{"dynamics", Dynamics},
 	} {
 		s, err := e.fn(cfg)
 		if err != nil {

@@ -1,0 +1,112 @@
+package linkstate
+
+import (
+	"reflect"
+	"testing"
+
+	"sflow/internal/overlay"
+)
+
+// fuzzBase builds the small ground-truth overlay the fuzz mutations churn:
+// six instances in a ring with two chords.
+func fuzzBase(t testing.TB) *overlay.Overlay {
+	ov := overlay.New()
+	for nid := 1; nid <= 6; nid++ {
+		if err := ov.AddInstance(nid, nid%3+1, -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, l := range [][2]int{{1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 1}, {1, 4}, {2, 5}} {
+		if err := ov.AddLink(l[0], l[1], 100, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ov
+}
+
+// applyFuzzOp decodes one mutation from three fuzz bytes and applies it to
+// the ground truth. Inapplicable ops (duplicate link, missing endpoint, ...)
+// are simply skipped — the fuzzer explores the op space, the overlay's own
+// validation keeps the state legal.
+func applyFuzzOp(ov *overlay.Overlay, op, x, y byte, next *int) {
+	nodes := ov.Nodes()
+	if len(nodes) == 0 {
+		return
+	}
+	pick := func(b byte) int { return nodes[int(b)%len(nodes)] }
+	switch op % 6 {
+	case 0: // add a link
+		_ = ov.AddLink(pick(x), pick(y), int64(x%32)+1, int64(y%16))
+	case 1: // remove a link
+		_ = ov.RemoveLink(pick(x), pick(y))
+	case 2: // grow bandwidth
+		_ = ov.GrowLinkBandwidth(pick(x), pick(y), int64(y%64))
+	case 3: // reduce bandwidth, possibly saturating the link away
+		_ = ov.ReduceLinkBandwidth(pick(x), pick(y), int64(y%48)+1)
+	case 4: // a fresh instance joins with one link each way
+		nid := *next
+		*next++
+		if err := ov.AddInstance(nid, int(x%4)+1, -1); err != nil {
+			return
+		}
+		_ = ov.AddLink(nid, pick(x), int64(y%32)+1, int64(x%16))
+		_ = ov.AddLink(pick(y), nid, int64(x%32)+1, int64(y%16))
+	case 5: // an instance leaves (keep a couple so views stay interesting)
+		if len(nodes) > 2 {
+			_ = ov.RemoveInstance(pick(x))
+		}
+	}
+}
+
+// assertViewsMatchOracle re-runs the advertisement exchange on the current
+// ground truth and checks every node reconstructs exactly the oracle
+// overlay.LocalView at the same radius.
+func assertViewsMatchOracle(t *testing.T, ov *overlay.Overlay, hops int) {
+	t.Helper()
+	dbs, err := Exchange(ov, hops)
+	if err != nil {
+		t.Fatalf("hops %d: %v", hops, err)
+	}
+	for _, nid := range ov.Nodes() {
+		oracle := ov.LocalView(nid, hops)
+		view, err := dbs[nid].View()
+		if err != nil {
+			t.Fatalf("hops %d node %d: reconstruct: %v", hops, nid, err)
+		}
+		if !reflect.DeepEqual(view.Nodes(), oracle.Nodes()) {
+			t.Fatalf("hops %d node %d: nodes %v != oracle %v",
+				hops, nid, view.Nodes(), oracle.Nodes())
+		}
+		if !reflect.DeepEqual(view.Links(), oracle.Links()) {
+			t.Fatalf("hops %d node %d: links %v != oracle %v",
+				hops, nid, view.Links(), oracle.Links())
+		}
+	}
+}
+
+// FuzzLinkstateIncremental drives random mutation sequences against a small
+// overlay and, after every mutation, floods fresh advertisements (the
+// protocol's answer to topology change is re-advertisement) and asserts each
+// node's reconstructed view equals the overlay.LocalView oracle. Any byte
+// string is a valid trace: three bytes per mutation, first byte selects the
+// op, the radius cycles through 1..3 so scoping is exercised at every depth.
+func FuzzLinkstateIncremental(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2})
+	f.Add([]byte{1, 0, 3, 3, 2, 5})                   // remove then reduce
+	f.Add([]byte{4, 9, 1, 5, 0, 0, 4, 2, 7})          // join, leave, join
+	f.Add([]byte{3, 0, 47, 3, 0, 47, 0, 0, 1})        // saturate twice, re-add
+	f.Add([]byte{5, 1, 1, 5, 2, 2, 5, 3, 3, 5, 4, 4}) // drain the overlay
+	f.Fuzz(func(t *testing.T, trace []byte) {
+		if len(trace) > 60 { // 20 mutations x full re-exchange is plenty
+			trace = trace[:60]
+		}
+		ov := fuzzBase(t)
+		next := 100
+		assertViewsMatchOracle(t, ov, 2)
+		for i := 0; i+2 < len(trace); i += 3 {
+			applyFuzzOp(ov, trace[i], trace[i+1], trace[i+2], &next)
+			assertViewsMatchOracle(t, ov, (i/3)%3+1)
+		}
+	})
+}

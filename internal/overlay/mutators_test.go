@@ -1,0 +1,309 @@
+package overlay
+
+import (
+	"reflect"
+	"testing"
+
+	"sflow/internal/qos"
+)
+
+// diamond builds the little fixture the mutator edge-case tables run on:
+//
+//	1 -> 2 -> 4
+//	1 -> 3 -> 4     plus a back-edge 4 -> 1
+func diamond(t *testing.T) *Overlay {
+	t.Helper()
+	ov := New()
+	for nid, sid := range map[int]int{1: 10, 2: 20, 3: 20, 4: 30} {
+		if err := ov.AddInstance(nid, sid, -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, l := range [][2]int{{1, 2}, {1, 3}, {2, 4}, {3, 4}, {4, 1}} {
+		if err := ov.AddLink(l[0], l[1], 100, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ov
+}
+
+// assertLinkInvariants checks the bookkeeping every mutator must preserve:
+// NumLinks equals the number of out-arcs, and the in-arc index is the exact
+// mirror of the out-arc index (same endpoints, same metrics).
+func assertLinkInvariants(t *testing.T, ov *Overlay) {
+	t.Helper()
+	type link struct {
+		from, to int
+		bw, lat  int64
+	}
+	fromOut := map[link]bool{}
+	outArcs := 0
+	for _, u := range ov.Nodes() {
+		for _, a := range ov.Out(u) {
+			fromOut[link{u, a.To, a.Bandwidth, a.Latency}] = true
+			outArcs++
+		}
+	}
+	fromIn := map[link]bool{}
+	inArcs := 0
+	for _, u := range ov.Nodes() {
+		for _, a := range ov.In(u) {
+			// In() arcs carry the upstream NID in To.
+			fromIn[link{a.To, u, a.Bandwidth, a.Latency}] = true
+			inArcs++
+		}
+	}
+	if got := ov.NumLinks(); got != outArcs {
+		t.Fatalf("NumLinks = %d, out-arc count = %d", got, outArcs)
+	}
+	if inArcs != outArcs {
+		t.Fatalf("in-arc count %d != out-arc count %d", inArcs, outArcs)
+	}
+	if !reflect.DeepEqual(fromOut, fromIn) {
+		t.Fatalf("in/out indexes diverged:\n out: %v\n  in: %v", fromOut, fromIn)
+	}
+}
+
+func TestMutatorEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(ov *Overlay) error
+		wantErr string // pinned error text; empty means the mutation must succeed
+		check   func(t *testing.T, ov *Overlay)
+	}{
+		{
+			name:   "reduce to exactly zero removes the link",
+			mutate: func(ov *Overlay) error { return ov.ReduceLinkBandwidth(1, 2, 100) },
+			check: func(t *testing.T, ov *Overlay) {
+				if ov.HasLink(1, 2) {
+					t.Fatal("saturated link survived")
+				}
+				if got := ov.NumLinks(); got != 4 {
+					t.Fatalf("NumLinks = %d, want 4", got)
+				}
+			},
+		},
+		{
+			name:   "reduce below zero removes the link",
+			mutate: func(ov *Overlay) error { return ov.ReduceLinkBandwidth(1, 2, 1000) },
+			check: func(t *testing.T, ov *Overlay) {
+				if ov.HasLink(1, 2) {
+					t.Fatal("over-saturated link survived")
+				}
+			},
+		},
+		{
+			name:   "reduce leaving residual keeps the link at the residual",
+			mutate: func(ov *Overlay) error { return ov.ReduceLinkBandwidth(1, 2, 99) },
+			check: func(t *testing.T, ov *Overlay) {
+				m, ok := ov.LinkMetric(1, 2)
+				if !ok || m.Bandwidth != 1 {
+					t.Fatalf("residual = %+v, %v; want bandwidth 1", m, ok)
+				}
+			},
+		},
+		{
+			name:    "reduce with negative delta",
+			mutate:  func(ov *Overlay) error { return ov.ReduceLinkBandwidth(1, 2, -5) },
+			wantErr: "overlay: negative reservation -5 on link 1->2",
+		},
+		{
+			name:    "reduce on missing link",
+			mutate:  func(ov *Overlay) error { return ov.ReduceLinkBandwidth(2, 1, 5) },
+			wantErr: "overlay: no link 2->1 to reserve on",
+		},
+		{
+			name:    "grow on missing link",
+			mutate:  func(ov *Overlay) error { return ov.GrowLinkBandwidth(2, 1, 5) },
+			wantErr: "overlay: no link 2->1 to grow",
+		},
+		{
+			name:    "grow with negative delta",
+			mutate:  func(ov *Overlay) error { return ov.GrowLinkBandwidth(1, 2, -1) },
+			wantErr: "overlay: negative growth -1 on link 1->2",
+		},
+		{
+			name:   "grow with zero delta is a no-op",
+			mutate: func(ov *Overlay) error { return ov.GrowLinkBandwidth(1, 2, 0) },
+			check: func(t *testing.T, ov *Overlay) {
+				m, _ := ov.LinkMetric(1, 2)
+				if m.Bandwidth != 100 {
+					t.Fatalf("bandwidth = %d after zero growth", m.Bandwidth)
+				}
+			},
+		},
+		{
+			name:   "grow updates both arc indexes",
+			mutate: func(ov *Overlay) error { return ov.GrowLinkBandwidth(1, 2, 23) },
+			check: func(t *testing.T, ov *Overlay) {
+				for _, a := range ov.In(2) {
+					if a.To == 1 && a.Bandwidth != 123 {
+						t.Fatalf("in-arc bandwidth = %d, want 123", a.Bandwidth)
+					}
+				}
+			},
+		},
+		{
+			name:    "remove missing link",
+			mutate:  func(ov *Overlay) error { return ov.RemoveLink(2, 1) },
+			wantErr: "overlay: no link 2->1 to remove",
+		},
+		{
+			name:    "remove link between unknown nodes",
+			mutate:  func(ov *Overlay) error { return ov.RemoveLink(98, 99) },
+			wantErr: "overlay: no link 98->99 to remove",
+		},
+		{
+			name:   "remove link leaves the reverse direction",
+			mutate: func(ov *Overlay) error { return ov.RemoveLink(1, 2) },
+			check: func(t *testing.T, ov *Overlay) {
+				if ov.HasLink(1, 2) {
+					t.Fatal("removed link still present")
+				}
+				if !ov.HasLink(4, 1) {
+					t.Fatal("unrelated link vanished")
+				}
+			},
+		},
+		{
+			name:    "remove unknown instance",
+			mutate:  func(ov *Overlay) error { return ov.RemoveInstance(99) },
+			wantErr: "overlay: no instance 99 to remove",
+		},
+		{
+			name:   "remove instance with both in- and out-links",
+			mutate: func(ov *Overlay) error { return ov.RemoveInstance(4) },
+			check: func(t *testing.T, ov *Overlay) {
+				// 4 had in-arcs from 2 and 3 and an out-arc to 1: three links go.
+				if got := ov.NumLinks(); got != 2 {
+					t.Fatalf("NumLinks = %d, want 2", got)
+				}
+				if _, ok := ov.Instance(4); ok {
+					t.Fatal("instance 4 still present")
+				}
+				if len(ov.Out(4)) != 0 || len(ov.In(4)) != 0 {
+					t.Fatal("arc indexes still mention the removed node")
+				}
+			},
+		},
+		{
+			name: "remove last instance of a service drops the service",
+			mutate: func(ov *Overlay) error {
+				return ov.RemoveInstance(1) // sole instance of SID 10
+			},
+			check: func(t *testing.T, ov *Overlay) {
+				for _, sid := range ov.SIDs() {
+					if sid == 10 {
+						t.Fatal("empty service 10 still listed")
+					}
+				}
+				if got := ov.InstancesOf(10); len(got) != 0 {
+					t.Fatalf("InstancesOf(10) = %v after removal", got)
+				}
+			},
+		},
+		{
+			name: "remove one of two instances keeps the sibling",
+			mutate: func(ov *Overlay) error {
+				return ov.RemoveInstance(2) // SID 20 also has instance 3
+			},
+			check: func(t *testing.T, ov *Overlay) {
+				if got := ov.InstancesOf(20); !reflect.DeepEqual(got, []int{3}) {
+					t.Fatalf("InstancesOf(20) = %v, want [3]", got)
+				}
+			},
+		},
+		{
+			name:    "add duplicate instance",
+			mutate:  func(ov *Overlay) error { return ov.AddInstance(1, 50, -1) },
+			wantErr: "overlay: duplicate NID 1",
+		},
+		{
+			name:    "add self-link",
+			mutate:  func(ov *Overlay) error { return ov.AddLink(1, 1, 10, 1) },
+			wantErr: "overlay: self-link on NID 1",
+		},
+		{
+			name:    "add duplicate link",
+			mutate:  func(ov *Overlay) error { return ov.AddLink(1, 2, 10, 1) },
+			wantErr: "overlay: duplicate link 1->2",
+		},
+		{
+			name:    "add link with zero bandwidth",
+			mutate:  func(ov *Overlay) error { return ov.AddLink(2, 3, 0, 1) },
+			wantErr: "overlay: link 2->3 has non-positive bandwidth 0",
+		},
+		{
+			name:    "add link with negative latency",
+			mutate:  func(ov *Overlay) error { return ov.AddLink(2, 3, 10, -1) },
+			wantErr: "overlay: link 2->3 has negative latency -1",
+		},
+		{
+			name:    "add link from unknown node",
+			mutate:  func(ov *Overlay) error { return ov.AddLink(99, 2, 10, 1) },
+			wantErr: "overlay: link from unknown NID 99",
+		},
+		{
+			name:    "add link to unknown node",
+			mutate:  func(ov *Overlay) error { return ov.AddLink(2, 99, 10, 1) },
+			wantErr: "overlay: link to unknown NID 99",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ov := diamond(t)
+			linksBefore, instBefore := ov.NumLinks(), ov.NumInstances()
+			err := tc.mutate(ov)
+			if tc.wantErr != "" {
+				if err == nil || err.Error() != tc.wantErr {
+					t.Fatalf("error = %v, want %q", err, tc.wantErr)
+				}
+				// A rejected mutation must leave the overlay untouched.
+				if ov.NumLinks() != linksBefore || ov.NumInstances() != instBefore {
+					t.Fatal("rejected mutation changed the overlay")
+				}
+			} else if err != nil {
+				t.Fatal(err)
+			}
+			if tc.check != nil {
+				tc.check(t, ov)
+			}
+			assertLinkInvariants(t, ov)
+		})
+	}
+}
+
+// TestReduceThenGrowRoundTrip pins the reserve/release cycle provisioning
+// relies on: reducing and then growing by the same delta restores the exact
+// metric in both arc indexes.
+func TestReduceThenGrowRoundTrip(t *testing.T) {
+	ov := diamond(t)
+	if err := ov.ReduceLinkBandwidth(1, 2, 60); err != nil {
+		t.Fatal(err)
+	}
+	if err := ov.GrowLinkBandwidth(1, 2, 60); err != nil {
+		t.Fatal(err)
+	}
+	want := qos.Metric{Bandwidth: 100, Latency: 10}
+	if m, ok := ov.LinkMetric(1, 2); !ok || m != want {
+		t.Fatalf("round-tripped metric = %+v, %v; want %+v", m, ok, want)
+	}
+	assertLinkInvariants(t, ov)
+}
+
+// TestSaturatedLinkCanBeReadded asserts a link removed by saturation is truly
+// gone: re-adding it succeeds rather than tripping the duplicate check.
+func TestSaturatedLinkCanBeReadded(t *testing.T) {
+	ov := diamond(t)
+	if err := ov.ReduceLinkBandwidth(1, 2, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := ov.AddLink(1, 2, 7, 3); err != nil {
+		t.Fatalf("re-adding a saturated link: %v", err)
+	}
+	want := qos.Metric{Bandwidth: 7, Latency: 3}
+	if m, ok := ov.LinkMetric(1, 2); !ok || m != want {
+		t.Fatalf("re-added metric = %+v, %v; want %+v", m, ok, want)
+	}
+	assertLinkInvariants(t, ov)
+}

@@ -190,6 +190,30 @@ func (o *Overlay) ReduceLinkBandwidth(from, to int, delta int64) error {
 	return nil
 }
 
+// RemoveLink deletes the directed service link from -> to (modelling a
+// link failure, as opposed to ReduceLinkBandwidth's gradual saturation).
+func (o *Overlay) RemoveLink(from, to int) error {
+	idx := -1
+	for i, a := range o.out[from] {
+		if a.To == to {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("overlay: no link %d->%d to remove", from, to)
+	}
+	o.out[from] = append(o.out[from][:idx], o.out[from][idx+1:]...)
+	for i, a := range o.in[to] {
+		if a.To == from {
+			o.in[to] = append(o.in[to][:i], o.in[to][i+1:]...)
+			break
+		}
+	}
+	o.numLinks--
+	return nil
+}
+
 // HasLink reports whether a service link from -> to exists.
 func (o *Overlay) HasLink(from, to int) bool {
 	_, ok := o.LinkMetric(from, to)

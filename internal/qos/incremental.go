@@ -1,0 +1,251 @@
+// Incremental maintenance of an all-pairs shortest-widest table under graph
+// mutations.
+//
+// The key observation is that shortestWidest(g, s) is a deterministic pure
+// function of the out-arc lists it actually reads, and it reads Out(u) only
+// for nodes u reachable from s (phase 1 pops exactly the reachable set and
+// phase 2 / the fallback walk subsets of it). A mutation that changes Out(u)
+// therefore cannot change — not even in tie-breaking — the result of any
+// source that could not reach u. Tracking, per node, the set of sources whose
+// last run read it (the reverse-dependency "readers" index) turns a mutation
+// into an exact dirty set: recomputing just those sources reproduces the
+// from-scratch table bit for bit, selected paths included.
+package qos
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"sflow/internal/metrics"
+)
+
+// Incremental maintains the AllPairs shortest-widest table of a mutable
+// graph. The caller owns the graph and reports every mutation through
+// OutChanged / NodeAdded / NodeRemoved; Flush (or AllPairs) then recomputes
+// only the affected sources. Incremental is not safe for concurrent use —
+// the internal recompute fan-out is its only parallelism.
+type Incremental struct {
+	g       Graph
+	workers int
+	ins     instr
+
+	ap *AllPairs
+	// readers maps node u -> the sources whose current result was computed
+	// by a run that read Out(u), i.e. the sources that can reach u. Exactly
+	// these sources must be recomputed when Out(u) changes.
+	readers map[int]map[int]struct{}
+	// dirty holds the sources whose cached result may be stale.
+	dirty map[int]struct{}
+
+	flushes, recomputed, saved *metrics.Counter
+}
+
+// NewIncremental computes the initial all-pairs table of g and the
+// reverse-dependency index behind incremental maintenance. workers bounds the
+// per-source fan-out of the initial computation and of every Flush (<= 0
+// means GOMAXPROCS, 1 forces sequential). reg, when non-nil, receives
+// qos_incremental_* counters alongside the usual routing instrumentation.
+func NewIncremental(g Graph, workers int, reg *metrics.Registry) *Incremental {
+	ins := instrFor(reg)
+	inc := &Incremental{
+		g:       g,
+		workers: workers,
+		ins:     ins,
+		ap:      computeAllPairs(g, workers, false, ins),
+		readers: make(map[int]map[int]struct{}),
+		dirty:   make(map[int]struct{}),
+	}
+	if reg != nil {
+		inc.flushes = reg.Counter("qos_incremental_flushes_total")
+		inc.recomputed = reg.Counter("qos_incremental_recomputed_sources_total")
+		inc.saved = reg.Counter("qos_incremental_saved_sources_total")
+	}
+	for src, res := range inc.ap.results {
+		inc.register(src, res)
+	}
+	return inc
+}
+
+// register adds src to the readers set of every node its result reached.
+func (inc *Incremental) register(src int, res *Result) {
+	for u := range res.Dist {
+		set, ok := inc.readers[u]
+		if !ok {
+			set = make(map[int]struct{})
+			inc.readers[u] = set
+		}
+		set[src] = struct{}{}
+	}
+}
+
+// unregister removes src from the readers set of every node its previous
+// result reached.
+func (inc *Incremental) unregister(src int, res *Result) {
+	for u := range res.Dist {
+		if set, ok := inc.readers[u]; ok {
+			delete(set, src)
+			if len(set) == 0 {
+				delete(inc.readers, u)
+			}
+		}
+	}
+}
+
+// OutChanged records that the out-arcs of u changed (a link out of u was
+// added, removed, or re-weighted): every source that could reach u — and
+// only those — must recompute.
+func (inc *Incremental) OutChanged(u int) {
+	for src := range inc.readers[u] {
+		inc.dirty[src] = struct{}{}
+	}
+	// u's own run reads Out(u) by definition; registration guarantees
+	// u ∈ readers[u] while u has a result, but be defensive about a node
+	// whose links appear before Flush ran after NodeAdded.
+	if _, ok := inc.ap.results[u]; ok {
+		inc.dirty[u] = struct{}{}
+	}
+}
+
+// NodeAdded records that n joined the graph. The new source needs its own
+// run; existing sources cannot reach a node that has no in-links yet, and
+// the links that follow arrive as OutChanged events.
+func (inc *Incremental) NodeAdded(n int) {
+	inc.dirty[n] = struct{}{}
+}
+
+// NodeRemoved records that n left the graph along with its incident arcs.
+// The caller must additionally report OutChanged for every former in-neighbor
+// of n (their out-arc lists shrank). Sources that reached n are dirtied here
+// as well, which over-approximates safely even if the caller's OutChanged
+// calls already cover them.
+func (inc *Incremental) NodeRemoved(n int) {
+	for src := range inc.readers[n] {
+		inc.dirty[src] = struct{}{}
+	}
+	if res, ok := inc.ap.results[n]; ok {
+		inc.unregister(n, res)
+		delete(inc.ap.results, n)
+	}
+	delete(inc.dirty, n)
+	// Any readers entry for n itself is now stale; recomputed sources will
+	// simply no longer reach n, and unregister above dropped n's own runs.
+	delete(inc.readers, n)
+}
+
+// Dirty returns the sources currently queued for recomputation, ascending.
+func (inc *Incremental) Dirty() []int {
+	out := make([]int, 0, len(inc.dirty))
+	for src := range inc.dirty {
+		out = append(out, src)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Flush recomputes every dirty source and returns how many were recomputed.
+// The maintained table afterwards equals a from-scratch ComputeAllPairs on
+// the current graph, byte for byte.
+func (inc *Incremental) Flush() int {
+	if len(inc.dirty) == 0 {
+		return 0
+	}
+	nodes := inc.g.Nodes()
+	current := make(map[int]struct{}, len(nodes))
+	for _, n := range nodes {
+		current[n] = struct{}{}
+	}
+	srcs := make([]int, 0, len(inc.dirty))
+	for src := range inc.dirty {
+		if _, ok := current[src]; ok {
+			srcs = append(srcs, src)
+		} else if res, ok := inc.ap.results[src]; ok {
+			// A dirty source that left before the flush: drop it.
+			inc.unregister(src, res)
+			delete(inc.ap.results, src)
+		}
+	}
+	sort.Ints(srcs)
+	inc.dirty = make(map[int]struct{})
+
+	fresh := make([]*Result, len(srcs))
+	workers := inc.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(srcs) {
+		workers = len(srcs)
+	}
+	if workers <= 1 {
+		for i, src := range srcs {
+			fresh[i] = shortestWidest(inc.g, src, inc.ins)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(srcs) {
+						return
+					}
+					fresh[i] = shortestWidest(inc.g, srcs[i], inc.ins)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i, src := range srcs {
+		if old, ok := inc.ap.results[src]; ok {
+			inc.unregister(src, old)
+		}
+		inc.ap.results[src] = fresh[i]
+		inc.register(src, fresh[i])
+	}
+	inc.flushes.Inc()
+	inc.recomputed.Add(int64(len(srcs)))
+	inc.saved.Add(int64(len(nodes) - len(srcs)))
+	return len(srcs)
+}
+
+// AllPairs flushes pending recomputation and returns the maintained table.
+// The returned value is updated in place by later flushes; callers that need
+// a stable snapshot must not mutate the graph while holding on to results.
+func (inc *Incremental) AllPairs() *AllPairs {
+	inc.Flush()
+	return inc.ap
+}
+
+// Equal reports whether two all-pairs tables are deeply equal: same sources,
+// and per source the same reachable set, metrics and selected paths.
+func (ap *AllPairs) Equal(o *AllPairs) bool {
+	if len(ap.results) != len(o.results) {
+		return false
+	}
+	for src, r := range ap.results {
+		or, ok := o.results[src]
+		if !ok || len(r.Dist) != len(or.Dist) {
+			return false
+		}
+		for dst, m := range r.Dist {
+			om, ok := or.Dist[dst]
+			if !ok || m != om {
+				return false
+			}
+			p, op := r.paths[dst], or.paths[dst]
+			if len(p) != len(op) {
+				return false
+			}
+			for i := range p {
+				if p[i] != op[i] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,268 @@
+package qos
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"sflow/internal/metrics"
+)
+
+// mutate helpers for testGraph (the adjacency-map Graph of qos_test.go).
+
+func (g *testGraph) setArc(u, v int, bw, lat int64) {
+	for i, a := range g.adj[u] {
+		if a.To == v {
+			g.adj[u][i] = Arc{To: v, Bandwidth: bw, Latency: lat}
+			return
+		}
+	}
+	g.addArc(u, v, bw, lat)
+}
+
+func (g *testGraph) dropArcTo(u, v int) {
+	out := g.adj[u][:0]
+	for _, a := range g.adj[u] {
+		if a.To != v {
+			out = append(out, a)
+		}
+	}
+	g.adj[u] = out
+}
+
+func (g *testGraph) removeNode(n int) (inNeighbors []int) {
+	delete(g.adj, n)
+	for u := range g.adj {
+		had := false
+		for _, a := range g.adj[u] {
+			if a.To == n {
+				had = true
+			}
+		}
+		if had {
+			g.dropArcTo(u, n)
+			inNeighbors = append(inNeighbors, u)
+		}
+	}
+	return inNeighbors
+}
+
+func assertMatchesScratch(t *testing.T, inc *Incremental, g Graph) {
+	t.Helper()
+	got := inc.AllPairs()
+	want := ComputeAllPairsWorkers(g, 1)
+	if !got.Equal(want) || !want.Equal(got) {
+		t.Fatalf("incremental table diverged from scratch:\n got sources %v\nwant sources %v",
+			got.Sources(), want.Sources())
+	}
+}
+
+// chainGraph builds 1 -> 2 -> 3 -> 4 plus an off-path node 5 -> 1.
+func chainGraph() *testGraph {
+	g := newTestGraph()
+	g.addArc(1, 2, 100, 10)
+	g.addArc(2, 3, 100, 10)
+	g.addArc(3, 4, 100, 10)
+	g.addArc(5, 1, 100, 10)
+	return g
+}
+
+func TestIncrementalDirtySetIsExactlyTheReachers(t *testing.T) {
+	g := chainGraph()
+	inc := NewIncremental(g, 1, nil)
+	// A change on Out(3) can affect only sources that reach 3: 1, 2, 3, 5.
+	// Node 4 (no out-arcs to 3) must not be recomputed.
+	g.setArc(3, 4, 50, 20)
+	inc.OutChanged(3)
+	if got, want := inc.Dirty(), []int{1, 2, 3, 5}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("dirty = %v, want %v", got, want)
+	}
+	if n := inc.Flush(); n != 4 {
+		t.Fatalf("flush recomputed %d sources, want 4", n)
+	}
+	assertMatchesScratch(t, inc, g)
+	// Sink-side change: Out(4) gains an arc; source 4 itself plus everything
+	// that reaches 4 goes dirty, but nothing else.
+	g.addArc(4, 5, 10, 1)
+	inc.OutChanged(4)
+	if got, want := inc.Dirty(), []int{1, 2, 3, 4, 5}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("dirty = %v, want %v", got, want)
+	}
+	inc.Flush()
+	assertMatchesScratch(t, inc, g)
+}
+
+func TestIncrementalNodeLifecycle(t *testing.T) {
+	g := chainGraph()
+	inc := NewIncremental(g, 1, nil)
+
+	// Join: the new node needs its own run; links arrive as OutChanged.
+	g.addNode(9)
+	inc.NodeAdded(9)
+	g.addArc(9, 2, 80, 5)
+	inc.OutChanged(9)
+	g.addArc(4, 9, 80, 5)
+	inc.OutChanged(4)
+	inc.Flush()
+	assertMatchesScratch(t, inc, g)
+
+	// Leave: in-neighbors' out-lists shrink, sources that reached it redo.
+	ins := g.removeNode(2)
+	for _, u := range ins {
+		inc.OutChanged(u)
+	}
+	inc.NodeRemoved(2)
+	inc.Flush()
+	assertMatchesScratch(t, inc, g)
+	for _, src := range inc.AllPairs().Sources() {
+		if src == 2 {
+			t.Fatal("removed node still has a result")
+		}
+	}
+}
+
+func TestIncrementalDirtySourceRemovedBeforeFlush(t *testing.T) {
+	g := chainGraph()
+	inc := NewIncremental(g, 1, nil)
+	// Dirty node 5 (it reaches everything), then remove it before flushing:
+	// the flush must drop it, not recompute it.
+	g.setArc(1, 2, 42, 7)
+	inc.OutChanged(1)
+	ins := g.removeNode(5)
+	for _, u := range ins {
+		inc.OutChanged(u)
+	}
+	inc.NodeRemoved(5)
+	inc.Flush()
+	assertMatchesScratch(t, inc, g)
+}
+
+func TestIncrementalAddedThenRemovedBeforeFlush(t *testing.T) {
+	g := chainGraph()
+	inc := NewIncremental(g, 1, nil)
+	g.addNode(7)
+	inc.NodeAdded(7)
+	g.removeNode(7)
+	inc.NodeRemoved(7)
+	if n := inc.Flush(); n != 0 {
+		t.Fatalf("flush recomputed %d sources for a node that came and went", n)
+	}
+	assertMatchesScratch(t, inc, g)
+}
+
+// TestIncrementalRandomTraceAllWorkerCounts drives random mutations against
+// the reverse-dependency bookkeeping at several flush fan-outs; every flush
+// must land byte-identical to the sequential scratch table.
+func TestIncrementalRandomTraceAllWorkerCounts(t *testing.T) {
+	for _, workers := range []int{1, 2, 0} {
+		rng := rand.New(rand.NewSource(int64(37 + workers)))
+		g := randomGraph(rng, 16, 0.25)
+		inc := NewIncremental(g, workers, nil)
+		next := 100
+		steps := 300
+		if testing.Short() {
+			steps = 80
+		}
+		for i := 0; i < steps; i++ {
+			nodes := g.Nodes()
+			switch rng.Intn(4) {
+			case 0: // re-weight or add an arc
+				u := nodes[rng.Intn(len(nodes))]
+				v := nodes[rng.Intn(len(nodes))]
+				if u == v {
+					continue
+				}
+				g.setArc(u, v, 1+rng.Int63n(100), rng.Int63n(50))
+				inc.OutChanged(u)
+			case 1: // drop an arc
+				u := nodes[rng.Intn(len(nodes))]
+				if len(g.adj[u]) == 0 {
+					continue
+				}
+				v := g.adj[u][rng.Intn(len(g.adj[u]))].To
+				g.dropArcTo(u, v)
+				inc.OutChanged(u)
+			case 2: // add a node with one arc each way
+				n := next
+				next++
+				g.addNode(n)
+				inc.NodeAdded(n)
+				peer := nodes[rng.Intn(len(nodes))]
+				g.setArc(n, peer, 1+rng.Int63n(100), rng.Int63n(50))
+				inc.OutChanged(n)
+				peer = nodes[rng.Intn(len(nodes))]
+				if peer != n {
+					g.setArc(peer, n, 1+rng.Int63n(100), rng.Int63n(50))
+					inc.OutChanged(peer)
+				}
+			case 3: // remove a node
+				if len(nodes) <= 4 {
+					continue
+				}
+				n := nodes[rng.Intn(len(nodes))]
+				for _, u := range g.removeNode(n) {
+					inc.OutChanged(u)
+				}
+				inc.NodeRemoved(n)
+			}
+			if i%5 == 0 {
+				assertMatchesScratch(t, inc, g)
+			}
+		}
+		assertMatchesScratch(t, inc, g)
+	}
+}
+
+func TestIncrementalCounters(t *testing.T) {
+	reg := metrics.New()
+	g := chainGraph()
+	inc := NewIncremental(g, 1, reg)
+	g.setArc(3, 4, 50, 20)
+	inc.OutChanged(3)
+	inc.Flush()
+	if got := reg.Counter("qos_incremental_flushes_total").Value(); got != 1 {
+		t.Fatalf("flushes counter = %d", got)
+	}
+	if got := reg.Counter("qos_incremental_recomputed_sources_total").Value(); got != 4 {
+		t.Fatalf("recomputed counter = %d", got)
+	}
+	// 5 nodes, 4 recomputed: one source saved versus a full rebuild.
+	if got := reg.Counter("qos_incremental_saved_sources_total").Value(); got != 1 {
+		t.Fatalf("saved counter = %d", got)
+	}
+}
+
+func TestAllPairsEqual(t *testing.T) {
+	g := chainGraph()
+	a := ComputeAllPairsWorkers(g, 1)
+	b := ComputeAllPairsWorkers(g, 1)
+	if !a.Equal(b) {
+		t.Fatal("identical tables compare unequal")
+	}
+	// Different metric.
+	h := chainGraph()
+	h.setArc(1, 2, 99, 10)
+	if a.Equal(ComputeAllPairsWorkers(h, 1)) {
+		t.Fatal("tables with different metrics compare equal")
+	}
+	// Same metrics, different selected path: two equal-quality routes.
+	p1 := newTestGraph()
+	p1.addArc(1, 2, 10, 5)
+	p1.addArc(2, 4, 10, 5)
+	p1.addArc(1, 3, 10, 5)
+	p1.addArc(3, 4, 10, 5)
+	p2 := newTestGraph()
+	p2.addArc(1, 3, 10, 5)
+	p2.addArc(3, 4, 10, 5)
+	ap1 := ComputeAllPairsWorkers(p1, 1)
+	ap2 := ComputeAllPairsWorkers(p2, 1)
+	if ap1.Equal(ap2) {
+		t.Fatal("tables over different graphs compare equal")
+	}
+	// Different source sets.
+	i := chainGraph()
+	i.addNode(42)
+	if a.Equal(ComputeAllPairsWorkers(i, 1)) {
+		t.Fatal("tables with different source sets compare equal")
+	}
+}

@@ -1,0 +1,71 @@
+package session_test
+
+import (
+	"fmt"
+	"testing"
+
+	"sflow/internal/qos"
+	"sflow/internal/scenario"
+	"sflow/internal/session"
+)
+
+// BenchmarkSessionIncrementalVsRebuild measures the session's reason to
+// exist: after a single link change, the incremental flush recomputes only
+// the sources that could reach the changed node, while the stateless path
+// recomputes all of them. Both legs produce byte-identical tables (the
+// equivalence-oracle tests assert that); this benchmark prices the
+// difference. results/bench-dynamics.txt holds a committed capture.
+func BenchmarkSessionIncrementalVsRebuild(b *testing.B) {
+	for _, size := range []int{30, 60, 120} {
+		// The overlay has ~1 + (Services-1)*InstancesPerService instances;
+		// scale the instance count so the table really grows with size.
+		sc, err := scenario.Generate(scenario.Config{
+			Seed: 1, NetworkSize: size, Services: 6, InstancesPerService: size / 5,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		links := sc.Overlay.Links()
+		l := links[len(links)/2]
+
+		b.Run(fmt.Sprintf("n=%d/incremental", size), func(b *testing.B) {
+			s := session.New(sc.Overlay, session.Options{Workers: 1})
+			s.Flush()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Grow and shrink the same link so the overlay state is
+				// steady across iterations; each toggle dirties only the
+				// sources that route through the link's tail.
+				if err := s.GrowLinkBandwidth(l.From, l.To, 1); err != nil {
+					b.Fatal(err)
+				}
+				if err := s.ReduceLinkBandwidth(l.From, l.To, 1); err != nil {
+					b.Fatal(err)
+				}
+				if n := s.Flush(); n == 0 {
+					b.Fatal("nothing recomputed")
+				}
+			}
+			st := s.Stats()
+			b.ReportMetric(float64(st.RecomputedSources)/float64(st.Flushes), "sources/flush")
+		})
+
+		b.Run(fmt.Sprintf("n=%d/rebuild", size), func(b *testing.B) {
+			ov := sc.Overlay.Clone()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := ov.GrowLinkBandwidth(l.From, l.To, 1); err != nil {
+					b.Fatal(err)
+				}
+				if err := ov.ReduceLinkBandwidth(l.From, l.To, 1); err != nil {
+					b.Fatal(err)
+				}
+				ap := qos.ComputeAllPairsWorkers(ov, 1)
+				if len(ap.Sources()) == 0 {
+					b.Fatal("empty table")
+				}
+			}
+			b.ReportMetric(float64(sc.Overlay.NumInstances()), "sources/flush")
+		})
+	}
+}

@@ -1,0 +1,245 @@
+package session
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// EventKind enumerates the mutation events of the dynamics model: the churn a
+// long-lived overlay sees between solves.
+type EventKind int
+
+const (
+	// EventGrowBandwidth releases capacity on an existing link.
+	EventGrowBandwidth EventKind = iota
+	// EventReduceBandwidth reserves capacity on an existing link; reducing
+	// to zero removes the link, as in provisioning.
+	EventReduceBandwidth
+	// EventAddLink connects two previously unlinked instances.
+	EventAddLink
+	// EventRemoveLink fails an existing link outright.
+	EventRemoveLink
+	// EventInstanceJoin adds a fresh instance of an existing service with a
+	// few random links.
+	EventInstanceJoin
+	// EventInstanceLeave removes an instance and its incident links.
+	EventInstanceLeave
+
+	numEventKinds
+)
+
+// String names the event kind for logs and test failures.
+func (k EventKind) String() string {
+	switch k {
+	case EventGrowBandwidth:
+		return "grow-bandwidth"
+	case EventReduceBandwidth:
+		return "reduce-bandwidth"
+	case EventAddLink:
+		return "add-link"
+	case EventRemoveLink:
+		return "remove-link"
+	case EventInstanceJoin:
+		return "instance-join"
+	case EventInstanceLeave:
+		return "instance-leave"
+	default:
+		return fmt.Sprintf("event-kind-%d", int(k))
+	}
+}
+
+// Event records one applied mutation: the kind, the link endpoints (From/To,
+// for link events), the instance (NID, for join/leave) and the bandwidth
+// delta (for grow/reduce).
+type Event struct {
+	Kind     EventKind
+	From, To int
+	NID      int
+	Delta    int64
+}
+
+// Churn draws a seeded, deterministic stream of mutation events and applies
+// them to a session: the event model behind the dynamics experiment and the
+// equivalence-oracle tests. Every decision comes from the stream's own rng
+// and the session's (deterministically ordered) overlay accessors, so a
+// (seed, initial overlay) pair always produces the same trace.
+//
+// The generator never removes a protected instance (the consumer's source),
+// never removes the last instance of a required service, and stops shrinking
+// the overlay below half its initial size — the churn stresses cache
+// maintenance, not requirement feasibility, although link removals may still
+// make individual solves fail (both the cached and the stateless path then
+// fail identically).
+type Churn struct {
+	s        *Session
+	rng      *rand.Rand
+	protect  map[int]bool
+	required map[int]bool
+	next     int // next fresh NID for joins
+	minSize  int // never shrink below this many instances
+}
+
+// NewChurn starts a seeded event stream against s. protectNIDs are instances
+// that must never leave (typically the requirement's source instance);
+// requiredSIDs are services that must keep at least one instance (typically
+// req.Services()).
+func NewChurn(s *Session, seed int64, protectNIDs, requiredSIDs []int) *Churn {
+	c := &Churn{
+		s:        s,
+		rng:      rand.New(rand.NewSource(seed)),
+		protect:  make(map[int]bool, len(protectNIDs)),
+		required: make(map[int]bool, len(requiredSIDs)),
+		minSize:  s.Overlay().NumInstances()/2 + 1,
+	}
+	for _, nid := range protectNIDs {
+		c.protect[nid] = true
+	}
+	for _, sid := range requiredSIDs {
+		c.required[sid] = true
+	}
+	for _, nid := range s.Overlay().Nodes() {
+		if nid >= c.next {
+			c.next = nid + 1
+		}
+	}
+	return c
+}
+
+// Step applies one random mutation to the session and returns it. When the
+// drawn kind is not applicable in the current overlay (no links to remove, no
+// removable instance, ...) the remaining kinds are tried in a fixed rotation,
+// so Step fails only on an overlay that admits no mutation at all.
+func (c *Churn) Step() (Event, error) {
+	first := EventKind(c.rng.Intn(int(numEventKinds)))
+	for i := 0; i < int(numEventKinds); i++ {
+		kind := EventKind((int(first) + i) % int(numEventKinds))
+		ev, ok, err := c.try(kind)
+		if err != nil {
+			return Event{}, fmt.Errorf("session: churn %v: %w", kind, err)
+		}
+		if ok {
+			return ev, nil
+		}
+	}
+	return Event{}, fmt.Errorf("session: no applicable mutation (%d instances, %d links)",
+		c.s.Overlay().NumInstances(), c.s.Overlay().NumLinks())
+}
+
+// try attempts one mutation of the given kind; ok reports whether the kind
+// was applicable.
+func (c *Churn) try(kind EventKind) (Event, bool, error) {
+	ov := c.s.Overlay()
+	switch kind {
+	case EventGrowBandwidth:
+		links := ov.Links()
+		if len(links) == 0 {
+			return Event{}, false, nil
+		}
+		l := links[c.rng.Intn(len(links))]
+		delta := 1 + c.rng.Int63n(512)
+		if err := c.s.GrowLinkBandwidth(l.From, l.To, delta); err != nil {
+			return Event{}, false, err
+		}
+		return Event{Kind: kind, From: l.From, To: l.To, Delta: delta}, true, nil
+
+	case EventReduceBandwidth:
+		links := ov.Links()
+		if len(links) == 0 {
+			return Event{}, false, nil
+		}
+		l := links[c.rng.Intn(len(links))]
+		// Up to the full bandwidth: a saturating reservation removes the
+		// link, exercising the removal path of the cache maintenance.
+		delta := 1 + c.rng.Int63n(l.Bandwidth)
+		if err := c.s.ReduceLinkBandwidth(l.From, l.To, delta); err != nil {
+			return Event{}, false, err
+		}
+		return Event{Kind: kind, From: l.From, To: l.To, Delta: delta}, true, nil
+
+	case EventAddLink:
+		nodes := ov.Nodes()
+		if len(nodes) < 2 {
+			return Event{}, false, nil
+		}
+		for attempt := 0; attempt < 8; attempt++ {
+			from := nodes[c.rng.Intn(len(nodes))]
+			to := nodes[c.rng.Intn(len(nodes))]
+			if from == to || ov.HasLink(from, to) {
+				continue
+			}
+			bw, lat := 1+c.rng.Int63n(1024), c.rng.Int63n(5000)
+			if err := c.s.AddLink(from, to, bw, lat); err != nil {
+				return Event{}, false, err
+			}
+			return Event{Kind: kind, From: from, To: to, Delta: bw}, true, nil
+		}
+		return Event{}, false, nil
+
+	case EventRemoveLink:
+		links := ov.Links()
+		if len(links) == 0 {
+			return Event{}, false, nil
+		}
+		l := links[c.rng.Intn(len(links))]
+		if err := c.s.RemoveLink(l.From, l.To); err != nil {
+			return Event{}, false, err
+		}
+		return Event{Kind: kind, From: l.From, To: l.To}, true, nil
+
+	case EventInstanceJoin:
+		sids := ov.SIDs()
+		if len(sids) == 0 {
+			return Event{}, false, nil
+		}
+		nid := c.next
+		c.next++
+		sid := sids[c.rng.Intn(len(sids))]
+		if err := c.s.AddInstance(nid, sid, -1); err != nil {
+			return Event{}, false, err
+		}
+		// A couple of random in- and out-links so the newcomer is not
+		// isolated; duplicates and self-links are skipped, so the joiner
+		// may still end up with fewer (or zero) links.
+		nodes := ov.Nodes()
+		for i := 0; i < 2; i++ {
+			peer := nodes[c.rng.Intn(len(nodes))]
+			if peer != nid && !ov.HasLink(nid, peer) {
+				if err := c.s.AddLink(nid, peer, 1+c.rng.Int63n(1024), c.rng.Int63n(5000)); err != nil {
+					return Event{}, false, err
+				}
+			}
+			peer = nodes[c.rng.Intn(len(nodes))]
+			if peer != nid && !ov.HasLink(peer, nid) {
+				if err := c.s.AddLink(peer, nid, 1+c.rng.Int63n(1024), c.rng.Int63n(5000)); err != nil {
+					return Event{}, false, err
+				}
+			}
+		}
+		return Event{Kind: kind, NID: nid}, true, nil
+
+	case EventInstanceLeave:
+		if ov.NumInstances() <= c.minSize {
+			return Event{}, false, nil
+		}
+		var candidates []int
+		for _, nid := range ov.Nodes() {
+			if c.protect[nid] {
+				continue
+			}
+			sid := ov.SIDOf(nid)
+			if c.required[sid] && len(ov.InstancesOf(sid)) <= 1 {
+				continue
+			}
+			candidates = append(candidates, nid)
+		}
+		if len(candidates) == 0 {
+			return Event{}, false, nil
+		}
+		nid := candidates[c.rng.Intn(len(candidates))]
+		if err := c.s.RemoveInstance(nid); err != nil {
+			return Event{}, false, err
+		}
+		return Event{Kind: kind, NID: nid}, true, nil
+	}
+	return Event{}, false, fmt.Errorf("unknown event kind %d", int(kind))
+}

@@ -1,0 +1,231 @@
+// Package session implements the incremental federation session behind the
+// paper's "agile" claim: a long-lived overlay whose expensive derived state —
+// the all-pairs shortest-widest table and the service abstract graphs built
+// on it — is maintained under mutation events instead of rebuilt per solve.
+//
+// Every overlay change (a link re-weighted, added or removed; an instance
+// joining or leaving) flows through the session, which translates it into
+// exact per-source dirty sets via qos.Incremental's reverse-dependency
+// index. A solve after k changed links recomputes only the sources that
+// could reach a changed node, not all of them; on single-link churn that is
+// typically a small fraction of the overlay (see results/bench-dynamics.txt).
+//
+// The maintained caches are provably equivalent to from-scratch rebuilds —
+// not just metric-equal but byte-identical, selected paths included — which
+// the equivalence-oracle tests in this package assert after every event of
+// long random mutation traces.
+package session
+
+import (
+	"fmt"
+	"time"
+
+	"sflow/internal/abstract"
+	"sflow/internal/core"
+	"sflow/internal/metrics"
+	"sflow/internal/overlay"
+	"sflow/internal/qos"
+	"sflow/internal/require"
+)
+
+// Options tunes a session. The zero value is ready to use.
+type Options struct {
+	// Workers bounds the fan-out of the initial all-pairs computation and
+	// of every incremental flush: 0 uses runtime.GOMAXPROCS(0), 1 forces
+	// sequential recomputation (results are identical either way).
+	Workers int
+	// Metrics, when non-nil, receives session counters (events by kind,
+	// recomputed vs saved sources) and a volatile flush-latency histogram.
+	Metrics *metrics.Registry
+}
+
+// Stats accumulates what a session did over its lifetime. All fields are
+// deterministic for a deterministic event stream.
+type Stats struct {
+	// Events counts accepted mutation events.
+	Events int64
+	// Flushes counts incremental recomputation passes.
+	Flushes int64
+	// RecomputedSources counts per-source shortest-widest runs the flushes
+	// performed.
+	RecomputedSources int64
+	// SavedSources counts the per-source runs a from-scratch rebuild would
+	// have performed at each flush but the incremental maintenance skipped.
+	SavedSources int64
+}
+
+// Session owns a private copy of an overlay and keeps its all-pairs
+// shortest-widest table incrementally up to date under mutations. It is not
+// safe for concurrent use; the recompute fan-out is its only parallelism.
+type Session struct {
+	ov      *overlay.Overlay
+	inc     *qos.Incremental
+	workers int
+	reg     *metrics.Registry
+	stats   Stats
+
+	events  *metrics.Counter
+	flushUS *metrics.Histogram
+}
+
+// New starts a session over a private clone of ov (later mutations of the
+// caller's overlay do not affect the session, and vice versa).
+func New(ov *overlay.Overlay, opts Options) *Session {
+	own := ov.Clone()
+	s := &Session{
+		ov:      own,
+		inc:     qos.NewIncremental(own, opts.Workers, opts.Metrics),
+		workers: opts.Workers,
+		reg:     opts.Metrics,
+	}
+	if opts.Metrics != nil {
+		s.events = opts.Metrics.Counter("session_events_total")
+		s.flushUS = opts.Metrics.Histogram("session_flush_us",
+			metrics.ExponentialBounds(10, 10, 6), metrics.Volatile())
+	}
+	return s
+}
+
+// Overlay returns the session's overlay. Callers must treat it as read-only:
+// mutating it directly (instead of through the session's event methods)
+// silently invalidates the maintained caches.
+func (s *Session) Overlay() *overlay.Overlay { return s.ov }
+
+// Stats returns what the session has done so far.
+func (s *Session) Stats() Stats { return s.stats }
+
+// event records one accepted mutation.
+func (s *Session) event() {
+	s.stats.Events++
+	s.events.Inc()
+}
+
+// AddInstance applies an InstanceJoined event: a new service instance with
+// no links yet (links follow as AddLink events).
+func (s *Session) AddInstance(nid, sid, host int) error {
+	if err := s.ov.AddInstance(nid, sid, host); err != nil {
+		return err
+	}
+	s.inc.NodeAdded(nid)
+	s.event()
+	return nil
+}
+
+// RemoveInstance applies an InstanceLeft event: the instance and every
+// incident service link disappear.
+func (s *Session) RemoveInstance(nid int) error {
+	// Capture the in-neighbors before the overlay drops them: their
+	// out-arc lists are about to shrink.
+	ins := append([]qos.Arc(nil), s.ov.In(nid)...)
+	if err := s.ov.RemoveInstance(nid); err != nil {
+		return err
+	}
+	for _, a := range ins {
+		s.inc.OutChanged(a.To)
+	}
+	s.inc.NodeRemoved(nid)
+	s.event()
+	return nil
+}
+
+// AddLink applies a LinkAdded event.
+func (s *Session) AddLink(from, to int, bandwidth, latency int64) error {
+	if err := s.ov.AddLink(from, to, bandwidth, latency); err != nil {
+		return err
+	}
+	s.inc.OutChanged(from)
+	s.event()
+	return nil
+}
+
+// RemoveLink applies a LinkRemoved event.
+func (s *Session) RemoveLink(from, to int) error {
+	if err := s.ov.RemoveLink(from, to); err != nil {
+		return err
+	}
+	s.inc.OutChanged(from)
+	s.event()
+	return nil
+}
+
+// GrowLinkBandwidth applies a LinkBandwidthChanged event that releases
+// capacity on from -> to.
+func (s *Session) GrowLinkBandwidth(from, to int, delta int64) error {
+	if err := s.ov.GrowLinkBandwidth(from, to, delta); err != nil {
+		return err
+	}
+	s.inc.OutChanged(from)
+	s.event()
+	return nil
+}
+
+// ReduceLinkBandwidth applies a LinkBandwidthChanged event that reserves
+// capacity on from -> to; reducing to zero or below removes the link, as in
+// the overlay mutator it wraps.
+func (s *Session) ReduceLinkBandwidth(from, to int, delta int64) error {
+	if err := s.ov.ReduceLinkBandwidth(from, to, delta); err != nil {
+		return err
+	}
+	s.inc.OutChanged(from)
+	s.event()
+	return nil
+}
+
+// Flush recomputes every source the pending events dirtied and returns how
+// many per-source runs that took. A from-scratch rebuild would have run one
+// per instance; the difference is the saving the session exists for.
+func (s *Session) Flush() int {
+	if len(s.inc.Dirty()) == 0 {
+		return 0
+	}
+	start := time.Now()
+	n := s.inc.Flush()
+	s.flushUS.Observe(time.Since(start).Microseconds())
+	s.stats.Flushes++
+	s.stats.RecomputedSources += int64(n)
+	s.stats.SavedSources += int64(s.ov.NumInstances() - n)
+	return n
+}
+
+// Dirty returns the sources a Flush would currently recompute, ascending.
+func (s *Session) Dirty() []int { return s.inc.Dirty() }
+
+// AllPairs flushes pending recomputation and returns the maintained
+// shortest-widest table. It equals a from-scratch qos.ComputeAllPairs on the
+// current overlay, byte for byte.
+func (s *Session) AllPairs() *qos.AllPairs {
+	s.Flush()
+	return s.inc.AllPairs()
+}
+
+// Abstract flushes pending recomputation and returns the service abstract
+// graph of req over the session's overlay, backed by the maintained table
+// instead of a rebuild. It fails exactly when abstract.Build would: some
+// required service has no instance left.
+func (s *Session) Abstract(req *require.Requirement) (*abstract.Graph, error) {
+	s.Flush()
+	ag, err := abstract.FromAllPairs(s.ov, req, s.inc.AllPairs())
+	if err != nil {
+		return nil, fmt.Errorf("session: %w", err)
+	}
+	return ag, nil
+}
+
+// RepairPartial re-federates after a distributed federation over the
+// session's overlay gave up with a *core.PartialFederationError. Unlike the
+// stateless core.RepairPartial it does not clone the overlay: the
+// unresponsive instances leave the session itself (they really are gone, and
+// later solves should see that), and every removal flows through the
+// session's event methods so the maintained caches stay exact — the re-solve
+// after a repair recomputes only the sources the departures dirtied.
+func (s *Session) RepairPartial(req *require.Requirement, src int, perr *core.PartialFederationError, opts core.Options) (*core.RepairResult, error) {
+	return core.RepairPartialOn(s.ov, s.RemoveInstance, req, src, perr, opts)
+}
+
+// Federate runs the distributed sFlow protocol over the session's overlay.
+// The protocol computes from scoped local views, not from the session's
+// all-pairs caches, but running it through the session keeps one source of
+// truth for the overlay a long-lived deployment is operating on.
+func (s *Session) Federate(req *require.Requirement, src int, opts core.Options) (*core.Result, error) {
+	return core.Federate(s.ov, req, src, opts)
+}

@@ -1,0 +1,183 @@
+package sflow
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"sflow/internal/session"
+)
+
+// TestSessionSolveByteIdentical is the facade half of the equivalence
+// oracle: along seeded random mutation traces, every algorithm of the Solve
+// registry returns byte-identical output (JSON-encoded flow graph and
+// metric) whether it runs through the session's maintained caches or through
+// the stateless rebuild path on the same overlay state.
+func TestSessionSolveByteIdentical(t *testing.T) {
+	seeds, events := 5, 1000
+	if testing.Short() {
+		seeds, events = 2, 250
+	}
+	kinds := []ScenarioKind{KindGeneral, KindDisjoint, KindSplitMerge}
+	algorithms := []string{"heuristic", "fixed", "random", "servicepath"}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		sc, err := GenerateScenario(ScenarioConfig{
+			Seed: seed + 100, NetworkSize: 20, Services: 5,
+			InstancesPerService: 3, Kind: kinds[int(seed)%len(kinds)],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewSession(sc.Overlay, SessionOptions{Workers: int(seed % 3)})
+		churn := session.NewChurn(s.Session, seed*7+1, []int{sc.SourceNID}, sc.Req.Services())
+		for e := 1; e <= events; e++ {
+			if _, err := churn.Step(); err != nil {
+				t.Fatalf("seed %d event %d: %v", seed, e, err)
+			}
+			if e%20 != 0 {
+				continue
+			}
+			for _, name := range algorithms {
+				// The "random" algorithm draws from SolveOptions.Rng: seed
+				// both paths identically so any divergence is the cache's.
+				got, gerr := s.Solve(name, sc.Req, sc.SourceNID,
+					SolveOptions{Rng: rand.New(rand.NewSource(int64(e)))})
+				want, werr := Solve(name, s.Overlay(), sc.Req, sc.SourceNID,
+					SolveOptions{Rng: rand.New(rand.NewSource(int64(e))), Workers: 1})
+				if (gerr == nil) != (werr == nil) {
+					t.Fatalf("seed %d event %d %s: error mismatch: session %v, stateless %v",
+						seed, e, name, gerr, werr)
+				}
+				if gerr != nil {
+					if gerr.Error() != werr.Error() {
+						t.Fatalf("seed %d event %d %s: error text diverged:\nsession:   %v\nstateless: %v",
+							seed, e, name, gerr, werr)
+					}
+					continue
+				}
+				if got.Metric != want.Metric {
+					t.Fatalf("seed %d event %d %s: metric %v != %v", seed, e, name, got.Metric, want.Metric)
+				}
+				gj, err := json.Marshal(got.Flow)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wj, err := json.Marshal(want.Flow)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(gj, wj) {
+					t.Fatalf("seed %d event %d %s: flow graphs diverged:\nsession:   %s\nstateless: %s",
+						seed, e, name, gj, wj)
+				}
+			}
+		}
+	}
+}
+
+// TestSessionSolveUnknownAlgorithm pins the registry error on the session
+// path.
+func TestSessionSolveUnknownAlgorithm(t *testing.T) {
+	sc, err := GenerateScenario(ScenarioConfig{Seed: 5, NetworkSize: 12, Services: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession(sc.Overlay, SessionOptions{})
+	if _, err := s.Solve("nope", sc.Req, sc.SourceNID, SolveOptions{}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+// TestSessionSolveHierarchical covers the one registry entry that bypasses
+// the caches: it must still agree with the stateless dispatch.
+func TestSessionSolveHierarchical(t *testing.T) {
+	sc, err := GenerateScenario(ScenarioConfig{Seed: 6, NetworkSize: 20, Services: 5, InstancesPerService: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession(sc.Overlay, SessionOptions{})
+	churn := session.NewChurn(s.Session, 9, []int{sc.SourceNID}, sc.Req.Services())
+	for e := 0; e < 50; e++ {
+		if _, err := churn.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, gerr := s.Solve("hierarchical", sc.Req, sc.SourceNID, SolveOptions{})
+	want, werr := Solve("hierarchical", s.Overlay(), sc.Req, sc.SourceNID, SolveOptions{})
+	if (gerr == nil) != (werr == nil) {
+		t.Fatalf("error mismatch: session %v, stateless %v", gerr, werr)
+	}
+	if gerr == nil && got.Metric != want.Metric {
+		t.Fatalf("metric %v != %v", got.Metric, want.Metric)
+	}
+}
+
+// TestSessionRepairPartialReusesCaches drives the repair path through the
+// session: after a federation gives up partial, RepairPartial removes the
+// unresponsive instances through session events, the repair's outcome equals
+// the stateless core repair on an equivalent overlay, and the maintained
+// caches survive exact.
+func TestSessionRepairPartialReusesCaches(t *testing.T) {
+	sc, err := GenerateScenario(ScenarioConfig{Seed: 7, NetworkSize: 30, Services: 5, InstancesPerService: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession(sc.Overlay, SessionOptions{})
+
+	// Crash one non-source instance deterministically mid-federation.
+	var victim int
+	for _, inst := range s.Overlay().Instances() {
+		if inst.NID != sc.SourceNID && inst.SID != s.Overlay().SIDOf(sc.SourceNID) {
+			if len(s.Overlay().InstancesOf(inst.SID)) > 1 {
+				victim = inst.NID
+				break
+			}
+		}
+	}
+	if victim == 0 {
+		t.Skip("no suitable victim in this scenario")
+	}
+	opts := Options{Faults: &Faults{Seed: 42, Crashes: []Crash{{Node: victim, After: 1, Down: -1}}}}
+	_, err = s.Federate(sc.Req, sc.SourceNID, opts)
+	if err == nil {
+		t.Skip("crash did not interrupt this federation")
+	}
+	var perr *PartialFederationError
+	if !errors.As(err, &perr) {
+		t.Fatalf("federation under crash failed non-partially: %v", err)
+	}
+
+	before := s.Overlay().Clone()
+	got, gerr := s.RepairPartial(sc.Req, sc.SourceNID, perr, Options{})
+	want, werr := RepairPartial(before, sc.Req, sc.SourceNID, perr, Options{})
+	if (gerr == nil) != (werr == nil) {
+		t.Fatalf("repair error mismatch: session %v, stateless %v", gerr, werr)
+	}
+	if gerr == nil {
+		if got.Metric != want.Metric {
+			t.Fatalf("repair metric %v != %v", got.Metric, want.Metric)
+		}
+		gj, _ := json.Marshal(got.Flow)
+		wj, _ := json.Marshal(want.Flow)
+		if !bytes.Equal(gj, wj) {
+			t.Fatalf("repair flows diverged:\nsession:   %s\nstateless: %s", gj, wj)
+		}
+	}
+	// The unresponsive instances must be gone from the session overlay, and
+	// the caches must still match a scratch rebuild (oracle at the facade).
+	for _, nid := range perr.Unresponsive {
+		if _, ok := before.Instance(nid); !ok {
+			continue
+		}
+		if _, ok := s.Overlay().Instance(nid); ok {
+			t.Fatalf("unresponsive instance %d still in the session overlay", nid)
+		}
+	}
+	if _, err := s.Solve("heuristic", sc.Req, sc.SourceNID, SolveOptions{}); err != nil {
+		// The repair already proved the requirement still fits; a solve
+		// over the maintained caches must agree.
+		t.Fatalf("post-repair solve over maintained caches: %v", err)
+	}
+}

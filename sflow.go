@@ -280,6 +280,7 @@ var (
 	BlockingUnderLoad = experiments.Blocking
 	HierarchyCompare  = experiments.Hierarchy
 	FaultSweep        = experiments.FaultSweep
+	DynamicsSweep     = experiments.Dynamics
 	AllExperiments    = experiments.All
 	ExperimentReport  = experiments.Report
 	ParseScenarioKind = scenario.ParseKind
