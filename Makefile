@@ -6,7 +6,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 FUZZTIME ?= 30s
 
-.PHONY: all build test race race-hot race-session check smoke cover cover-check bench vet fmt fmt-check lint staticcheck fuzz figures examples clean
+.PHONY: all build test race race-hot race-session check smoke cover cover-check bench bench-hotpath bench-json bench-check vet fmt fmt-check lint staticcheck fuzz figures examples clean
 
 all: build test
 
@@ -57,6 +57,35 @@ cover-check: cover
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Hot-path benchmark suite: the qos kernels (map oracle vs dense CSR engine)
+# plus the session-level incremental-vs-rebuild benchmark. HOTBENCH is the
+# selection the human-readable results/bench-hotpath.txt records; GATEBENCH
+# is the stricter subset the CI regression gate enforces (kernels only —
+# worker-scaling benchmarks are too scheduler-noisy to gate).
+HOTBENCH  ?= BenchmarkWidestKernel|BenchmarkLatencyKernel|BenchmarkShortestWidest|BenchmarkShortestLatency|BenchmarkAllPairs|BenchmarkIncrementalFlush|BenchmarkSessionIncrementalVsRebuild
+GATEBENCH ?= BenchmarkWidestKernel|BenchmarkLatencyKernel|BenchmarkShortestWidest|BenchmarkAllPairs
+BENCHCOUNT ?= 3
+
+bench-hotpath:
+	$(GO) test -run '^$$' -bench '$(HOTBENCH)' -benchmem ./internal/qos/ ./internal/session/ | tee results/bench-hotpath.txt
+
+# Machine-readable perf record (min ns/op over $(BENCHCOUNT) runs per
+# benchmark). Regenerate and commit it whenever the hot path changes on
+# purpose: it is the baseline `bench-check` gates against.
+bench-json:
+	$(GO) test -run '^$$' -bench '$(HOTBENCH)' -benchmem -count $(BENCHCOUNT) ./internal/qos/ ./internal/session/ \
+		| $(GO) run ./cmd/benchjson -out results/BENCH_hotpath.json
+	@echo "wrote results/BENCH_hotpath.json"
+
+# CI benchmark-regression gate: rerun the gated kernels and fail if any is
+# more than 25% slower than the committed baseline. CI machines differ from
+# the baseline machine, so ratios are normalized by the map-oracle all-pairs
+# benchmark — a calibration leg the CSR hot path does not touch.
+bench-check:
+	$(GO) test -run '^$$' -bench '$(GATEBENCH)' -benchtime 0.2s -count $(BENCHCOUNT) ./internal/qos/ \
+		| $(GO) run ./cmd/benchjson -compare results/BENCH_hotpath.json \
+			-match '$(GATEBENCH)' -normalize 'BenchmarkAllPairs/engine=map/n=120' -threshold 1.25
+
 vet:
 	$(GO) vet ./...
 
@@ -82,6 +111,7 @@ fuzz:
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzWireDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzWireRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/linkstate -run '^$$' -fuzz FuzzLinkstateIncremental -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/csr -run '^$$' -fuzz FuzzFreezeRoundTrip -fuzztime $(FUZZTIME)
 
 # Regenerate every reproduced figure (tables + CSV + SVG under results/).
 figures:

@@ -1,0 +1,244 @@
+// Command benchjson turns `go test -bench` output into a machine-readable
+// JSON perf record and gates benchmark regressions against a committed
+// baseline.
+//
+// Emit mode (default): read benchmark output on stdin (or -in), write a JSON
+// record of ns/op, B/op and allocs/op per benchmark to stdout (or -out).
+// When -count ran a benchmark several times, the minimum ns/op is kept — the
+// benchstat-style noise floor.
+//
+// Compare mode (-compare baseline.json): additionally match each benchmark
+// of the new run whose name matches -match against the baseline and fail
+// (exit 1) when ns/op regressed by more than -threshold (a ratio; 1.25
+// means +25%).
+//
+// Committed baselines were captured on one machine and CI runs on another,
+// so raw ns/op comparisons would gate machine speed, not code. -normalize
+// names a calibration benchmark present in both records (the map-based
+// oracle kernel, which this PR's hot path does not touch): every ns/op is
+// divided by the calibration ns/op of its own record first, cancelling the
+// machine out of the ratio.
+//
+// GOMAXPROCS name suffixes ("-8") are stripped so records compare across
+// hosts with different core counts.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Bench is one benchmark's recorded cost.
+type Bench struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Record is the BENCH_hotpath.json schema.
+type Record struct {
+	Benchmarks []Bench `json:"benchmarks"`
+}
+
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// parse reads `go test -bench` output, keeping per name the line with the
+// minimum ns/op.
+func parse(r io.Reader) (*Record, error) {
+	best := make(map[string]Bench)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := procSuffix.ReplaceAllString(fields[0], "")
+		b := Bench{Name: name}
+		seen := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				b.NsPerOp, seen = v, true
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			}
+		}
+		if !seen {
+			continue
+		}
+		if prev, ok := best[name]; !ok || b.NsPerOp < prev.NsPerOp {
+			best[name] = b
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	rec := &Record{Benchmarks: make([]Bench, 0, len(best))}
+	for _, b := range best {
+		rec.Benchmarks = append(rec.Benchmarks, b)
+	}
+	sort.Slice(rec.Benchmarks, func(i, j int) bool {
+		return rec.Benchmarks[i].Name < rec.Benchmarks[j].Name
+	})
+	return rec, nil
+}
+
+func (r *Record) byName() map[string]Bench {
+	m := make(map[string]Bench, len(r.Benchmarks))
+	for _, b := range r.Benchmarks {
+		m[b.Name] = b
+	}
+	return m
+}
+
+// calibration returns the ns/op of the first (sorted) benchmark matching re.
+func (r *Record) calibration(re *regexp.Regexp) (float64, string, error) {
+	for _, b := range r.Benchmarks {
+		if re.MatchString(b.Name) && b.NsPerOp > 0 {
+			return b.NsPerOp, b.Name, nil
+		}
+	}
+	return 0, "", fmt.Errorf("no benchmark matches normalization pattern %q", re)
+}
+
+func compare(baseline, current *Record, match *regexp.Regexp, normalize *regexp.Regexp, threshold float64) error {
+	baseScale, curScale := 1.0, 1.0
+	if normalize != nil {
+		var bName, cName string
+		var err error
+		baseScale, bName, err = baseline.calibration(normalize)
+		if err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		curScale, cName, err = current.calibration(normalize)
+		if err != nil {
+			return fmt.Errorf("current run: %w", err)
+		}
+		if bName != cName {
+			return fmt.Errorf("normalization benchmarks differ: baseline %q vs current %q", bName, cName)
+		}
+		fmt.Printf("normalizing by %s (baseline %.0f ns/op, current %.0f ns/op)\n", bName, baseScale, curScale)
+	}
+	cur := current.byName()
+	var failures []string
+	compared := 0
+	for _, base := range baseline.Benchmarks {
+		if !match.MatchString(base.Name) {
+			continue
+		}
+		now, ok := cur[base.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: present in baseline but missing from this run (renamed without regenerating the baseline?)", base.Name))
+			continue
+		}
+		compared++
+		ratio := (now.NsPerOp / curScale) / (base.NsPerOp / baseScale)
+		status := "ok"
+		if ratio > threshold {
+			status = "REGRESSION"
+			failures = append(failures, fmt.Sprintf("%s: %.2fx the baseline (threshold %.2fx)", base.Name, ratio, threshold))
+		}
+		fmt.Printf("%-60s %10.0f -> %10.0f ns/op  ratio %.2fx  %s\n",
+			base.Name, base.NsPerOp, now.NsPerOp, ratio, status)
+	}
+	if compared == 0 {
+		return fmt.Errorf("no baseline benchmark matches %q — gate would be vacuous", match)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("benchmark regression gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	fmt.Printf("gate passed: %d benchmarks within %.2fx of baseline\n", compared, threshold)
+	return nil
+}
+
+func main() {
+	var (
+		in        = flag.String("in", "", "benchmark output file (default stdin)")
+		out       = flag.String("out", "", "JSON output file (default stdout; emit mode only)")
+		baseline  = flag.String("compare", "", "baseline JSON to compare against (compare mode)")
+		match     = flag.String("match", ".*", "regexp of benchmark names the gate covers")
+		normalize = flag.String("normalize", "", "regexp of the calibration benchmark for cross-machine normalization")
+		threshold = flag.Float64("threshold", 1.25, "maximum allowed ns/op ratio vs baseline")
+	)
+	flag.Parse()
+
+	var src io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	rec, err := parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	if len(rec.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		var base Record
+		if err := json.Unmarshal(data, &base); err != nil {
+			fatal(fmt.Errorf("parsing %s: %w", *baseline, err))
+		}
+		matchRE, err := regexp.Compile(*match)
+		if err != nil {
+			fatal(err)
+		}
+		var normRE *regexp.Regexp
+		if *normalize != "" {
+			if normRE, err = regexp.Compile(*normalize); err != nil {
+				fatal(err)
+			}
+		}
+		if err := compare(&base, rec, matchRE, normRE, *threshold); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	enc, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,156 @@
+// Package csr freezes a weighted digraph into compressed-sparse-row form:
+// one contiguous offset array indexing contiguous target/bandwidth/latency
+// arrays, plus a dense index <-> external-node-id mapping. The frozen form is
+// immutable and cache-friendly — edge iteration is a linear scan of three
+// parallel arrays instead of a walk over per-node hash maps — and is the
+// substrate the dense Dijkstra kernels in internal/qos run on.
+//
+// The package deliberately knows nothing about the rest of the module (in
+// particular it does not import internal/qos, which imports it): Freeze takes
+// the node list and an arc-emitter callback, and the owning packages adapt
+// their graph types to it.
+package csr
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Arc is one out-edge in thawed (adjacency-list) form.
+type Arc struct {
+	To        int
+	Bandwidth int64 // Kbit/s
+	Latency   int64 // microseconds
+}
+
+// Graph is a weighted digraph frozen into compressed-sparse-row form. The
+// exported arrays are the representation itself — hot loops index them
+// directly — and must be treated as read-only: the whole point of freezing is
+// that kernels may assume the topology cannot drift under them.
+//
+// Node i's out-arcs occupy positions Off[i] .. Off[i+1] of the parallel
+// To/BW/Lat arrays; To holds dense indexes (not external ids). IDs maps a
+// dense index back to the external node identifier it froze.
+type Graph struct {
+	IDs []int   // dense index -> external node id, in Freeze node order
+	Off []int32 // len(IDs)+1 row offsets into To/BW/Lat
+	To  []int32 // arc targets as dense indexes
+	BW  []int64 // arc bandwidths (Kbit/s); <= 0 means unusable, kept verbatim
+	Lat []int64 // arc latencies (microseconds)
+
+	idx map[int]int32 // external node id -> dense index
+}
+
+// Freeze builds the CSR form of a digraph. nodes lists the external node
+// identifiers in the order that becomes the dense index order; arcs must call
+// emit once per out-arc of u, in the graph's deterministic out-arc order.
+// Arcs are frozen verbatim (dead bandwidths, duplicates and self-loops
+// included) so the frozen graph is a faithful representation of its source.
+//
+// An arc target that does not appear in nodes is added as an implicit node
+// with an empty out-row, indexed after every declared node in first-seen
+// order. Sources whose Out is non-empty for undeclared nodes therefore
+// freeze those arcs as dead ends; every graph in this module declares all
+// its nodes.
+func Freeze(nodes []int, arcs func(u int, emit func(to int, bw, lat int64))) *Graph {
+	return FreezeInto(nil, nodes, arcs)
+}
+
+// FreezeInto is Freeze reusing the arrays of a previously frozen graph
+// (which must no longer be in use) so steady-state re-freezes of a mutating
+// graph allocate nothing once capacities have grown to fit. A nil g
+// allocates fresh, exactly like Freeze.
+func FreezeInto(g *Graph, nodes []int, arcs func(u int, emit func(to int, bw, lat int64))) *Graph {
+	if g == nil {
+		g = &Graph{}
+	}
+	if len(nodes) > math.MaxInt32 {
+		panic(fmt.Sprintf("csr: %d nodes overflow int32 indexing", len(nodes)))
+	}
+	g.IDs = append(g.IDs[:0], nodes...)
+	if g.idx == nil {
+		g.idx = make(map[int]int32, len(nodes))
+	} else {
+		clear(g.idx)
+	}
+	for i, id := range nodes {
+		if _, dup := g.idx[id]; dup {
+			panic(fmt.Sprintf("csr: duplicate node id %d", id))
+		}
+		g.idx[id] = int32(i)
+	}
+	g.Off = append(g.Off[:0], 0)
+	g.To = g.To[:0]
+	g.BW = g.BW[:0]
+	g.Lat = g.Lat[:0]
+	emit := func(to int, bw, lat int64) {
+		j, ok := g.idx[to]
+		if !ok {
+			if len(g.IDs) >= math.MaxInt32 {
+				panic("csr: implicit nodes overflow int32 indexing")
+			}
+			j = int32(len(g.IDs))
+			g.idx[to] = j
+			g.IDs = append(g.IDs, to)
+		}
+		if len(g.To) >= math.MaxInt32 {
+			panic("csr: arc count overflows int32 indexing")
+		}
+		g.To = append(g.To, j)
+		g.BW = append(g.BW, bw)
+		g.Lat = append(g.Lat, lat)
+	}
+	for _, u := range nodes {
+		arcs(u, emit)
+		g.Off = append(g.Off, int32(len(g.To)))
+	}
+	// Implicit nodes discovered during the fill get empty out-rows.
+	for len(g.Off) < len(g.IDs)+1 {
+		g.Off = append(g.Off, int32(len(g.To)))
+	}
+	return g
+}
+
+// Len returns the number of nodes (declared plus implicit).
+func (g *Graph) Len() int { return len(g.IDs) }
+
+// NumArcs returns the number of frozen arcs.
+func (g *Graph) NumArcs() int { return len(g.To) }
+
+// ID returns the external node id of dense index i.
+func (g *Graph) ID(i int32) int { return g.IDs[i] }
+
+// Index returns the dense index of external node id, and whether it exists.
+func (g *Graph) Index(id int) (int32, bool) {
+	i, ok := g.idx[id]
+	return i, ok
+}
+
+// Nodes returns the external node ids, sorted ascending (a fresh slice).
+func (g *Graph) Nodes() []int {
+	out := append([]int(nil), g.IDs...)
+	sort.Ints(out)
+	return out
+}
+
+// Thaw expands the frozen graph back into adjacency-list form: every node
+// (declared and implicit) with its out-arcs in frozen order, targets as
+// external ids. Nodes with no out-arcs are present in nodes but absent from
+// out. Freeze followed by Thaw reproduces the source graph exactly.
+func (g *Graph) Thaw() (nodes []int, out map[int][]Arc) {
+	nodes = append([]int(nil), g.IDs...)
+	out = make(map[int][]Arc, len(g.IDs))
+	for i := range g.IDs {
+		lo, hi := g.Off[i], g.Off[i+1]
+		if lo == hi {
+			continue
+		}
+		row := make([]Arc, 0, hi-lo)
+		for e := lo; e < hi; e++ {
+			row = append(row, Arc{To: g.IDs[g.To[e]], Bandwidth: g.BW[e], Latency: g.Lat[e]})
+		}
+		out[g.IDs[i]] = row
+	}
+	return nodes, out
+}

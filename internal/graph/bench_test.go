@@ -5,9 +5,15 @@ import (
 	"testing"
 )
 
+// All benchmarks report allocations: the digraph substrate is map-backed
+// (nested hash maps per node), and these numbers keep its per-operation
+// allocation cost visible alongside the flat CSR kernels of internal/qos —
+// the comparison that motivated the hot-path engine.
+
 func BenchmarkTopoSort(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	g := randomDAG(rng, 200, 0.05)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := g.TopoSort(); err != nil {
@@ -20,9 +26,26 @@ func BenchmarkReachable(b *testing.B) {
 	rng := rand.New(rand.NewSource(2))
 	g := randomDAG(rng, 200, 0.05)
 	nodes := g.Nodes()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g.Reachable(nodes[i%len(nodes)])
+	}
+}
+
+// BenchmarkReachableAll sweeps reachability from every node — the all-pairs
+// shape of the map-based substrate, for contrast with BenchmarkAllPairs in
+// internal/qos.
+func BenchmarkReachableAll(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	g := randomDAG(rng, 200, 0.05)
+	nodes := g.Nodes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, n := range nodes {
+			g.Reachable(n)
+		}
 	}
 }
 
@@ -31,6 +54,7 @@ func BenchmarkLongestPath(b *testing.B) {
 	g := randomDAG(rng, 200, 0.05)
 	src := g.Nodes()[0]
 	w := func(u, v int) int64 { return int64(u + v) }
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := g.LongestPathFrom(src, w); err != nil {

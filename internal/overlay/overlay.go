@@ -416,10 +416,15 @@ func Build(under *topology.Network, placements []Placement, compat *Compatibilit
 			return nil, err
 		}
 	}
+	// Freeze the underlay once and run the dense latency kernel per distinct
+	// host with a shared scratch — byte-identical to qos.ShortestLatency on
+	// the underlay itself, without per-host map churn.
 	routes := make(map[int]*qos.Result)
+	frozen := qos.FreezeGraph(under)
+	scratch := qos.NewScratch()
 	for _, inst := range o.Instances() {
 		if _, ok := routes[inst.Host]; !ok {
-			routes[inst.Host] = qos.ShortestLatency(under, inst.Host)
+			routes[inst.Host] = qos.ShortestLatencyCSR(frozen, inst.Host, scratch)
 		}
 	}
 	for _, a := range o.Instances() {

@@ -12,12 +12,80 @@ func benchGraph(n int) *testGraph {
 	return randomGraph(rng, n, 0.2)
 }
 
+// BenchmarkWidestKernel prices one phase-1 max-bottleneck Dijkstra:
+// engine=map is the reference oracle allocating per-call maps, engine=csr is
+// the dense kernel on a frozen graph with a reused Scratch (steady-state
+// allocs/op must be ~0). These two kernel benchmarks plus BenchmarkAllPairs
+// are the set the CI regression gate watches (see `make bench-check`).
+func BenchmarkWidestKernel(b *testing.B) {
+	g := benchGraph(100)
+	src := g.Nodes()[0]
+	b.Run("engine=map", func(b *testing.B) {
+		b.ReportAllocs()
+		var relaxed int64
+		for i := 0; i < b.N; i++ {
+			widestDijkstra(g, src, &relaxed)
+		}
+	})
+	b.Run("engine=csr", func(b *testing.B) {
+		cg := FreezeGraph(g)
+		idx, _ := cg.Index(src)
+		sc := NewScratch()
+		sc.ensure(cg.Len())
+		b.ReportAllocs()
+		b.ResetTimer()
+		var relaxed int64
+		for i := 0; i < b.N; i++ {
+			sc.denseWidest(cg, idx, &relaxed)
+		}
+	})
+}
+
+// BenchmarkLatencyKernel prices one latency-only Dijkstra (minBW=1), the
+// phase-2 / underlay-routing kernel, map oracle vs dense CSR.
+func BenchmarkLatencyKernel(b *testing.B) {
+	g := benchGraph(100)
+	src := g.Nodes()[0]
+	b.Run("engine=map", func(b *testing.B) {
+		b.ReportAllocs()
+		var relaxed int64
+		for i := 0; i < b.N; i++ {
+			latencyDijkstra(g, src, 1, &relaxed)
+		}
+	})
+	b.Run("engine=csr", func(b *testing.B) {
+		cg := FreezeGraph(g)
+		idx, _ := cg.Index(src)
+		sc := NewScratch()
+		sc.ensure(cg.Len())
+		b.ReportAllocs()
+		b.ResetTimer()
+		var relaxed int64
+		for i := 0; i < b.N; i++ {
+			sc.denseLatency(cg, idx, 1, &relaxed)
+		}
+	})
+}
+
+// BenchmarkShortestWidest prices one full two-phase single-source solve,
+// Result assembly included: the map oracle vs the dense engine on a frozen
+// graph with a reused Scratch.
 func BenchmarkShortestWidest(b *testing.B) {
 	for _, n := range []int{20, 50, 100} {
 		g := benchGraph(n)
-		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+		b.Run(fmt.Sprintf("engine=map/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				ShortestWidest(g, i%n)
+			}
+		})
+		b.Run(fmt.Sprintf("engine=csr/n=%d", n), func(b *testing.B) {
+			cg := FreezeGraph(g)
+			sc := NewScratch()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ShortestWidestCSR(cg, i%n, sc)
 			}
 		})
 	}
@@ -25,15 +93,43 @@ func BenchmarkShortestWidest(b *testing.B) {
 
 func BenchmarkShortestLatency(b *testing.B) {
 	g := benchGraph(100)
-	for i := 0; i < b.N; i++ {
-		ShortestLatency(g, i%100)
-	}
+	b.Run("engine=map", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ShortestLatency(g, i%100)
+		}
+	})
+	b.Run("engine=csr", func(b *testing.B) {
+		cg := FreezeGraph(g)
+		sc := NewScratch()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ShortestLatencyCSR(cg, i%100, sc)
+		}
+	})
 }
 
-func BenchmarkComputeAllPairs(b *testing.B) {
-	g := benchGraph(50)
-	for i := 0; i < b.N; i++ {
-		ComputeAllPairs(g)
+// BenchmarkAllPairs prices the full table build that feeds abstract.Build —
+// the computation at the bottom of every solve. engine=map is the retained
+// sequential oracle (ComputeAllPairsRef, also the machine-speed calibration
+// reference of the CI regression gate); engine=csr is the default engine,
+// freeze included, at one worker so both legs do the same sequential work.
+func BenchmarkAllPairs(b *testing.B) {
+	for _, n := range []int{50, 120} {
+		g := benchGraph(n)
+		b.Run(fmt.Sprintf("engine=map/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ComputeAllPairsRef(g)
+			}
+		})
+		b.Run(fmt.Sprintf("engine=csr/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ComputeAllPairsWorkers(g, 1)
+			}
+		})
 	}
 }
 
@@ -41,7 +137,7 @@ func BenchmarkComputeAllPairs(b *testing.B) {
 // shortest-widest computation against the parallel fan-out at the host's
 // GOMAXPROCS (floored at 4 so a single-core runner still exercises — and
 // prices — the pool machinery). On a multi-core host the parallel variant
-// should win roughly linearly in cores.
+// should win roughly linearly in cores; both run the CSR engine.
 func BenchmarkComputeAllPairsWorkers(b *testing.B) {
 	multi := runtime.GOMAXPROCS(0)
 	if multi < 2 {
@@ -55,6 +151,23 @@ func BenchmarkComputeAllPairsWorkers(b *testing.B) {
 					ComputeAllPairsWorkers(g, workers)
 				}
 			})
+		}
+	}
+}
+
+// BenchmarkIncrementalFlush prices the steady-state single-link-churn flush
+// the sessions run on: one out-list re-weighted, exact dirty set recomputed
+// on the re-frozen CSR with persistent per-worker scratches.
+func BenchmarkIncrementalFlush(b *testing.B) {
+	g := benchGraph(120)
+	u := g.Nodes()[0]
+	inc := NewIncremental(g, 1, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inc.OutChanged(u)
+		if inc.Flush() == 0 {
+			b.Fatal("nothing recomputed")
 		}
 	}
 }

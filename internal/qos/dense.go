@@ -1,0 +1,423 @@
+// Dense-slice rewrites of the two Dijkstra kernels over a frozen CSR graph.
+//
+// The map-based kernels in qos.go stay as the reference oracle; these are the
+// hot path. Equivalence is exact, not just metric-equal: both engines settle
+// nodes in the same order (the heap order is the strict total order (key,
+// external id), which any correct heap realises identically), relax arcs in
+// the same out-row order, and update labels only on strict improvement, so
+// distance tables, predecessor trees, selected paths and even the relaxation
+// counters feeding the metrics registry come out bit-identical. The property
+// tests in dense_test.go pin this over seeded random graphs.
+//
+// One oracle branch is deliberately absent here: the phase-2 fallback for
+// nodes phase 1 reached but phase 2 missed. That branch only fires when a
+// Graph's Out answers drift between the two phases, which a frozen CSR
+// snapshot makes impossible (the widest path to a node of width w uses only
+// links >= w, so the restricted phase-2 run always reaches it). A miss on a
+// frozen graph is therefore a kernel bug and panics instead of degrading.
+package qos
+
+import (
+	"sort"
+
+	"sflow/internal/csr"
+)
+
+// FreezeGraph freezes any qos.Graph into CSR form for the dense kernels.
+// g.Out(u) must be empty for nodes u not in g.Nodes() (true for every
+// implementation in this module); arcs to undeclared nodes freeze as dead
+// ends.
+func FreezeGraph(g Graph) *csr.Graph { return FreezeGraphInto(nil, g) }
+
+// FreezeGraphInto is FreezeGraph reusing a previously frozen graph's arrays
+// (see csr.FreezeInto).
+func FreezeGraphInto(cg *csr.Graph, g Graph) *csr.Graph {
+	return csr.FreezeInto(cg, g.Nodes(), func(u int, emit func(to int, bw, lat int64)) {
+		for _, a := range g.Out(u) {
+			emit(a.To, a.Bandwidth, a.Latency)
+		}
+	})
+}
+
+// Scratch holds the per-worker reusable state of the dense kernels: distance
+// and predecessor arrays, the indexed 4-ary heap, and assembly buffers. A
+// Scratch grows to the largest graph it has seen and is then reused without
+// allocating, so steady-state relaxations allocate nothing. It is owned by
+// exactly one goroutine at a time and must not be shared concurrently;
+// ComputeAllPairsWorkers and Incremental.Flush thread one per worker.
+type Scratch struct {
+	width []int64 // phase-1 bottleneck bandwidth per index; 0 = unreached
+	lat   []int64 // phase-2 / latency-kernel distance per index; -1 = unreached
+	prev1 []int32 // widest-tree predecessor
+	prev2 []int32 // latency-tree predecessor
+	done  []bool  // settled flags of the current kernel run
+	key   []int64 // current heap key per index
+	hpos  []int32 // heap position per index; -1 = not in heap
+	heap  []int32 // the 4-ary min-heap, as dense indexes
+	order []int32 // reached nodes grouped by width class
+	chain []int32 // predecessor-chain buffer for path assembly
+	spans []pathSpan
+}
+
+// pathSpan locates one destination's selected path inside a Result's arena.
+type pathSpan struct {
+	dst    int
+	lo, hi int
+}
+
+// NewScratch returns an empty Scratch, ready for any graph size.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// ensure sizes the per-node arrays for an n-node graph, reusing capacity.
+func (sc *Scratch) ensure(n int) {
+	if cap(sc.width) >= n {
+		sc.width = sc.width[:n]
+		sc.lat = sc.lat[:n]
+		sc.prev1 = sc.prev1[:n]
+		sc.prev2 = sc.prev2[:n]
+		sc.done = sc.done[:n]
+		sc.key = sc.key[:n]
+		sc.hpos = sc.hpos[:n]
+		return
+	}
+	sc.width = make([]int64, n)
+	sc.lat = make([]int64, n)
+	sc.prev1 = make([]int32, n)
+	sc.prev2 = make([]int32, n)
+	sc.done = make([]bool, n)
+	sc.key = make([]int64, n)
+	sc.hpos = make([]int32, n)
+}
+
+// less is the heap order: smaller key first, external id breaking ties. It
+// is a strict total order (ids are unique), which is what makes the settle
+// order — and through it the whole computation — deterministic and equal to
+// the oracle's.
+func (sc *Scratch) less(g *csr.Graph, a, b int32) bool {
+	if sc.key[a] != sc.key[b] {
+		return sc.key[a] < sc.key[b]
+	}
+	return g.IDs[a] < g.IDs[b]
+}
+
+// heapFix inserts v with the given key, or sifts it up after a key decrease.
+// Keys only ever improve during a Dijkstra run, so sifting up suffices.
+func (sc *Scratch) heapFix(g *csr.Graph, v int32, key int64) {
+	sc.key[v] = key
+	if sc.hpos[v] < 0 {
+		sc.hpos[v] = int32(len(sc.heap))
+		sc.heap = append(sc.heap, v)
+	}
+	sc.up(g, int(sc.hpos[v]))
+}
+
+func (sc *Scratch) up(g *csr.Graph, i int) {
+	h := sc.heap
+	for i > 0 {
+		p := (i - 1) / 4
+		if !sc.less(g, h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		sc.hpos[h[i]] = int32(i)
+		sc.hpos[h[p]] = int32(p)
+		i = p
+	}
+}
+
+func (sc *Scratch) down(g *csr.Graph, i int) {
+	h := sc.heap
+	n := len(h)
+	for {
+		best := i
+		c0 := 4*i + 1
+		for c := c0; c < c0+4 && c < n; c++ {
+			if sc.less(g, h[c], h[best]) {
+				best = c
+			}
+		}
+		if best == i {
+			return
+		}
+		h[i], h[best] = h[best], h[i]
+		sc.hpos[h[i]] = int32(i)
+		sc.hpos[h[best]] = int32(best)
+		i = best
+	}
+}
+
+func (sc *Scratch) popHeap(g *csr.Graph) int32 {
+	h := sc.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	sc.hpos[h[0]] = 0
+	sc.hpos[top] = -1
+	sc.heap = h[:last]
+	if last > 0 {
+		sc.down(g, 0)
+	}
+	return top
+}
+
+// denseWidest is the CSR rewrite of widestDijkstra: maximum bottleneck
+// bandwidth from src into sc.width, the widest tree into sc.prev1. The heap
+// key is the negated width so one min-heap serves both kernels. Relaxation
+// attempts are tallied into relaxed exactly as the oracle tallies them.
+func (sc *Scratch) denseWidest(g *csr.Graph, src int32, relaxed *int64) {
+	n := int32(g.Len())
+	for i := int32(0); i < n; i++ {
+		sc.width[i] = 0
+		sc.prev1[i] = -1
+		sc.done[i] = false
+		sc.hpos[i] = -1
+	}
+	sc.heap = sc.heap[:0]
+	sc.width[src] = InfBandwidth
+	sc.heapFix(g, src, -InfBandwidth)
+	off, to, bws := g.Off, g.To, g.BW
+	for len(sc.heap) > 0 {
+		u := sc.popHeap(g)
+		sc.done[u] = true
+		wu := sc.width[u]
+		for e := off[u]; e < off[u+1]; e++ {
+			bw := bws[e]
+			v := to[e]
+			if bw <= 0 || sc.done[v] {
+				continue
+			}
+			*relaxed++
+			cand := wu
+			if bw < cand {
+				cand = bw
+			}
+			if cand > sc.width[v] {
+				sc.width[v] = cand
+				sc.prev1[v] = u
+				sc.heapFix(g, v, -cand)
+			}
+		}
+	}
+}
+
+// denseLatency is the CSR rewrite of latencyDijkstra: minimum total latency
+// from src over arcs of bandwidth >= minBW into sc.lat, predecessors into
+// sc.prev2.
+func (sc *Scratch) denseLatency(g *csr.Graph, src int32, minBW int64, relaxed *int64) {
+	n := int32(g.Len())
+	for i := int32(0); i < n; i++ {
+		sc.lat[i] = -1
+		sc.prev2[i] = -1
+		sc.done[i] = false
+		sc.hpos[i] = -1
+	}
+	sc.heap = sc.heap[:0]
+	sc.lat[src] = 0
+	sc.heapFix(g, src, 0)
+	off, to, bws, lats := g.Off, g.To, g.BW, g.Lat
+	for len(sc.heap) > 0 {
+		u := sc.popHeap(g)
+		sc.done[u] = true
+		lu := sc.lat[u]
+		for e := off[u]; e < off[u+1]; e++ {
+			bw := bws[e]
+			v := to[e]
+			if bw < minBW || bw <= 0 || sc.done[v] {
+				continue
+			}
+			*relaxed++
+			cand := lu + lats[e]
+			if cur := sc.lat[v]; cur < 0 || cand < cur {
+				sc.lat[v] = cand
+				sc.prev2[v] = u
+				sc.heapFix(g, v, cand)
+			}
+		}
+	}
+}
+
+// emitPath appends the selected path to dst (walked back through prev, then
+// reversed) to the arena and records its span. It returns the grown arena.
+func (sc *Scratch) emitPath(g *csr.Graph, src, dst int32, prev []int32, arena []int) []int {
+	chain := sc.chain[:0]
+	for v := dst; ; v = prev[v] {
+		chain = append(chain, v)
+		if v == src {
+			break
+		}
+	}
+	sc.chain = chain
+	lo := len(arena)
+	for i := len(chain) - 1; i >= 0; i-- {
+		arena = append(arena, g.IDs[chain[i]])
+	}
+	sc.spans = append(sc.spans, pathSpan{dst: g.IDs[dst], lo: lo, hi: len(arena)})
+	return arena
+}
+
+// shortestWidestDense is the CSR engine behind ShortestWidest: identical
+// output (see the package comment above), dense arrays and a reusable
+// Scratch instead of per-call maps. Selected paths are carved from a single
+// per-result arena, so a run performs a small constant number of allocations
+// regardless of graph size.
+func shortestWidestDense(g *csr.Graph, src int32, sc *Scratch, ins instr) *Result {
+	var relaxed int64
+	n := g.Len()
+	sc.ensure(n)
+	sc.denseWidest(g, src, &relaxed)
+
+	// Group the reached nodes into width classes, widest first (the class
+	// order does not affect the result — every node is assigned exactly once,
+	// by its own class's run — but a deterministic order keeps the
+	// computation reproducible under a debugger or profiler).
+	order := sc.order[:0]
+	for i := int32(0); i < int32(n); i++ {
+		if i != src && sc.width[i] > 0 {
+			order = append(order, i)
+		}
+	}
+	sc.order = order
+	sort.Slice(order, func(a, b int) bool {
+		wa, wb := sc.width[order[a]], sc.width[order[b]]
+		if wa != wb {
+			return wa > wb
+		}
+		return g.IDs[order[a]] < g.IDs[order[b]]
+	})
+
+	srcID := g.IDs[src]
+	res := &Result{
+		Source: srcID,
+		Dist:   make(map[int]Metric, len(order)+1),
+		paths:  make(map[int][]int, len(order)+1),
+	}
+	res.Dist[srcID] = Empty
+	arena := make([]int, 0, 2*len(order)+1)
+	sc.spans = sc.spans[:0]
+	arena = sc.emitPath(g, src, src, sc.prev1, arena)
+
+	for i := 0; i < len(order); {
+		w := sc.width[order[i]]
+		j := i
+		for j < len(order) && sc.width[order[j]] == w {
+			j++
+		}
+		sc.denseLatency(g, src, w, &relaxed)
+		for _, v := range order[i:j] {
+			l := sc.lat[v]
+			if l < 0 {
+				// Unreachable on a frozen graph (see package comment).
+				panic("qos: phase 2 missed a phase-1 node on a frozen graph")
+			}
+			res.Dist[g.IDs[v]] = Metric{Bandwidth: w, Latency: l}
+			arena = sc.emitPath(g, src, v, sc.prev2, arena)
+		}
+		i = j
+	}
+	for _, s := range sc.spans {
+		res.paths[s.dst] = arena[s.lo:s.hi:s.hi]
+	}
+	ins.runs.Inc()
+	ins.relaxations.Add(relaxed)
+	// The fallback counter stays at zero by construction on a frozen graph;
+	// Add(0) keeps the published counter set identical to the oracle's.
+	ins.fallbacks.Add(0)
+	return res
+}
+
+// ShortestWidestCSR computes shortest-widest paths from src on a frozen
+// graph, byte-identical to ShortestWidest on the graph it froze. sc may be
+// nil (a temporary Scratch is used); passing a reused Scratch makes the
+// steady-state run allocation-free outside the returned Result.
+func ShortestWidestCSR(g *csr.Graph, src int, sc *Scratch) *Result {
+	i, ok := g.Index(src)
+	if !ok {
+		// Same answer the oracle gives for a source the graph doesn't know:
+		// only the empty path to itself.
+		return &Result{
+			Source: src,
+			Dist:   map[int]Metric{src: Empty},
+			paths:  map[int][]int{src: {src}},
+		}
+	}
+	if sc == nil {
+		sc = NewScratch()
+	}
+	return shortestWidestDense(g, i, sc, instr{})
+}
+
+// ShortestLatencyCSR computes minimum-latency paths from src on a frozen
+// graph, byte-identical to ShortestLatency on the graph it froze. sc may be
+// nil.
+func ShortestLatencyCSR(g *csr.Graph, src int, sc *Scratch) *Result {
+	i, ok := g.Index(src)
+	if !ok {
+		return &Result{
+			Source: src,
+			Dist:   map[int]Metric{src: {Bandwidth: InfBandwidth, Latency: 0}},
+			paths:  map[int][]int{src: {src}},
+		}
+	}
+	if sc == nil {
+		sc = NewScratch()
+	}
+	n := g.Len()
+	sc.ensure(n)
+	var relaxed int64
+	sc.denseLatency(g, i, 1, &relaxed)
+
+	reached := 0
+	for v := int32(0); v < int32(n); v++ {
+		if sc.lat[v] >= 0 {
+			reached++
+		}
+	}
+	res := &Result{
+		Source: g.IDs[i],
+		Dist:   make(map[int]Metric, reached),
+		paths:  make(map[int][]int, reached),
+	}
+	arena := make([]int, 0, 2*reached)
+	sc.spans = sc.spans[:0]
+	for v := int32(0); v < int32(n); v++ {
+		if sc.lat[v] < 0 {
+			continue
+		}
+		arena = sc.emitPath(g, i, v, sc.prev2, arena)
+		// The chain emitPath just walked is the path in reverse; compute the
+		// selected path's bottleneck the way the oracle does, hop by hop.
+		width := InfBandwidth
+		for k := len(sc.chain) - 1; k > 0; k-- {
+			if bw := denseArcBandwidth(g, sc.chain[k], sc.chain[k-1]); bw < width {
+				width = bw
+			}
+		}
+		res.Dist[g.IDs[v]] = Metric{Bandwidth: width, Latency: sc.lat[v]}
+	}
+	for _, s := range sc.spans {
+		res.paths[s.dst] = arena[s.lo:s.hi:s.hi]
+	}
+	return res
+}
+
+// denseArcBandwidth mirrors arcBandwidth on the frozen form: the bandwidth of
+// the lowest-latency (then widest) usable arc from u to v.
+func denseArcBandwidth(g *csr.Graph, u, v int32) int64 {
+	var (
+		found   bool
+		bestLat int64
+		bestBW  int64
+	)
+	for e := g.Off[u]; e < g.Off[u+1]; e++ {
+		if g.To[e] != v || g.BW[e] <= 0 {
+			continue
+		}
+		if !found || g.Lat[e] < bestLat || (g.Lat[e] == bestLat && g.BW[e] > bestBW) {
+			found, bestLat, bestBW = true, g.Lat[e], g.BW[e]
+		}
+	}
+	if !found {
+		return 0
+	}
+	return bestBW
+}

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"sflow/internal/csr"
 	"sflow/internal/metrics"
 )
 
@@ -39,6 +40,14 @@ type Incremental struct {
 	// dirty holds the sources whose cached result may be stale.
 	dirty map[int]struct{}
 
+	// frozen is the CSR snapshot the dense recompute kernels run on,
+	// re-frozen (array storage reused) at the first flush after any
+	// mutation. scratches hold one reusable dense-kernel Scratch per flush
+	// worker, so steady-state flush relaxations allocate nothing.
+	frozen    *csr.Graph
+	stale     bool
+	scratches []*Scratch
+
 	flushes, recomputed, saved *metrics.Counter
 }
 
@@ -56,6 +65,7 @@ func NewIncremental(g Graph, workers int, reg *metrics.Registry) *Incremental {
 		ap:      computeAllPairs(g, workers, false, ins),
 		readers: make(map[int]map[int]struct{}),
 		dirty:   make(map[int]struct{}),
+		stale:   true,
 	}
 	if reg != nil {
 		inc.flushes = reg.Counter("qos_incremental_flushes_total")
@@ -97,6 +107,7 @@ func (inc *Incremental) unregister(src int, res *Result) {
 // added, removed, or re-weighted): every source that could reach u — and
 // only those — must recompute.
 func (inc *Incremental) OutChanged(u int) {
+	inc.stale = true
 	for src := range inc.readers[u] {
 		inc.dirty[src] = struct{}{}
 	}
@@ -112,6 +123,7 @@ func (inc *Incremental) OutChanged(u int) {
 // run; existing sources cannot reach a node that has no in-links yet, and
 // the links that follow arrive as OutChanged events.
 func (inc *Incremental) NodeAdded(n int) {
+	inc.stale = true
 	inc.dirty[n] = struct{}{}
 }
 
@@ -121,6 +133,7 @@ func (inc *Incremental) NodeAdded(n int) {
 // as well, which over-approximates safely even if the caller's OutChanged
 // calls already cover them.
 func (inc *Incremental) NodeRemoved(n int) {
+	inc.stale = true
 	for src := range inc.readers[n] {
 		inc.dirty[src] = struct{}{}
 	}
@@ -177,25 +190,38 @@ func (inc *Incremental) Flush() int {
 	if workers > len(srcs) {
 		workers = len(srcs)
 	}
+	if len(srcs) > 0 && (inc.frozen == nil || inc.stale) {
+		inc.frozen = FreezeGraphInto(inc.frozen, inc.g)
+		inc.stale = false
+	}
+	for len(inc.scratches) < workers {
+		inc.scratches = append(inc.scratches, NewScratch())
+	}
 	if workers <= 1 {
+		if len(inc.scratches) == 0 {
+			inc.scratches = append(inc.scratches, NewScratch())
+		}
+		sc := inc.scratches[0]
 		for i, src := range srcs {
-			fresh[i] = shortestWidest(inc.g, src, inc.ins)
+			idx, _ := inc.frozen.Index(src)
+			fresh[i] = shortestWidestDense(inc.frozen, idx, sc, inc.ins)
 		}
 	} else {
 		var next atomic.Int64
 		var wg sync.WaitGroup
 		wg.Add(workers)
 		for w := 0; w < workers; w++ {
-			go func() {
+			go func(sc *Scratch) {
 				defer wg.Done()
 				for {
 					i := int(next.Add(1)) - 1
 					if i >= len(srcs) {
 						return
 					}
-					fresh[i] = shortestWidest(inc.g, srcs[i], inc.ins)
+					idx, _ := inc.frozen.Index(srcs[i])
+					fresh[i] = shortestWidestDense(inc.frozen, idx, sc, inc.ins)
 				}
-			}()
+			}(inc.scratches[w])
 		}
 		wg.Wait()
 	}

@@ -87,7 +87,10 @@ func (m Metric) Concat(o Metric) Metric {
 type Result struct {
 	Source int
 	// Dist maps each reachable node to the quality of the shortest-widest
-	// path from Source. Unreachable nodes are absent.
+	// path from Source. Unreachable nodes are absent. The map is the
+	// Result's own state, not a copy: callers must treat it as read-only
+	// (writes would corrupt the result for every other reader, including
+	// the incremental maintenance built on top). Prefer the Metric accessor.
 	Dist map[int]Metric
 	// paths maps each reachable node to the selected concrete path
 	// (Source first, node last).
@@ -99,9 +102,17 @@ type Result struct {
 func (r *Result) Metric(dst int) Metric { return r.Dist[dst] }
 
 // PathTo returns the selected path from the source to dst, inclusive of both
-// endpoints. It returns nil if dst is unreachable. The returned slice must
-// not be modified.
-func (r *Result) PathTo(dst int) []int { return r.paths[dst] }
+// endpoints. It returns nil if dst is unreachable. The returned slice is a
+// copy and is the caller's to keep or modify.
+func (r *Result) PathTo(dst int) []int {
+	p := r.paths[dst]
+	if p == nil {
+		return nil
+	}
+	out := make([]int, len(p))
+	copy(out, p)
+	return out
+}
 
 // instr caches the counter handles of one instrumented routing computation.
 // The zero value (nil handles) is the uninstrumented fast path: hot loops
@@ -377,12 +388,16 @@ type AllPairs struct {
 const parallelAllPairsMin = 24
 
 // ComputeAllPairs runs ShortestWidest from every node of g. The paper's
-// baseline algorithm starts with exactly this computation. Large graphs are
-// fanned out over runtime.GOMAXPROCS(0) workers; the result is identical to
-// the sequential computation at any worker count, since every per-source run
-// is independent and results are assembled in node order after all workers
-// join. g must be safe for concurrent reads (true for every implementation
-// in this module: Nodes/Out only read prebuilt state).
+// baseline algorithm starts with exactly this computation. The graph is
+// frozen once into CSR form and every per-source run uses the dense kernels
+// of dense.go with a per-worker reusable Scratch — byte-identical to the
+// map-based reference (ComputeAllPairsRef) at any worker count. Large graphs
+// are fanned out over runtime.GOMAXPROCS(0) workers; the result is identical
+// to the sequential computation at any worker count, since every per-source
+// run is independent and results are assembled in node order after all
+// workers join. g must be safe for concurrent reads during the freeze (true
+// for every implementation in this module: Nodes/Out only read prebuilt
+// state); workers afterwards only touch the frozen snapshot.
 func ComputeAllPairs(g Graph) *AllPairs {
 	return computeAllPairs(g, 0, true, instr{})
 }
@@ -419,10 +434,13 @@ func computeAllPairs(g Graph, workers int, auto bool, ins instr) *AllPairs {
 	if workers > len(nodes) {
 		workers = len(nodes)
 	}
+	cg := FreezeGraph(g)
 	ap := &AllPairs{results: make(map[int]*Result, len(nodes))}
 	if workers <= 1 {
+		sc := NewScratch()
 		for _, n := range nodes {
-			ap.results[n] = shortestWidest(g, n, ins)
+			idx, _ := cg.Index(n)
+			ap.results[n] = shortestWidestDense(cg, idx, sc, ins)
 		}
 		return ap
 	}
@@ -433,18 +451,33 @@ func computeAllPairs(g Graph, workers int, auto bool, ins instr) *AllPairs {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			sc := NewScratch()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(nodes) {
 					return
 				}
-				perSource[i] = shortestWidest(g, nodes[i], ins)
+				idx, _ := cg.Index(nodes[i])
+				perSource[i] = shortestWidestDense(cg, idx, sc, ins)
 			}
 		}()
 	}
 	wg.Wait()
 	for i, n := range nodes {
 		ap.results[n] = perSource[i]
+	}
+	return ap
+}
+
+// ComputeAllPairsRef is the sequential map-based reference implementation of
+// ComputeAllPairs, retained as the correctness oracle for the CSR hot path:
+// the equivalence tests pin the dense engine byte-identical to it — same
+// distance tables, same selected paths, same instrumentation counts.
+func ComputeAllPairsRef(g Graph) *AllPairs {
+	nodes := g.Nodes()
+	ap := &AllPairs{results: make(map[int]*Result, len(nodes))}
+	for _, n := range nodes {
+		ap.results[n] = shortestWidest(g, n, instr{})
 	}
 	return ap
 }

@@ -14,6 +14,10 @@
 // not just metric-equal but byte-identical, selected paths included — which
 // the equivalence-oracle tests in this package assert after every event of
 // long random mutation traces.
+//
+// Recomputation runs on qos's dense CSR engine: the session's overlay is
+// frozen once per mutated epoch and dirty sources rerun on per-worker
+// reusable scratch buffers (see DESIGN.md, "Hot-path engine").
 package session
 
 import (
