@@ -6,13 +6,14 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 FUZZTIME ?= 30s
 
-.PHONY: all build test race race-hot race-session check smoke cover cover-check bench bench-hotpath bench-json bench-check vet fmt fmt-check lint staticcheck fuzz figures examples clean
+.PHONY: all build test race race-hot race-session race-daemon check smoke cover cover-check bench bench-hotpath bench-json bench-check serve-bench serve-check vet fmt fmt-check lint staticcheck fuzz figures examples clean
 
 all: build test
 
 # Tier-1 gate: what CI runs on every PR. The equivalence-oracle property
-# tests of the incremental session run race-instrumented on every gate.
-check: build vet test race-session smoke
+# tests of the incremental session run race-instrumented on every gate, as
+# does the serving daemon's concurrent-clients smoke.
+check: build vet test race-session race-daemon smoke
 
 # Race-instrumented end-to-end run of the metrics-enabled benchmark driver:
 # a small Fig 10(a) sweep at several workers with a snapshot written, the
@@ -39,6 +40,13 @@ race-hot:
 # fast; the full 5x1000-event traces run in `make race-hot` and CI).
 race-session:
 	$(GO) test -race -short ./internal/session/ -run 'TestEquivalenceOracleTrace|TestBatchedEventsSingleFlush'
+
+# Race-instrumented serving smoke: concurrent TCP clients solving against
+# sflowd's epoch machinery while another client streams mutations, plus the
+# root-level byte-equivalence battery between served and stateless solves.
+race-daemon:
+	$(GO) test -race ./internal/daemon/ -run 'TestConcurrentClientsUnderChurn|TestSolveOverTCPMatchesDirectComputation'
+	$(GO) test -race . -run 'TestDaemonServingEquivalenceBattery'
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...
@@ -85,6 +93,43 @@ bench-check:
 	$(GO) test -run '^$$' -bench '$(GATEBENCH)' -benchtime 0.2s -count $(BENCHCOUNT) ./internal/qos/ \
 		| $(GO) run ./cmd/benchjson -compare results/BENCH_hotpath.json \
 			-match '$(GATEBENCH)' -normalize 'BenchmarkAllPairs/engine=map/n=120' -threshold 1.25
+
+# Serving benchmark: launch sflowd, drive it with SERVE_CLIENTS closed-loop
+# sflowload clients for SERVE_DURATION, and record latency quantiles and
+# throughput. serve-bench regenerates the committed baseline
+# (results/BENCH_serving.json); serve-check reruns the same load and fails on
+# a >25% regression of wall-clock-per-solve (inverse throughput), normalized
+# by the in-process calibration solve so runner speed cancels out. The
+# latency quantiles are recorded but not gated: closed-loop p50/p99 under a
+# shared CI scheduler swing far more than real regressions do.
+SERVE_CLIENTS  ?= 1000
+SERVE_DURATION ?= 8s
+SERVE_ALG      ?= heuristic
+SERVEGATE      ?= BenchmarkServeSolve/alg=$(SERVE_ALG)/clients=$(SERVE_CLIENTS)/persolve
+
+define run_serve_load
+	tmp=$$(mktemp -d); \
+	$(GO) build -o $$tmp/sflowd ./cmd/sflowd && \
+	$(GO) build -o $$tmp/sflowload ./cmd/sflowload && \
+	$$tmp/sflowd -addrfile $$tmp/addr & pid=$$!; \
+	i=0; while [ ! -f $$tmp/addr ] && [ $$i -lt 100 ]; do sleep 0.1; i=$$((i+1)); done; \
+	$$tmp/sflowload -addrfile $$tmp/addr -clients $(SERVE_CLIENTS) -duration $(SERVE_DURATION) -alg $(SERVE_ALG) \
+		> $$tmp/bench.txt; status=$$?; \
+	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	[ $$status -eq 0 ] || { rm -rf $$tmp; exit $$status; }
+endef
+
+serve-bench:
+	@$(run_serve_load); \
+	$(GO) run ./cmd/benchjson -in $$tmp/bench.txt -out results/BENCH_serving.json; status=$$?; \
+	rm -rf $$tmp; [ $$status -eq 0 ] || exit $$status; \
+	echo "wrote results/BENCH_serving.json"
+
+serve-check:
+	@$(run_serve_load); \
+	$(GO) run ./cmd/benchjson -in $$tmp/bench.txt -compare results/BENCH_serving.json \
+		-match '$(SERVEGATE)' -normalize 'BenchmarkServeCalibration/alg=$(SERVE_ALG)' -threshold 1.25; status=$$?; \
+	rm -rf $$tmp; exit $$status
 
 vet:
 	$(GO) vet ./...

@@ -1,0 +1,90 @@
+// Command sflowd is the long-lived serving daemon: it owns one service
+// overlay and answers Solve, Repair and mutation RPCs from many concurrent
+// clients. Reads are lock-free (handlers route against an immutable epoch
+// fetched with one atomic load); writes are serialized through a single
+// writer goroutine that batches mutations and publishes fresh epochs — see
+// DESIGN.md, "Serving architecture".
+//
+// The overlay is generated reproducibly from the scenario flags, so a load
+// generator started with the same flags (see sflowload) targets the same
+// requirement without any side channel.
+//
+// Usage:
+//
+//	sflowd -addr 127.0.0.1:0 -addrfile /tmp/sflowd.addr -seed 1 -size 20
+//
+// The served address is printed to stdout (and written to -addrfile when
+// given) once the listener is up. SIGINT or SIGTERM shuts down cleanly and
+// prints the stable metrics snapshot to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"sflow"
+	"sflow/internal/daemon"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sflowd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sflowd", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:0", "address to serve on (:0 picks a free port)")
+		addrfile = fs.String("addrfile", "", "write the served address to this file once listening")
+
+		seed      = fs.Int64("seed", 1, "scenario seed")
+		size      = fs.Int("size", 20, "underlay network size")
+		services  = fs.Int("services", 5, "number of required services")
+		instances = fs.Int("instances", 3, "instances per non-source service")
+		kind      = fs.String("kind", "general", "requirement shape: path, disjoint, split-merge or general")
+		workers   = fs.Int("workers", 0, "recompute fan-out (0 = GOMAXPROCS)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	k, err := sflow.ParseScenarioKind(*kind)
+	if err != nil {
+		return err
+	}
+	sc, err := sflow.GenerateScenario(sflow.ScenarioConfig{
+		Seed: *seed, NetworkSize: *size, Services: *services,
+		InstancesPerService: *instances, Kind: k,
+	})
+	if err != nil {
+		return err
+	}
+
+	reg := sflow.NewMetrics()
+	srv := daemon.New(sc.Overlay, daemon.Options{Workers: *workers, Metrics: reg})
+	if err := srv.Serve(*addr); err != nil {
+		srv.Close()
+		return err
+	}
+	fmt.Printf("sflowd: serving seed=%d size=%d services=%d kind=%s on %s\n",
+		*seed, *size, *services, k, srv.Addr())
+	if *addrfile != "" {
+		if err := os.WriteFile(*addrfile, []byte(srv.Addr()+"\n"), 0o644); err != nil {
+			srv.Close()
+			return err
+		}
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "sflowd: shutting down")
+	srv.Close()
+	fmt.Fprint(os.Stderr, reg.Snapshot().StableText())
+	return nil
+}

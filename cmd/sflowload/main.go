@@ -1,0 +1,168 @@
+// Command sflowload is a closed-loop load generator for sflowd: it opens a
+// configurable number of client connections, each looping one outstanding
+// Solve call at a time until the duration elapses, and reports solve latency
+// quantiles and throughput.
+//
+// Results are printed to stdout as `go test -bench`-style lines so the
+// existing benchjson tool can serialize and regression-gate them:
+//
+//	BenchmarkServeSolve/alg=heuristic/clients=1000/p50  <solves> <ns> ns/op
+//	BenchmarkServeSolve/alg=heuristic/clients=1000/p99  <solves> <ns> ns/op
+//	BenchmarkServeSolve/alg=heuristic/clients=1000/persolve <solves> <ns> ns/op
+//	BenchmarkServeCalibration/alg=heuristic <iters> <ns> ns/op
+//
+// p50/p99 are client-observed solve latencies; persolve is wall-clock
+// nanoseconds per completed solve across the whole run (the inverse of
+// solves/sec). The calibration line times the same solve stateless and
+// in-process, so CI can normalize served latencies across machines exactly
+// as the hot-path gate does. A human-readable summary goes to stderr.
+//
+// The scenario flags must match the sflowd instance under test: both sides
+// regenerate the same reproducible workload from them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sflow"
+	"sflow/internal/daemon"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sflowload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sflowload", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "", "sflowd address to load")
+		addrfile = fs.String("addrfile", "", "read the sflowd address from this file")
+		clients  = fs.Int("clients", 100, "concurrent closed-loop client connections")
+		duration = fs.Duration("duration", 5*time.Second, "measurement window")
+		alg      = fs.String("alg", "heuristic", "federation algorithm to request")
+
+		seed      = fs.Int64("seed", 1, "scenario seed (must match sflowd)")
+		size      = fs.Int("size", 20, "underlay network size (must match sflowd)")
+		services  = fs.Int("services", 5, "required services (must match sflowd)")
+		instances = fs.Int("instances", 3, "instances per non-source service (must match sflowd)")
+		kind      = fs.String("kind", "general", "requirement shape (must match sflowd)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addrfile != "" {
+		data, err := os.ReadFile(*addrfile)
+		if err != nil {
+			return err
+		}
+		*addr = strings.TrimSpace(string(data))
+	}
+	if *addr == "" {
+		return fmt.Errorf("need -addr or -addrfile")
+	}
+	if *clients < 1 {
+		return fmt.Errorf("need at least one client")
+	}
+
+	k, err := sflow.ParseScenarioKind(*kind)
+	if err != nil {
+		return err
+	}
+	sc, err := sflow.GenerateScenario(sflow.ScenarioConfig{
+		Seed: *seed, NetworkSize: *size, Services: *services,
+		InstancesPerService: *instances, Kind: k,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Closed loop: every client keeps exactly one call outstanding.
+	var (
+		wg       sync.WaitGroup
+		failures atomic.Int64
+		perNS    = make([][]int64, *clients)
+	)
+	deadline := time.Now().Add(*duration)
+	start := time.Now()
+	for i := 0; i < *clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := daemon.Dial(*addr)
+			if err != nil {
+				failures.Add(1)
+				return
+			}
+			defer c.Close()
+			var lats []int64
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				resp, err := c.Solve(*alg, sc.Req, sc.SourceNID)
+				if err != nil || resp.Err != "" {
+					failures.Add(1)
+					return
+				}
+				lats = append(lats, time.Since(t0).Nanoseconds())
+			}
+			perNS[id] = lats
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []int64
+	for _, l := range perNS {
+		all = append(all, l...)
+	}
+	if len(all) == 0 {
+		return fmt.Errorf("no solve completed (%d clients failed)", failures.Load())
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	quantile := func(q float64) int64 {
+		i := int(q * float64(len(all)-1))
+		return all[i]
+	}
+	p50, p99 := quantile(0.50), quantile(0.99)
+	solves := len(all)
+	perSolve := elapsed.Nanoseconds() / int64(solves)
+	rate := float64(solves) / elapsed.Seconds()
+
+	// Calibration: the same solve, stateless and in-process. Minimum of a
+	// small sample — the same noise floor benchjson keeps.
+	calN := 20
+	calNS := int64(1<<63 - 1)
+	for i := 0; i < calN; i++ {
+		t0 := time.Now()
+		if _, err := sflow.Solve(*alg, sc.Overlay, sc.Req, sc.SourceNID, sflow.SolveOptions{Workers: 1}); err != nil {
+			return fmt.Errorf("calibration solve: %w", err)
+		}
+		if ns := time.Since(t0).Nanoseconds(); ns < calNS {
+			calNS = ns
+		}
+	}
+
+	tag := fmt.Sprintf("alg=%s/clients=%d", *alg, *clients)
+	fmt.Printf("BenchmarkServeSolve/%s/p50 \t%d\t%d ns/op\n", tag, solves, p50)
+	fmt.Printf("BenchmarkServeSolve/%s/p99 \t%d\t%d ns/op\n", tag, solves, p99)
+	fmt.Printf("BenchmarkServeSolve/%s/persolve \t%d\t%d ns/op\n", tag, solves, perSolve)
+	fmt.Printf("BenchmarkServeCalibration/alg=%s \t%d\t%d ns/op\n", *alg, calN, calNS)
+
+	fmt.Fprintf(os.Stderr,
+		"sflowload: %d clients for %s against %s: %d solves (%.0f solves/sec), p50 %s, p99 %s, %d client failures\n",
+		*clients, elapsed.Round(time.Millisecond), *addr, solves, rate,
+		time.Duration(p50), time.Duration(p99), failures.Load())
+	if failed := failures.Load(); failed > int64(*clients/2) {
+		return fmt.Errorf("%d of %d clients failed", failed, *clients)
+	}
+	return nil
+}

@@ -1,0 +1,550 @@
+// Package daemon implements sflowd's serving core: a long-lived server that
+// owns one overlay and answers Solve/Repair/mutation RPCs from many
+// concurrent clients.
+//
+// Reads never lock. The server keeps the overlay and its all-pairs
+// shortest-widest table in immutable epochs: a solve handler loads the
+// current epoch through one atomic pointer read, pins it with an atomic
+// reader count, and routes entirely against that frozen state — no mutex
+// appears anywhere on the path (metrics handles are atomics, the abstract
+// build is allocation-plus-arithmetic). Writes are serialized through a
+// single writer goroutine that batches queued mutations into one
+// session.Session pass, takes a session.Snapshot, and publishes it as the
+// next epoch with one atomic store. Old epochs are retired — dropped from
+// the tracked list and counted — once their reader count drains to zero;
+// in-flight readers keep answering from the epoch they pinned. See DESIGN.md,
+// "Serving architecture".
+package daemon
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"sflow/internal/abstract"
+	"sflow/internal/baseline"
+	"sflow/internal/control"
+	"sflow/internal/core"
+	"sflow/internal/exact"
+	"sflow/internal/flow"
+	"sflow/internal/metrics"
+	"sflow/internal/overlay"
+	"sflow/internal/qos"
+	"sflow/internal/reduce"
+	"sflow/internal/require"
+	"sflow/internal/session"
+	"sflow/internal/transport"
+)
+
+// epoch is one immutable publication: a frozen overlay plus the matching
+// all-pairs table. readers counts the solve/info handlers currently routing
+// against it; the writer retires an epoch only after readers drains to zero.
+type epoch struct {
+	id      uint64
+	ov      *overlay.Overlay
+	ap      *qos.AllPairs
+	readers atomic.Int64
+}
+
+// Options tunes a Server. The zero value is ready to use.
+type Options struct {
+	// Workers bounds the session's recompute fan-out (see session.Options).
+	Workers int
+	// Metrics, when non-nil, receives server counters and latency
+	// histograms in addition to the session's own instrumentation.
+	Metrics *metrics.Registry
+	// PublishHook, when non-nil, runs on the writer goroutine with every
+	// snapshot immediately before it becomes visible to readers. Tests use
+	// it to record the exact state each epoch was published with.
+	PublishHook func(*session.Snapshot)
+}
+
+// writerCmd is one queued write-side request and its reply slot.
+type writerCmd struct {
+	req   *Request
+	reply chan *Response
+}
+
+// Server owns one overlay behind an epoch-published session.
+type Server struct {
+	sess *session.Session // owned by the writer goroutine after New
+	cur  atomic.Pointer[epoch]
+	hook func(*session.Snapshot)
+
+	mutCh chan writerCmd
+	stop  chan struct{}
+	done  chan struct{}
+
+	rpc    *transport.RPCServer
+	closed atomic.Bool
+
+	// retired epochs not yet drained of readers; writer-goroutine-owned.
+	retired []*epoch
+
+	// Pre-resolved metric handles: updates on the read path are pure
+	// atomics (resolving a name takes the registry lock, so it happens
+	// once, here). All are nil-safe no-ops without a registry.
+	solves       *metrics.Counter
+	mutations    *metrics.Counter
+	repairs      *metrics.Counter
+	published    *metrics.Counter
+	retiredTotal *metrics.Counter
+	solveUS      *metrics.Histogram
+	publishUS    *metrics.Histogram
+}
+
+// New builds a server over a private clone of ov, publishes the initial
+// epoch and starts the writer goroutine. Call Serve to accept clients and
+// Close to shut down.
+func New(ov *overlay.Overlay, opts Options) *Server {
+	s := &Server{
+		sess:  session.New(ov, session.Options{Workers: opts.Workers, Metrics: opts.Metrics}),
+		hook:  opts.PublishHook,
+		mutCh: make(chan writerCmd, 256),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	if reg := opts.Metrics; reg != nil {
+		s.solves = reg.Counter("daemon_solves_total")
+		s.mutations = reg.Counter("daemon_mutations_total")
+		s.repairs = reg.Counter("daemon_repairs_total")
+		s.published = reg.Counter("daemon_epochs_published_total")
+		s.retiredTotal = reg.Counter("daemon_epochs_retired_total")
+		s.solveUS = reg.Histogram("daemon_solve_us",
+			metrics.ExponentialBounds(10, 10, 6), metrics.Volatile())
+		s.publishUS = reg.Histogram("daemon_publish_us",
+			metrics.ExponentialBounds(10, 10, 6), metrics.Volatile())
+	}
+	s.publish(s.sess.Snapshot())
+	go s.writerLoop()
+	return s
+}
+
+// Serve starts answering RPCs on addr ("127.0.0.1:0" picks a free port; read
+// it back with Addr).
+func (s *Server) Serve(addr string) error {
+	rpc, err := transport.NewRPCServer(addr, serverCodec{}, s.Handle)
+	if err != nil {
+		return err
+	}
+	s.rpc = rpc
+	return nil
+}
+
+// Addr returns the served address. Panics if Serve was not called.
+func (s *Server) Addr() string { return s.rpc.Addr() }
+
+// Close drains client connections, then stops the writer goroutine. Safe to
+// call more than once. The order matters: the RPC server is closed first so
+// every in-flight handler (possibly parked on the writer queue) completes
+// while the writer is still alive.
+func (s *Server) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	if s.rpc != nil {
+		s.rpc.Close()
+	}
+	close(s.stop)
+	<-s.done
+	// Final retirement sweep: with no handlers left every tracked epoch has
+	// drained.
+	s.sweepRetired()
+}
+
+// Epoch returns the currently published epoch id.
+func (s *Server) Epoch() uint64 { return s.cur.Load().id }
+
+// LiveEpochs returns how many published-then-superseded epochs are still
+// tracked because readers had them pinned at the last sweep, plus one for
+// the current epoch.
+func (s *Server) LiveEpochs() int {
+	// Writer-owned slice: only meaningful when the writer is quiescent
+	// (tests); the current epoch is always live.
+	return len(s.retired) + 1
+}
+
+// Handle answers one decoded request. It is the transport.RPCHandler the
+// server registers; tests may call it directly. Read operations (solve,
+// info) run entirely on the caller's goroutine against the pinned epoch;
+// write operations queue to the writer goroutine and block for their reply.
+func (s *Server) Handle(req any) (any, error) {
+	r, ok := req.(*Request)
+	if !ok {
+		return nil, fmt.Errorf("daemon: handling %T, want *Request", req)
+	}
+	switch r.Op {
+	case OpSolve:
+		return s.solve(r), nil
+	case OpInfo:
+		return s.info(), nil
+	case OpMutate, OpRepair, OpStats:
+		return s.submit(r), nil
+	default:
+		return &Response{Err: fmt.Sprintf("daemon: unknown op %q", r.Op)}, nil
+	}
+}
+
+// --- read path -------------------------------------------------------------
+
+// pin loads the current epoch and registers as a reader. The matching
+// unpin MUST run on the same epoch. Both are single atomic operations.
+func (s *Server) pin() *epoch {
+	e := s.cur.Load()
+	e.readers.Add(1)
+	return e
+}
+
+func unpin(e *epoch) { e.readers.Add(-1) }
+
+// solution is one centralised algorithm outcome over an abstract graph.
+type solution struct {
+	flow   *flow.Graph
+	metric qos.Metric
+}
+
+// abstractSolver mirrors the facade's per-algorithm dispatch, rebuilt here
+// over the internal packages (the daemon cannot import the root package).
+// Byte-identical outcomes to sflow.Solve are asserted by the root-level
+// equivalence battery.
+type abstractSolver func(ag *abstract.Graph, src int) (*solution, error)
+
+var solvers = map[string]abstractSolver{
+	"baseline": func(ag *abstract.Graph, src int) (*solution, error) {
+		r, err := baseline.Solve(ag, src, nil)
+		if err != nil {
+			return nil, err
+		}
+		return &solution{flow: r.Flow, metric: r.Metric}, nil
+	},
+	"heuristic": func(ag *abstract.Graph, src int) (*solution, error) {
+		r, err := reduce.Solve(ag, src, nil)
+		if err != nil {
+			return nil, err
+		}
+		return &solution{flow: r.Flow, metric: r.Metric}, nil
+	},
+	"optimal": func(ag *abstract.Graph, src int) (*solution, error) {
+		r, err := exact.Solve(ag, src, exact.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return &solution{flow: r.Flow, metric: r.Metric}, nil
+	},
+	"fixed": func(ag *abstract.Graph, src int) (*solution, error) {
+		r, err := control.Fixed(ag, src)
+		if err != nil {
+			return nil, err
+		}
+		return &solution{flow: r.Flow, metric: r.Metric}, nil
+	},
+	"random": func(ag *abstract.Graph, src int) (*solution, error) {
+		// The facade defaults a nil Rng to a fixed seed per call; match it
+		// so served and stateless solves agree byte for byte.
+		r, err := control.Random(ag, src, rand.New(rand.NewSource(1)))
+		if err != nil {
+			return nil, err
+		}
+		return &solution{flow: r.Flow, metric: r.Metric}, nil
+	},
+	"servicepath": func(ag *abstract.Graph, src int) (*solution, error) {
+		r, err := control.ServicePath(ag, src)
+		if err != nil {
+			return nil, err
+		}
+		if !r.Complete {
+			return nil, &core.PartialFederationError{Flow: r.Flow}
+		}
+		return &solution{flow: r.Flow, metric: r.Metric}, nil
+	},
+}
+
+// solve answers OpSolve against the pinned epoch. Everything on this path is
+// lock-free: one atomic epoch load, atomic reader pin, a pure-computation
+// abstract build and algorithm run, atomic metric updates.
+func (s *Server) solve(r *Request) *Response {
+	start := time.Now()
+	e := s.pin()
+	defer unpin(e)
+	resp := &Response{Epoch: e.id}
+
+	fn, ok := solvers[r.Algorithm]
+	if !ok {
+		resp.Err = fmt.Sprintf("daemon: unknown algorithm %q", r.Algorithm)
+		return resp
+	}
+	if r.Requirement == nil {
+		resp.Err = "daemon: solve without a requirement"
+		return resp
+	}
+	sol, err := func() (*solution, error) {
+		ag, err := abstract.FromAllPairs(e.ov, r.Requirement, e.ap)
+		if err != nil {
+			return nil, err
+		}
+		return fn(ag, r.Source)
+	}()
+	if err != nil {
+		resp.Err = err.Error()
+		var partial *core.PartialFederationError
+		if errors.As(err, &partial) && partial.Flow != nil {
+			resp.Partial = true
+			if data, merr := json.Marshal(partial.Flow); merr == nil {
+				resp.Flow = data
+			}
+		}
+	} else {
+		data, merr := json.Marshal(sol.flow)
+		if merr != nil {
+			resp.Err = fmt.Sprintf("daemon: encoding flow: %v", merr)
+		} else {
+			resp.Flow = data
+			m := sol.metric
+			resp.Metric = &m
+		}
+	}
+	s.solves.Inc()
+	s.solveUS.Observe(time.Since(start).Microseconds())
+	return resp
+}
+
+// info answers OpInfo against the pinned epoch.
+func (s *Server) info() *Response {
+	e := s.pin()
+	defer unpin(e)
+	resp := &Response{Epoch: e.id, Instances: e.ov.NumInstances()}
+	if data, err := json.Marshal(e.ov); err == nil {
+		resp.Overlay = data
+	} else {
+		resp.Err = fmt.Sprintf("daemon: encoding overlay: %v", err)
+	}
+	return resp
+}
+
+// --- write path ------------------------------------------------------------
+
+// submit queues a write-side request to the writer goroutine and blocks for
+// the reply. The reply arrives only after the request's effects are
+// published, so a client that mutates and then solves on the same connection
+// reads its own write.
+func (s *Server) submit(r *Request) *Response {
+	reply := make(chan *Response, 1)
+	select {
+	case s.mutCh <- writerCmd{req: r, reply: reply}:
+	case <-s.stop:
+		return &Response{Err: "daemon: shutting down"}
+	}
+	select {
+	case resp := <-reply:
+		return resp
+	case <-s.stop:
+		return &Response{Err: "daemon: shutting down"}
+	}
+}
+
+// writerLoop is the single writer: it drains queued commands into a batch,
+// applies them to the session in arrival order, publishes one fresh epoch
+// for the whole batch, and only then replies.
+func (s *Server) writerLoop() {
+	defer close(s.done)
+	for {
+		var first writerCmd
+		select {
+		case <-s.stop:
+			return
+		case first = <-s.mutCh:
+		}
+		batch := []writerCmd{first}
+	drain:
+		for {
+			select {
+			case c := <-s.mutCh:
+				batch = append(batch, c)
+			default:
+				break drain
+			}
+		}
+
+		responses := make([]*Response, len(batch))
+		mutated := false
+		for i, c := range batch {
+			resp, changed := s.applyWriter(c.req)
+			responses[i] = resp
+			mutated = mutated || changed
+		}
+		epochID := s.cur.Load().id
+		if mutated {
+			start := time.Now()
+			sn := s.sess.Snapshot()
+			s.publish(sn)
+			s.publishUS.Observe(time.Since(start).Microseconds())
+			epochID = sn.Epoch
+		}
+		for i, c := range batch {
+			responses[i].Epoch = epochID
+			c.reply <- responses[i]
+		}
+	}
+}
+
+// applyWriter executes one write-side request on the writer goroutine,
+// reporting whether it changed the overlay (and so requires a publication).
+func (s *Server) applyWriter(r *Request) (*Response, bool) {
+	switch r.Op {
+	case OpMutate:
+		resp := &Response{}
+		changed := false
+		for i, m := range r.Mutations {
+			if err := s.applyMutation(m); err != nil {
+				resp.Err = fmt.Sprintf("daemon: mutation %d (%s): %v", i, m.Kind, err)
+				break
+			}
+			changed = true
+			s.mutations.Inc()
+		}
+		return resp, changed
+
+	case OpRepair:
+		resp := &Response{}
+		if r.Requirement == nil {
+			resp.Err = "daemon: repair without a requirement"
+			return resp, false
+		}
+		perr := &core.PartialFederationError{Unresponsive: append([]int(nil), r.Unresponsive...)}
+		res, err := s.sess.RepairPartial(r.Requirement, r.Source, perr, core.Options{})
+		s.repairs.Inc()
+		if err != nil {
+			resp.Err = err.Error()
+			// Removals may have landed before the failure; publish anyway.
+			return resp, true
+		}
+		if data, merr := json.Marshal(res.Flow); merr == nil {
+			resp.Flow = data
+		}
+		m := res.Metric
+		resp.Metric = &m
+		resp.Affected = res.Affected
+		resp.Moved = res.Moved
+		return resp, true
+
+	case OpStats:
+		st := s.sess.Stats()
+		return &Response{Stats: &st}, false
+	}
+	return &Response{Err: fmt.Sprintf("daemon: unknown writer op %q", r.Op)}, false
+}
+
+// applyMutation maps one wire Mutation onto the session's event methods.
+func (s *Server) applyMutation(m Mutation) error {
+	switch m.Kind {
+	case MutAddInstance:
+		return s.sess.AddInstance(m.NID, m.SID, m.Host)
+	case MutRemoveInstance:
+		return s.sess.RemoveInstance(m.NID)
+	case MutAddLink:
+		return s.sess.AddLink(m.From, m.To, m.Bandwidth, m.Latency)
+	case MutRemoveLink:
+		return s.sess.RemoveLink(m.From, m.To)
+	case MutGrowBandwidth:
+		return s.sess.GrowLinkBandwidth(m.From, m.To, m.Delta)
+	case MutReduceBandwidth:
+		return s.sess.ReduceLinkBandwidth(m.From, m.To, m.Delta)
+	default:
+		return fmt.Errorf("unknown mutation kind %q", m.Kind)
+	}
+}
+
+// publish makes sn the current epoch. Runs on the writer goroutine (and once
+// from New before the writer starts). The hook fires before the atomic store
+// so no reader can observe an epoch the hook has not recorded.
+func (s *Server) publish(sn *session.Snapshot) {
+	if s.hook != nil {
+		s.hook(sn)
+	}
+	e := &epoch{id: sn.Epoch, ov: sn.Overlay, ap: sn.AllPairs}
+	if prev := s.cur.Swap(e); prev != nil {
+		s.retired = append(s.retired, prev)
+	}
+	s.published.Inc()
+	s.sweepRetired()
+}
+
+// sweepRetired drops superseded epochs whose reader count has drained. An
+// epoch some reader still pins stays tracked and fully usable — readers
+// finish on the epoch they loaded, they are never migrated.
+func (s *Server) sweepRetired() {
+	live := s.retired[:0]
+	for _, old := range s.retired {
+		if old.readers.Load() == 0 {
+			s.retiredTotal.Inc()
+			continue
+		}
+		live = append(live, old)
+	}
+	// Clear the tail so drained epochs are collectable immediately.
+	for i := len(live); i < len(s.retired); i++ {
+		s.retired[i] = nil
+	}
+	s.retired = live
+}
+
+// --- client ----------------------------------------------------------------
+
+// Client is one connection to a daemon. Like the underlying RPC client it is
+// a closed loop: one goroutine, one outstanding call; open one Client per
+// concurrent caller.
+type Client struct {
+	rpc *transport.RPCClient
+}
+
+// Dial connects to a daemon at addr.
+func Dial(addr string) (*Client, error) {
+	rpc, err := transport.DialRPC(addr, clientCodec{})
+	if err != nil {
+		return nil, err
+	}
+	return &Client{rpc: rpc}, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() { c.rpc.Close() }
+
+// Do sends one raw request. The error covers transport failures only;
+// protocol failures arrive in Response.Err.
+func (c *Client) Do(req *Request) (*Response, error) {
+	out, err := c.rpc.Call(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, ok := out.(*Response)
+	if !ok {
+		return nil, fmt.Errorf("daemon: response is %T", out)
+	}
+	return resp, nil
+}
+
+// Solve runs the named algorithm for req from the source instance src.
+func (c *Client) Solve(algorithm string, req *require.Requirement, src int) (*Response, error) {
+	return c.Do(&Request{Op: OpSolve, Algorithm: algorithm, Requirement: req, Source: src})
+}
+
+// Mutate applies mutations in order; on the first failure the rest of the
+// batch is skipped and Response.Err reports the failing index.
+func (c *Client) Mutate(mutations ...Mutation) (*Response, error) {
+	return c.Do(&Request{Op: OpMutate, Mutations: mutations})
+}
+
+// Repair removes the unresponsive instances and re-federates req around
+// them.
+func (c *Client) Repair(req *require.Requirement, src int, unresponsive []int) (*Response, error) {
+	return c.Do(&Request{Op: OpRepair, Requirement: req, Source: src, Unresponsive: unresponsive})
+}
+
+// Info fetches the current epoch and overlay.
+func (c *Client) Info() (*Response, error) { return c.Do(&Request{Op: OpInfo}) }
+
+// Stats fetches session statistics.
+func (c *Client) Stats() (*Response, error) { return c.Do(&Request{Op: OpStats}) }

@@ -1,0 +1,138 @@
+package daemon
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"sflow/internal/qos"
+	"sflow/internal/require"
+	"sflow/internal/session"
+)
+
+// The daemon's wire protocol: JSON request/response messages carried over
+// transport's length-prefixed RPC framing. One Request maps to exactly one
+// Response; protocol-level failures travel in Response.Err so a bad solve
+// never tears down the connection.
+
+// Operation names a Request can carry.
+const (
+	// OpSolve runs a centralised federation algorithm against the current
+	// epoch's frozen overlay and all-pairs table. Read-only.
+	OpSolve = "solve"
+	// OpMutate applies a batch of overlay mutations through the writer
+	// goroutine and publishes a fresh epoch.
+	OpMutate = "mutate"
+	// OpRepair re-federates around unresponsive instances, removing them
+	// from the daemon's overlay (a mutation).
+	OpRepair = "repair"
+	// OpInfo reports the current epoch and its overlay. Read-only.
+	OpInfo = "info"
+	// OpStats reports session statistics via the writer goroutine.
+	OpStats = "stats"
+)
+
+// Mutation kinds, mirroring the session's event methods.
+const (
+	MutAddInstance     = "add-instance"
+	MutRemoveInstance  = "remove-instance"
+	MutAddLink         = "add-link"
+	MutRemoveLink      = "remove-link"
+	MutGrowBandwidth   = "grow-bandwidth"
+	MutReduceBandwidth = "reduce-bandwidth"
+)
+
+// Mutation is one overlay change. Kind selects which fields matter.
+type Mutation struct {
+	Kind string `json:"kind"`
+	// Instance fields (add-instance, remove-instance).
+	NID  int `json:"nid,omitempty"`
+	SID  int `json:"sid,omitempty"`
+	Host int `json:"host,omitempty"`
+	// Link fields (add-link, remove-link, grow/reduce-bandwidth).
+	From      int   `json:"from,omitempty"`
+	To        int   `json:"to,omitempty"`
+	Bandwidth int64 `json:"bandwidth,omitempty"`
+	Latency   int64 `json:"latency,omitempty"`
+	Delta     int64 `json:"delta,omitempty"`
+}
+
+// Request is one client call.
+type Request struct {
+	Op string `json:"op"`
+
+	// Solve / repair fields.
+	Algorithm   string               `json:"algorithm,omitempty"`
+	Requirement *require.Requirement `json:"requirement,omitempty"`
+	Source      int                  `json:"source,omitempty"`
+
+	// Mutate fields.
+	Mutations []Mutation `json:"mutations,omitempty"`
+
+	// Repair fields.
+	Unresponsive []int `json:"unresponsive,omitempty"`
+}
+
+// Response answers one Request. Epoch always names the epoch the answer was
+// computed against (for reads) or the epoch the request's effects are visible
+// in (for writes), so clients can reason about publication ordering.
+type Response struct {
+	Epoch uint64 `json:"epoch"`
+	// Err carries a protocol-level failure; empty on success.
+	Err string `json:"err,omitempty"`
+
+	// Solve / repair results. Flow is the flow graph's canonical JSON —
+	// kept raw so equivalence against a stateless solve is byte-exact.
+	Flow    json.RawMessage `json:"flow,omitempty"`
+	Metric  *qos.Metric     `json:"metric,omitempty"`
+	Partial bool            `json:"partial,omitempty"`
+
+	// Repair results.
+	Affected []int `json:"affected,omitempty"`
+	Moved    []int `json:"moved,omitempty"`
+
+	// Info results.
+	Overlay   json.RawMessage `json:"overlay,omitempty"`
+	Instances int             `json:"instances,omitempty"`
+
+	// Stats results.
+	Stats *session.Stats `json:"stats,omitempty"`
+}
+
+// serverCodec frames the daemon side of the protocol: requests in, responses
+// out.
+type serverCodec struct{}
+
+func (serverCodec) Encode(msg any) ([]byte, error) {
+	resp, ok := msg.(*Response)
+	if !ok {
+		return nil, fmt.Errorf("daemon: server encoding %T, want *Response", msg)
+	}
+	return json.Marshal(resp)
+}
+
+func (serverCodec) Decode(data []byte) (any, error) {
+	req := new(Request)
+	if err := json.Unmarshal(data, req); err != nil {
+		return nil, fmt.Errorf("daemon: decoding request: %w", err)
+	}
+	return req, nil
+}
+
+// clientCodec frames the client side: requests out, responses in.
+type clientCodec struct{}
+
+func (clientCodec) Encode(msg any) ([]byte, error) {
+	req, ok := msg.(*Request)
+	if !ok {
+		return nil, fmt.Errorf("daemon: client encoding %T, want *Request", msg)
+	}
+	return json.Marshal(req)
+}
+
+func (clientCodec) Decode(data []byte) (any, error) {
+	resp := new(Response)
+	if err := json.Unmarshal(data, resp); err != nil {
+		return nil, fmt.Errorf("daemon: decoding response: %w", err)
+	}
+	return resp, nil
+}

@@ -254,6 +254,60 @@ func (h *Histogram) Count() int64 {
 	return h.count.Load()
 }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) of the observed values from
+// the bucket counts: the rank is located in the cumulative distribution and
+// interpolated linearly inside its bucket. The estimate is bounded by the
+// bucket layout — it cannot be more precise than the bounds are dense — and
+// observations in the overflow bucket clamp to the last finite bound. Returns
+// 0 on a nil or empty histogram. Quantile reads the same atomics Observe
+// writes, so it is safe to call while observations continue; a concurrent
+// snapshot is approximate, as any live quantile is.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(total-1))
+	var seen int64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		if rank < seen+c {
+			// Overflow bucket: no finite upper bound to interpolate
+			// toward; report the last finite bound (or the sum/count mean
+			// when there are no finite buckets at all).
+			if i >= len(h.bounds) {
+				if len(h.bounds) == 0 {
+					return h.sum.Load() / total
+				}
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := int64(0)
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			// Linear interpolation of the rank's position inside the
+			// bucket.
+			frac := float64(rank-seen) / float64(c)
+			return lo + int64(frac*float64(hi-lo))
+		}
+		seen += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Sum returns the sum of all observed values (0 on nil).
 func (h *Histogram) Sum() int64 {
 	if h == nil {

@@ -1,0 +1,71 @@
+package metrics
+
+import "testing"
+
+func TestHistogramQuantile(t *testing.T) {
+	r := New()
+	h := r.Histogram("latency_us", []int64{10, 100, 1000})
+
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %d, want 0", got)
+	}
+
+	// 90 observations land in (0,10], 9 in (10,100], 1 in (100,1000].
+	for i := 0; i < 90; i++ {
+		h.Observe(5)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(50)
+	}
+	h.Observe(500)
+
+	p50 := h.Quantile(0.5)
+	if p50 <= 0 || p50 > 10 {
+		t.Fatalf("p50 = %d, want within the first bucket (0, 10]", p50)
+	}
+	p95 := h.Quantile(0.95)
+	if p95 <= 10 || p95 > 100 {
+		t.Fatalf("p95 = %d, want within the second bucket (10, 100]", p95)
+	}
+	// The single largest observation (rank 99 of 100) lives in the third
+	// bucket; interpolation at its start reports the bucket's lower bound.
+	p100 := h.Quantile(1)
+	if p100 < 100 || p100 > 1000 {
+		t.Fatalf("p100 = %d, want within the third bucket [100, 1000]", p100)
+	}
+
+	// Quantiles are monotone in q.
+	prev := int64(-1)
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile not monotone: q=%v gave %d after %d", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramQuantileOverflowAndClamping(t *testing.T) {
+	r := New()
+	h := r.Histogram("big_us", []int64{10})
+	h.Observe(5)
+	h.Observe(1 << 40) // overflow bucket
+
+	// The overflow bucket has no finite bound: clamp to the last one.
+	if got := h.Quantile(1); got != 10 {
+		t.Fatalf("overflow quantile = %d, want clamp to last bound 10", got)
+	}
+	// Out-of-range q clamps instead of panicking.
+	if got := h.Quantile(-3); got != h.Quantile(0) {
+		t.Fatalf("q<0 = %d, want same as q=0 (%d)", got, h.Quantile(0))
+	}
+	if got := h.Quantile(42); got != h.Quantile(1) {
+		t.Fatalf("q>1 = %d, want same as q=1 (%d)", got, h.Quantile(1))
+	}
+
+	// Nil receiver is a free no-op like every other handle method.
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Fatalf("nil histogram quantile = %d, want 0", got)
+	}
+}

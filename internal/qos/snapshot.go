@@ -1,0 +1,22 @@
+package qos
+
+// Snapshot returns an immutable copy of the all-pairs table that later
+// incremental flushes cannot disturb.
+//
+// The copy is shallow and therefore cheap — O(sources), not O(sources ×
+// nodes): per-source *Result values are immutable once computed (every flush
+// builds fresh Results and swaps pointers into the table; nothing ever writes
+// into a published Result), so sharing them between the live table and a
+// snapshot is safe. Only the results map itself, which Flush and NodeRemoved
+// do mutate in place, is copied.
+//
+// This is the publication primitive behind RCU-style serving: a writer
+// maintaining the table through Incremental snapshots after each batch of
+// mutations and hands the frozen copy to lock-free readers.
+func (ap *AllPairs) Snapshot() *AllPairs {
+	results := make(map[int]*Result, len(ap.results))
+	for src, res := range ap.results {
+		results[src] = res
+	}
+	return &AllPairs{results: results}
+}

@@ -1,0 +1,6 @@
+package session
+
+// Enter and Exit expose the misuse detector to the blackbox tests, which use
+// them to hold the in-use flag exactly as a stuck concurrent call would.
+func (s *Session) Enter(op string) { s.enter(op) }
+func (s *Session) Exit()           { s.exit() }

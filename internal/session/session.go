@@ -22,6 +22,7 @@ package session
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"sflow/internal/abstract"
@@ -59,18 +60,51 @@ type Stats struct {
 }
 
 // Session owns a private copy of an overlay and keeps its all-pairs
-// shortest-widest table incrementally up to date under mutations. It is not
-// safe for concurrent use; the recompute fan-out is its only parallelism.
+// shortest-widest table incrementally up to date under mutations.
+//
+// Concurrency contract: a Session is NOT safe for concurrent use. Every
+// method except the read-only accessors Overlay and Stats must be called
+// from one goroutine at a time — in a long-lived deployment, dedicate one
+// writer goroutine to the session and publish immutable Snapshots to
+// concurrent readers (the RCU pattern internal/daemon implements). The
+// recompute fan-out bounded by Options.Workers is the session's only internal
+// parallelism.
+//
+// Misuse fails loudly instead of corrupting the maintained table: each
+// guarded method sets an atomic in-use flag for its duration and panics with
+// an explicit message when it finds the flag already set. The detector is
+// best-effort (two calls that do not overlap in time interleave undetected —
+// run the race detector to catch those), but an overlapping pair that would
+// have silently corrupted the all-pairs cache now crashes with a clear
+// diagnosis at the exact call site.
 type Session struct {
 	ov      *overlay.Overlay
 	inc     *qos.Incremental
 	workers int
 	reg     *metrics.Registry
 	stats   Stats
+	epoch   uint64
+
+	// inUse is the concurrent-misuse detector: 0 when idle, 1 while a
+	// guarded method runs.
+	inUse atomic.Int32
 
 	events  *metrics.Counter
 	flushUS *metrics.Histogram
 }
+
+// enter flags the session as busy; it panics if another guarded call is
+// already running, which can only happen when two goroutines use the session
+// concurrently in violation of its contract.
+func (s *Session) enter(op string) {
+	if !s.inUse.CompareAndSwap(0, 1) {
+		panic("session: concurrent " + op + " detected — a Session must be used by one goroutine at a time; " +
+			"dedicate a writer goroutine and serve readers from Snapshot (see the Session type documentation)")
+	}
+}
+
+// exit clears the busy flag set by enter.
+func (s *Session) exit() { s.inUse.Store(0) }
 
 // New starts a session over a private clone of ov (later mutations of the
 // caller's overlay do not affect the session, and vice versa).
@@ -107,6 +141,8 @@ func (s *Session) event() {
 // AddInstance applies an InstanceJoined event: a new service instance with
 // no links yet (links follow as AddLink events).
 func (s *Session) AddInstance(nid, sid, host int) error {
+	s.enter("AddInstance")
+	defer s.exit()
 	if err := s.ov.AddInstance(nid, sid, host); err != nil {
 		return err
 	}
@@ -118,6 +154,14 @@ func (s *Session) AddInstance(nid, sid, host int) error {
 // RemoveInstance applies an InstanceLeft event: the instance and every
 // incident service link disappear.
 func (s *Session) RemoveInstance(nid int) error {
+	s.enter("RemoveInstance")
+	defer s.exit()
+	return s.removeInstance(nid)
+}
+
+// removeInstance is RemoveInstance without the misuse guard, for internal
+// reuse from already-guarded paths (RepairPartial's removal callback).
+func (s *Session) removeInstance(nid int) error {
 	// Capture the in-neighbors before the overlay drops them: their
 	// out-arc lists are about to shrink.
 	ins := append([]qos.Arc(nil), s.ov.In(nid)...)
@@ -134,6 +178,8 @@ func (s *Session) RemoveInstance(nid int) error {
 
 // AddLink applies a LinkAdded event.
 func (s *Session) AddLink(from, to int, bandwidth, latency int64) error {
+	s.enter("AddLink")
+	defer s.exit()
 	if err := s.ov.AddLink(from, to, bandwidth, latency); err != nil {
 		return err
 	}
@@ -144,6 +190,8 @@ func (s *Session) AddLink(from, to int, bandwidth, latency int64) error {
 
 // RemoveLink applies a LinkRemoved event.
 func (s *Session) RemoveLink(from, to int) error {
+	s.enter("RemoveLink")
+	defer s.exit()
 	if err := s.ov.RemoveLink(from, to); err != nil {
 		return err
 	}
@@ -155,6 +203,8 @@ func (s *Session) RemoveLink(from, to int) error {
 // GrowLinkBandwidth applies a LinkBandwidthChanged event that releases
 // capacity on from -> to.
 func (s *Session) GrowLinkBandwidth(from, to int, delta int64) error {
+	s.enter("GrowLinkBandwidth")
+	defer s.exit()
 	if err := s.ov.GrowLinkBandwidth(from, to, delta); err != nil {
 		return err
 	}
@@ -167,6 +217,8 @@ func (s *Session) GrowLinkBandwidth(from, to int, delta int64) error {
 // capacity on from -> to; reducing to zero or below removes the link, as in
 // the overlay mutator it wraps.
 func (s *Session) ReduceLinkBandwidth(from, to int, delta int64) error {
+	s.enter("ReduceLinkBandwidth")
+	defer s.exit()
 	if err := s.ov.ReduceLinkBandwidth(from, to, delta); err != nil {
 		return err
 	}
@@ -179,6 +231,13 @@ func (s *Session) ReduceLinkBandwidth(from, to int, delta int64) error {
 // many per-source runs that took. A from-scratch rebuild would have run one
 // per instance; the difference is the saving the session exists for.
 func (s *Session) Flush() int {
+	s.enter("Flush")
+	defer s.exit()
+	return s.flush()
+}
+
+// flush is Flush without the misuse guard, for internal reuse.
+func (s *Session) flush() int {
 	if len(s.inc.Dirty()) == 0 {
 		return 0
 	}
@@ -192,13 +251,20 @@ func (s *Session) Flush() int {
 }
 
 // Dirty returns the sources a Flush would currently recompute, ascending.
-func (s *Session) Dirty() []int { return s.inc.Dirty() }
+func (s *Session) Dirty() []int {
+	s.enter("Dirty")
+	defer s.exit()
+	return s.inc.Dirty()
+}
 
 // AllPairs flushes pending recomputation and returns the maintained
 // shortest-widest table. It equals a from-scratch qos.ComputeAllPairs on the
-// current overlay, byte for byte.
+// current overlay, byte for byte. The returned table is the live maintained
+// one — later events move it; use Snapshot for an immutable view.
 func (s *Session) AllPairs() *qos.AllPairs {
-	s.Flush()
+	s.enter("AllPairs")
+	defer s.exit()
+	s.flush()
 	return s.inc.AllPairs()
 }
 
@@ -207,8 +273,55 @@ func (s *Session) AllPairs() *qos.AllPairs {
 // instead of a rebuild. It fails exactly when abstract.Build would: some
 // required service has no instance left.
 func (s *Session) Abstract(req *require.Requirement) (*abstract.Graph, error) {
-	s.Flush()
+	s.enter("Abstract")
+	defer s.exit()
+	s.flush()
 	ag, err := abstract.FromAllPairs(s.ov, req, s.inc.AllPairs())
+	if err != nil {
+		return nil, fmt.Errorf("session: %w", err)
+	}
+	return ag, nil
+}
+
+// Snapshot is an immutable, internally consistent view of a session at one
+// publication point: the overlay and the all-pairs shortest-widest table
+// describe exactly the same state, and neither moves when the session applies
+// later events. Snapshots are safe to share between any number of concurrent
+// readers — they are the publication half of the reader/writer (RCU) split a
+// long-lived serving process builds on the session.
+type Snapshot struct {
+	// Epoch numbers the publication, strictly increasing per session.
+	Epoch uint64
+	// Overlay is a private clone; the session's later mutations do not
+	// touch it. Readers must still treat it as read-only among themselves.
+	Overlay *overlay.Overlay
+	// AllPairs equals qos.ComputeAllPairs(Overlay) byte for byte and shares
+	// no mutable state with the session's live table.
+	AllPairs *qos.AllPairs
+}
+
+// Snapshot flushes pending recomputation and publishes the current state as
+// an immutable Snapshot. The overlay is deep-cloned and the table snapshotted
+// (a cheap shallow copy over immutable per-source results), so the cost is
+// O(overlay + sources), independent of how much routing state the epoch
+// carries.
+func (s *Session) Snapshot() *Snapshot {
+	s.enter("Snapshot")
+	defer s.exit()
+	s.flush()
+	s.epoch++
+	return &Snapshot{
+		Epoch:    s.epoch,
+		Overlay:  s.ov.Clone(),
+		AllPairs: s.inc.AllPairs().Snapshot(),
+	}
+}
+
+// Abstract builds the service abstract graph of req over the snapshot —
+// the read-side counterpart of Session.Abstract, safe to call from any
+// number of goroutines concurrently.
+func (sn *Snapshot) Abstract(req *require.Requirement) (*abstract.Graph, error) {
+	ag, err := abstract.FromAllPairs(sn.Overlay, req, sn.AllPairs)
 	if err != nil {
 		return nil, fmt.Errorf("session: %w", err)
 	}
@@ -223,7 +336,9 @@ func (s *Session) Abstract(req *require.Requirement) (*abstract.Graph, error) {
 // session's event methods so the maintained caches stay exact — the re-solve
 // after a repair recomputes only the sources the departures dirtied.
 func (s *Session) RepairPartial(req *require.Requirement, src int, perr *core.PartialFederationError, opts core.Options) (*core.RepairResult, error) {
-	return core.RepairPartialOn(s.ov, s.RemoveInstance, req, src, perr, opts)
+	s.enter("RepairPartial")
+	defer s.exit()
+	return core.RepairPartialOn(s.ov, s.removeInstance, req, src, perr, opts)
 }
 
 // Federate runs the distributed sFlow protocol over the session's overlay.
@@ -231,5 +346,7 @@ func (s *Session) RepairPartial(req *require.Requirement, src int, perr *core.Pa
 // all-pairs caches, but running it through the session keeps one source of
 // truth for the overlay a long-lived deployment is operating on.
 func (s *Session) Federate(req *require.Requirement, src int, opts core.Options) (*core.Result, error) {
+	s.enter("Federate")
+	defer s.exit()
 	return core.Federate(s.ov, req, src, opts)
 }

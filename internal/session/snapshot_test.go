@@ -1,0 +1,80 @@
+package session_test
+
+import (
+	"testing"
+
+	"sflow/internal/qos"
+	"sflow/internal/session"
+)
+
+// TestSnapshotIsConsistentAndImmutable pins the publication contract the
+// serving daemon builds on: a Snapshot's overlay and table describe the same
+// state (the table equals a from-scratch computation on the snapshot's own
+// overlay), and later session events never move a published snapshot.
+func TestSnapshotIsConsistentAndImmutable(t *testing.T) {
+	sc := traceScenario(t, 3)
+	s := session.New(sc.Overlay, session.Options{Workers: 1})
+
+	churn := session.NewChurn(s, 3, []int{sc.SourceNID}, sc.Req.Services())
+	var snaps []*session.Snapshot
+	var frozen []*qos.AllPairs
+	for i := 0; i < 30; i++ {
+		if _, err := churn.Step(); err != nil {
+			t.Fatalf("churn step %d: %v", i, err)
+		}
+		if i%5 == 4 {
+			sn := s.Snapshot()
+			snaps = append(snaps, sn)
+			frozen = append(frozen, qos.ComputeAllPairsWorkers(sn.Overlay, 1))
+			// Internal consistency at capture time.
+			if !sn.AllPairs.Equal(frozen[len(frozen)-1]) {
+				t.Fatalf("snapshot %d: table does not match its own overlay", len(snaps)-1)
+			}
+		}
+	}
+
+	// Epochs must be strictly increasing.
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].Epoch <= snaps[i-1].Epoch {
+			t.Fatalf("epochs not strictly increasing: %d then %d", snaps[i-1].Epoch, snaps[i].Epoch)
+		}
+	}
+	// After all the churn, every snapshot still answers from its own epoch.
+	for i, sn := range snaps {
+		if !sn.AllPairs.Equal(frozen[i]) {
+			t.Fatalf("snapshot %d moved under later session events", i)
+		}
+		if want := qos.ComputeAllPairsWorkers(sn.Overlay, 1); !sn.AllPairs.Equal(want) {
+			t.Fatalf("snapshot %d: overlay mutated after publication", i)
+		}
+	}
+}
+
+// TestSnapshotAbstractMatchesSession asserts the read-side Abstract over a
+// snapshot equals the session's own cache-backed Abstract taken at the same
+// instant.
+func TestSnapshotAbstractMatchesSession(t *testing.T) {
+	sc := traceScenario(t, 4)
+	s := session.New(sc.Overlay, session.Options{Workers: 1})
+	sn := s.Snapshot()
+
+	got, gerr := sn.Abstract(sc.Req)
+	want, werr := s.Abstract(sc.Req)
+	if (gerr == nil) != (werr == nil) {
+		t.Fatalf("error mismatch: snapshot %v, session %v", gerr, werr)
+	}
+	if gerr != nil {
+		return
+	}
+	for _, sid := range sc.Req.Services() {
+		g, w := got.Slots(sid), want.Slots(sid)
+		if len(g) != len(w) {
+			t.Fatalf("service %d: snapshot slots %v, session slots %v", sid, g, w)
+		}
+		for i := range g {
+			if g[i] != w[i] {
+				t.Fatalf("service %d slot %d: snapshot %d, session %d", sid, i, g[i], w[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Request/response framing for long-lived serving on top of the package's
+// length-prefixed frame format. Where the Transport implementations deliver
+// fire-and-forget protocol messages until quiescence, an RPCServer answers an
+// open-ended stream of client calls: each request frame carries a caller-
+// chosen correlation id (in the slot the message transports use for the
+// sender id) and is answered by exactly one response frame echoing that id.
+//
+// Requests on one connection are handled serially in arrival order, so a
+// connection needs no response-side locking and a closed-loop client (one
+// outstanding call) never observes reordering; concurrency comes from many
+// connections, each served by its own goroutine. The payload is opaque bytes
+// produced by a Codec — the serving layer owns the message types, exactly as
+// the protocol layer owns them for the Transport implementations.
+
+// RPCHandler answers one decoded request. It runs on the connection's
+// goroutine; returning an error closes that connection (protocol-level
+// failures should be encoded into the response message instead).
+type RPCHandler func(req any) (resp any, err error)
+
+// RPCServer answers codec-framed request/response calls over loopback (or
+// any) TCP.
+type RPCServer struct {
+	ln      net.Listener
+	codec   Codec
+	handler RPCHandler
+
+	closed atomic.Bool
+	conns  sync.WaitGroup
+
+	// track live connections so Close can unblock their readers.
+	mu   sync.Mutex
+	live map[net.Conn]struct{}
+}
+
+// NewRPCServer listens on addr ("127.0.0.1:0" picks a free port; read it back
+// with Addr) and serves each connection serially with handler until Close.
+func NewRPCServer(addr string, codec Codec, handler RPCHandler) (*RPCServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: rpc listen %s: %w", addr, err)
+	}
+	s := &RPCServer{ln: ln, codec: codec, handler: handler, live: make(map[net.Conn]struct{})}
+	s.conns.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the address the server accepts connections on.
+func (s *RPCServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting, closes every live connection and waits for the
+// per-connection goroutines to drain. Safe to call more than once.
+func (s *RPCServer) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	_ = s.ln.Close()
+	s.mu.Lock()
+	for c := range s.live {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	s.conns.Wait()
+}
+
+func (s *RPCServer) acceptLoop() {
+	defer s.conns.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		s.live[conn] = struct{}{}
+		s.mu.Unlock()
+		s.conns.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *RPCServer) serveConn(conn net.Conn) {
+	defer s.conns.Done()
+	defer func() {
+		_ = conn.Close()
+		s.mu.Lock()
+		delete(s.live, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		id, payload, err := readFrame(conn)
+		if err != nil {
+			return // EOF, client went away, or server closing
+		}
+		req, err := s.codec.Decode(payload)
+		if err != nil {
+			return // corrupt client; drop the connection
+		}
+		resp, err := s.handler(req)
+		if err != nil {
+			return
+		}
+		data, err := s.codec.Encode(resp)
+		if err != nil {
+			return
+		}
+		if err := writeFrame(conn, id, data); err != nil {
+			return
+		}
+	}
+}
+
+// RPCClient is one client connection to an RPCServer. A client is safe for
+// use by one goroutine at a time (a closed loop); open one client per
+// concurrent caller — connections are the server's unit of parallelism.
+type RPCClient struct {
+	conn  net.Conn
+	codec Codec
+	next  int
+}
+
+// DialRPC connects to an RPCServer.
+func DialRPC(addr string, codec Codec) (*RPCClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: rpc dial %s: %w", addr, err)
+	}
+	return &RPCClient{conn: conn, codec: codec}, nil
+}
+
+// Call sends one request and blocks for its response. The correlation id the
+// response echoes is verified, so a framing bug surfaces as an error here
+// rather than as a silently mismatched response.
+func (c *RPCClient) Call(req any) (any, error) {
+	payload, err := c.codec.Encode(req)
+	if err != nil {
+		return nil, fmt.Errorf("transport: rpc encode: %w", err)
+	}
+	c.next++
+	id := c.next
+	if err := writeFrame(c.conn, id, payload); err != nil {
+		return nil, fmt.Errorf("transport: rpc send: %w", err)
+	}
+	gotID, data, err := readFrame(c.conn)
+	if err != nil {
+		return nil, fmt.Errorf("transport: rpc receive: %w", err)
+	}
+	if gotID != id {
+		return nil, fmt.Errorf("transport: rpc response id %d does not match request id %d", gotID, id)
+	}
+	resp, err := c.codec.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("transport: rpc decode: %w", err)
+	}
+	return resp, nil
+}
+
+// Close releases the connection. Safe to call more than once.
+func (c *RPCClient) Close() { _ = c.conn.Close() }

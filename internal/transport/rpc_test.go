@@ -1,0 +1,99 @@
+package transport
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRPCRoundTrip(t *testing.T) {
+	srv, err := NewRPCServer("127.0.0.1:0", jsonCodec{}, func(req any) (any, error) {
+		return req.(int) * 2, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := DialRPC(srv.Addr(), jsonCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 50; i++ {
+		resp, err := c.Call(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.(int) != 2*i {
+			t.Fatalf("call %d returned %v, want %d", i, resp, 2*i)
+		}
+	}
+}
+
+func TestRPCManyConnectionsConcurrently(t *testing.T) {
+	srv, err := NewRPCServer("127.0.0.1:0", jsonCodec{}, func(req any) (any, error) {
+		return req.(int) + 1, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const clients, calls = 16, 30
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			c, err := DialRPC(srv.Addr(), jsonCodec{})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < calls; j++ {
+				v := base*1000 + j
+				resp, err := c.Call(v)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.(int) != v+1 {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestRPCServerCloseUnblocksClients(t *testing.T) {
+	srv, err := NewRPCServer("127.0.0.1:0", jsonCodec{}, func(req any) (any, error) {
+		return req, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := DialRPC(srv.Addr(), jsonCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Call(7); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	srv.Close() // idempotent
+	if _, err := c.Call(8); err == nil {
+		t.Fatal("Call succeeded against a closed server")
+	} else if !strings.Contains(err.Error(), "rpc") {
+		t.Fatalf("unexpected error shape: %v", err)
+	}
+}

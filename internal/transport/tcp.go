@@ -40,11 +40,29 @@ type TCP struct {
 	done     chan struct{}
 	ran      sync.Once
 
-	mu    sync.Mutex
-	conns map[[2]int]net.Conn // (from, to) -> cached sending connection
+	// mu guards only the conns map and the isClosed flag. It is never held
+	// across a dial or a frame write: each cached connection carries its own
+	// mutex, so senders on disjoint (from, to) pairs proceed independently
+	// and one slow peer cannot stall the whole process.
+	mu       sync.Mutex
+	conns    map[[2]int]*sendConn // (from, to) -> cached sending connection
+	isClosed bool
+
+	// dial is swappable so tests can stall or fail individual dials; it is
+	// net.Dial("tcp", addr) in production.
+	dial func(addr string) (net.Conn, error)
 
 	acceptors sync.WaitGroup
 	closed    chan struct{}
+}
+
+// sendConn is one cached sending connection. Its mutex serialises dialling
+// and frame writes on this (from, to) pair only, preserving the per-pair FIFO
+// contract without a process-global lock.
+type sendConn struct {
+	mu     sync.Mutex
+	conn   net.Conn // nil until the first Send dials
+	closed bool     // set by Close; later Sends fail deterministically
 }
 
 var _ Transport = (*TCP)(nil)
@@ -59,8 +77,9 @@ func NewTCP(nodes []int, handler Handler, codec Codec) (*TCP, error) {
 		addrs:     make(map[int]string, len(nodes)),
 		inboxes:   make(map[int]*inbox, len(nodes)),
 		done:      make(chan struct{}, 1),
-		conns:     make(map[[2]int]net.Conn),
+		conns:     make(map[[2]int]*sendConn),
 		closed:    make(chan struct{}),
+		dial:      func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) },
 	}
 	for _, n := range nodes {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -82,7 +101,12 @@ func NewTCP(nodes []int, handler Handler, codec Codec) (*TCP, error) {
 func (t *TCP) Addr(node int) string { return t.addrs[node] }
 
 // Send implements Transport: it encodes the message and writes one frame on
-// the cached connection from `from` to `to`, dialling on first use.
+// the cached connection from `from` to `to`, dialling on first use. The map
+// lock is released before dialling or writing, so concurrent sends on
+// disjoint pairs make progress even while one peer is slow; frames on the
+// same pair stay FIFO behind the pair's own lock. Sending on a transport that
+// has been Closed panics deterministically with a clear message instead of
+// racing a write against a closing socket or re-dialling a closed listener.
 func (t *TCP) Send(from, to int, msg any) {
 	addr, ok := t.addrs[to]
 	if !ok {
@@ -96,17 +120,33 @@ func (t *TCP) Send(from, to int, msg any) {
 	t.inflight.Add(1)
 
 	t.mu.Lock()
-	defer t.mu.Unlock()
+	if t.isClosed {
+		t.mu.Unlock()
+		panic(fmt.Sprintf("transport: Send %d->%d after Close", from, to))
+	}
 	key := [2]int{from, to}
-	conn, ok := t.conns[key]
+	sc, ok := t.conns[key]
 	if !ok {
-		conn, err = net.Dial("tcp", addr)
+		sc = &sendConn{}
+		t.conns[key] = sc
+	}
+	t.mu.Unlock()
+
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.closed {
+		// Close won the race after we picked the entry up: fail the same
+		// way a post-Close send does, not with a socket error.
+		panic(fmt.Sprintf("transport: Send %d->%d after Close", from, to))
+	}
+	if sc.conn == nil {
+		conn, err := t.dial(addr)
 		if err != nil {
 			panic(fmt.Sprintf("transport: dial node %d: %v", to, err))
 		}
-		t.conns[key] = conn
+		sc.conn = conn
 	}
-	if err := writeFrame(conn, from, payload); err != nil {
+	if err := writeFrame(sc.conn, from, payload); err != nil {
 		panic(fmt.Sprintf("transport: write to node %d: %v", to, err))
 	}
 }
@@ -182,8 +222,12 @@ func (t *TCP) Run() int {
 // Now implements Transport; real TCP has no virtual clock.
 func (t *TCP) Now() int64 { return 0 }
 
-// Close shuts every listener and cached connection. Safe to call more than
-// once.
+// Close shuts every listener and cached connection and drops the stale
+// entries from the connection cache. Safe to call more than once. A Send
+// racing with Close either completes its write before the connection closes
+// (the pair lock serialises them) or fails deterministically with a
+// "Send after Close" panic — never with a raw socket error or a re-dial of a
+// closed listener.
 func (t *TCP) Close() {
 	select {
 	case <-t.closed:
@@ -194,11 +238,23 @@ func (t *TCP) Close() {
 	for _, ln := range t.listeners {
 		_ = ln.Close()
 	}
+	// Flag first, then detach the cache, both under mu: any Send entering
+	// afterwards observes isClosed before it can reach a stale entry.
 	t.mu.Lock()
-	for _, c := range t.conns {
-		_ = c.Close()
-	}
+	t.isClosed = true
+	conns := t.conns
+	t.conns = nil
 	t.mu.Unlock()
+	for _, sc := range conns {
+		// Taking the pair lock lets an in-progress write on this pair
+		// finish before its socket closes under it.
+		sc.mu.Lock()
+		if sc.conn != nil {
+			_ = sc.conn.Close()
+		}
+		sc.closed = true
+		sc.mu.Unlock()
+	}
 	t.acceptors.Wait()
 }
 

@@ -1,0 +1,219 @@
+package transport
+
+import (
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestConcurrentSendsDisjointPairsProgress is the regression test for the
+// global-send-lock bug: Send used to hold one process-wide mutex across
+// net.Dial and the frame write, so a single slow peer serialised every sender
+// pair in the process. With per-connection locking, a send on a disjoint pair
+// must complete while another pair's dial is still blocked.
+func TestConcurrentSendsDisjointPairsProgress(t *testing.T) {
+	var delivered atomic.Int64
+	tr, err := NewTCP([]int{0, 1, 2}, func(int, int, any) { delivered.Add(1) }, jsonCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stall the dial for node 2 until the test releases it; every other
+	// dial proceeds normally. The gate is deterministic: the fast send
+	// below runs strictly while the slow dial is parked.
+	slowDialing := make(chan struct{})
+	releaseDial := make(chan struct{})
+	realDial := tr.dial
+	slowAddr := tr.Addr(2)
+	tr.dial = func(addr string) (net.Conn, error) {
+		if addr == slowAddr {
+			close(slowDialing)
+			<-releaseDial
+		}
+		return realDial(addr)
+	}
+
+	go tr.Send(0, 2, 42) // parks inside the stalled dial
+	<-slowDialing
+
+	// A disjoint pair must not queue behind the stalled dial. Before the
+	// fix this Send blocked on the global mutex until releaseDial, so the
+	// 2s deadline is pure failure headroom, not a tuning knob.
+	fastDone := make(chan struct{})
+	go func() {
+		tr.Send(1, 0, 7)
+		close(fastDone)
+	}()
+	select {
+	case <-fastDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Send(1->0) did not progress while Send(0->2) was stalled dialling: sender pairs are serialised behind one lock")
+	}
+
+	close(releaseDial)
+	if got := tr.Run(); got != 2 {
+		t.Fatalf("delivered %d messages, want 2", got)
+	}
+	if got := delivered.Load(); got != 2 {
+		t.Fatalf("handler saw %d messages, want 2", got)
+	}
+}
+
+// TestSendSamePairStaysFIFO pins that per-pair ordering survived the switch
+// to per-connection locking: many frames from one sender to one receiver
+// arrive in send order.
+func TestSendSamePairStaysFIFO(t *testing.T) {
+	const n = 200
+	var got []int
+	done := make(chan struct{})
+	tr, err := NewTCP([]int{0, 1}, func(from, to int, msg any) {
+		got = append(got, msg.(int))
+		if len(got) == n {
+			close(done)
+		}
+	}, jsonCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		tr.Send(0, 1, i)
+	}
+	tr.Run()
+	<-done
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("frame %d delivered out of order: got %d", i, v)
+		}
+	}
+}
+
+// TestSendAfterCloseFailsDeterministically is the regression test for the
+// close-race bug: Close used to close cached connections but leave them in
+// the cache, so a later Send either panicked on a write to a closed socket or
+// re-dialled a closed listener (a confusing connection-refused panic at best,
+// a frame into a dead peer at worst). Now every post-Close send panics with
+// the same explicit message.
+func TestSendAfterCloseFailsDeterministically(t *testing.T) {
+	tr, err := NewTCP([]int{0, 1}, func(int, int, any) {}, jsonCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Populate the connection cache, then close everything.
+	tr.Send(0, 1, 1)
+	tr.Close()
+
+	for name, send := range map[string]func(){
+		"cached pair":   func() { tr.Send(0, 1, 2) }, // had a cached conn before Close
+		"uncached pair": func() { tr.Send(1, 0, 3) }, // would have dialled fresh
+	} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("%s: Send after Close did not fail", name)
+				}
+				msg, ok := r.(string)
+				if !ok || !strings.Contains(msg, "after Close") {
+					t.Fatalf("%s: Send after Close failed with %v, want the explicit after-Close panic", name, r)
+				}
+			}()
+			send()
+		}()
+	}
+}
+
+// TestCloseDropsCachedConnections pins the cache cleanup: after Close the
+// stale entries are gone, so nothing can reuse a closed socket.
+func TestCloseDropsCachedConnections(t *testing.T) {
+	tr, err := NewTCP([]int{0, 1}, func(int, int, any) {}, jsonCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Send(0, 1, 1)
+	tr.mu.Lock()
+	cached := len(tr.conns)
+	tr.mu.Unlock()
+	if cached != 1 {
+		t.Fatalf("expected 1 cached connection before Close, have %d", cached)
+	}
+	tr.Close()
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.conns != nil {
+		t.Fatalf("Close left %d stale entries in the connection cache", len(tr.conns))
+	}
+	if !tr.isClosed {
+		t.Fatal("Close did not set the closed flag Send checks")
+	}
+}
+
+// gatedConn wraps an established sending connection so a test can park a
+// frame write mid-flight while holding the pair lock.
+type gatedConn struct {
+	net.Conn
+	writing chan struct{} // closed once, when the first gated write starts
+	release chan struct{}
+	once    atomic.Bool
+}
+
+func (g *gatedConn) Write(p []byte) (int, error) {
+	if g.once.CompareAndSwap(false, true) {
+		close(g.writing)
+		<-g.release
+	}
+	return g.Conn.Write(p)
+}
+
+// TestCloseWaitsForInFlightWrite pins the race resolution order: a write that
+// already holds its pair lock completes on a live socket before Close shuts
+// it — a racing Send either wholly precedes the close or fails with the
+// deterministic after-Close panic, never with a raw socket error.
+func TestCloseWaitsForInFlightWrite(t *testing.T) {
+	tr, err := NewTCP([]int{0, 1}, func(int, int, any) {}, jsonCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Establish the cached connection, then gate its writes.
+	tr.Send(0, 1, 1)
+	tr.mu.Lock()
+	sc := tr.conns[[2]int{0, 1}]
+	tr.mu.Unlock()
+	gate := &gatedConn{Conn: sc.conn, writing: make(chan struct{}), release: make(chan struct{})}
+	sc.mu.Lock()
+	sc.conn = gate
+	sc.mu.Unlock()
+
+	sendDone := make(chan struct{})
+	go func() {
+		defer close(sendDone)
+		tr.Send(0, 1, 2) // parks inside Write, pair lock held
+	}()
+	<-gate.writing
+
+	closeDone := make(chan struct{})
+	go func() {
+		defer close(closeDone)
+		tr.Close()
+	}()
+	// Close must block on the pair lock until the in-flight write finishes.
+	select {
+	case <-closeDone:
+		t.Fatal("Close completed while a Send held the pair lock mid-write")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(gate.release)
+	// The parked Send must now complete cleanly (no panic: its socket was
+	// still open), and Close right after it.
+	select {
+	case <-sendDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("in-flight Send did not complete after release")
+	}
+	select {
+	case <-closeDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not complete after the in-flight write drained")
+	}
+}
