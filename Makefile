@@ -6,14 +6,14 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 FUZZTIME ?= 30s
 
-.PHONY: all build test race race-hot race-session race-daemon check smoke cover cover-check bench bench-hotpath bench-json bench-check serve-bench serve-check vet fmt fmt-check lint staticcheck fuzz figures examples clean
+.PHONY: all build test race race-hot race-session race-daemon race-admit check smoke cover cover-check bench bench-hotpath bench-json bench-check bench-admit serve-bench serve-check vet fmt fmt-check lint staticcheck fuzz figures examples clean
 
 all: build test
 
 # Tier-1 gate: what CI runs on every PR. The equivalence-oracle property
 # tests of the incremental session run race-instrumented on every gate, as
 # does the serving daemon's concurrent-clients smoke.
-check: build vet test race-session race-daemon smoke
+check: build vet test race-session race-daemon race-admit smoke
 
 # Race-instrumented end-to-end run of the metrics-enabled benchmark driver:
 # a small Fig 10(a) sweep at several workers with a snapshot written, the
@@ -47,6 +47,14 @@ race-session:
 race-daemon:
 	$(GO) test -race ./internal/daemon/ -run 'TestConcurrentClientsUnderChurn|TestSolveOverTCPMatchesDirectComputation'
 	$(GO) test -race . -run 'TestDaemonServingEquivalenceBattery'
+
+# Race-instrumented multi-tenant admission oracle: many goroutines admitting,
+# releasing and preempting through the capacity allocator — locally and over
+# sflowd RPCs — must serialize to a sequential replay of the recorded log.
+race-admit:
+	$(GO) test -race ./internal/provision/ -run 'TestAllocator|TestConcurrentAdmissionMatchesSequentialReplay|TestReplay|TestSeededAdmitRelease'
+	$(GO) test -race ./internal/daemon/ -run 'TestAdmitReleaseTenantsRPC|TestConcurrentAdmitRPCMatchesSequentialReplay'
+	$(GO) test -race . -run 'TestAllocatorPublicAPI|TestReplayAdmissionsWithNilAlgFor'
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...
@@ -93,6 +101,18 @@ bench-check:
 	$(GO) test -run '^$$' -bench '$(GATEBENCH)' -benchtime 0.2s -count $(BENCHCOUNT) ./internal/qos/ \
 		| $(GO) run ./cmd/benchjson -compare results/BENCH_hotpath.json \
 			-match '$(GATEBENCH)' -normalize 'BenchmarkAllPairs/engine=map/n=120' -threshold 1.25
+
+# Admission-throughput record: sequential and parallel admit+release cycles
+# through the capacity allocator, serialized with benchjson (min ns/op over
+# $(BENCHCOUNT) runs). Regenerate and commit when the allocator changes on
+# purpose; the file is a tracked perf record, not a CI gate — admission
+# throughput is dominated by the federation solve, which bench-check already
+# gates at the kernel level.
+ADMITBENCH ?= BenchmarkAllocatorAdmitRelease
+bench-admit:
+	$(GO) test -run '^$$' -bench '$(ADMITBENCH)' -benchmem -count $(BENCHCOUNT) ./internal/provision/ \
+		| $(GO) run ./cmd/benchjson -out results/BENCH_admit.json
+	@echo "wrote results/BENCH_admit.json"
 
 # Serving benchmark: launch sflowd, drive it with SERVE_CLIENTS closed-loop
 # sflowload clients for SERVE_DURATION, and record latency quantiles and

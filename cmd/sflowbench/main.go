@@ -35,7 +35,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sflowbench", flag.ContinueOnError)
 	var (
-		fig       = fs.String("fig", "all", "figure to reproduce: 10a, 10b, 10c, 10d, lookahead, reduction, admission, overhead, repair, blocking, hierarchy, faults, dynamics or all")
+		fig       = fs.String("fig", "all", "figure to reproduce: 10a, 10b, 10c, 10d, lookahead, reduction, admission, tenants, overhead, repair, blocking, hierarchy, faults, dynamics or all")
 		sizes     = fs.String("sizes", "10,20,30,40,50", "comma-separated network sizes")
 		trials    = fs.Int("trials", 10, "trials per network size")
 		seed      = fs.Int64("seed", 1, "base random seed")
@@ -123,13 +123,14 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-	case "10a", "10b", "10c", "10d", "lookahead", "reduction", "admission", "overhead", "repair", "blocking", "hierarchy", "faults", "dynamics":
+	case "10a", "10b", "10c", "10d", "lookahead", "reduction", "admission", "tenants", "overhead", "repair", "blocking", "hierarchy", "faults", "dynamics":
 		fns := map[string]func(sflow.ExperimentConfig) (*sflow.Series, error){
 			"10a": sflow.Fig10a, "10b": sflow.Fig10b,
 			"10c": sflow.Fig10c, "10d": sflow.Fig10d,
 			"lookahead": sflow.AblationLookahead, "reduction": sflow.AblationReduction,
-			"admission": sflow.AdmissionCapacity, "overhead": sflow.ProtocolOverhead,
-			"repair": sflow.RepairChurn, "blocking": sflow.BlockingUnderLoad,
+			"admission": sflow.AdmissionCapacity, "tenants": sflow.TenantSweep,
+			"overhead": sflow.ProtocolOverhead,
+			"repair":   sflow.RepairChurn, "blocking": sflow.BlockingUnderLoad,
 			"hierarchy": sflow.HierarchyCompare, "faults": sflow.FaultSweep,
 			"dynamics": sflow.DynamicsSweep,
 		}

@@ -1,9 +1,12 @@
 // Command sflowd is the long-lived serving daemon: it owns one service
-// overlay and answers Solve, Repair and mutation RPCs from many concurrent
-// clients. Reads are lock-free (handlers route against an immutable epoch
-// fetched with one atomic load); writes are serialized through a single
-// writer goroutine that batches mutations and publishes fresh epochs — see
-// DESIGN.md, "Serving architecture".
+// overlay and answers Solve, Repair, mutation and multi-tenant admission
+// RPCs from many concurrent clients. Reads are lock-free (handlers route
+// against an immutable epoch fetched with one atomic load); writes are
+// serialized through a single writer goroutine that batches mutations and
+// publishes fresh epochs — see DESIGN.md, "Serving architecture". Admission
+// (admit/release/tenants ops) runs through a capacity allocator configured
+// by -classes/-quota/-preempt/-instance-capacity; see DESIGN.md,
+// "Multi-tenant allocator".
 //
 // The overlay is generated reproducibly from the scenario flags, so a load
 // generator started with the same flags (see sflowload) targets the same
@@ -23,11 +26,31 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 
 	"sflow"
 	"sflow/internal/daemon"
+	"sflow/internal/provision"
 )
+
+// parseQuotas turns "100,50,0" into per-class admission quotas.
+func parseQuotas(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	quotas := make([]int, len(parts))
+	for i, p := range parts {
+		q, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || q < 0 {
+			return nil, fmt.Errorf("bad -quota entry %q (want non-negative integers)", p)
+		}
+		quotas[i] = q
+	}
+	return quotas, nil
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -48,8 +71,17 @@ func run(args []string) error {
 		instances = fs.Int("instances", 3, "instances per non-source service")
 		kind      = fs.String("kind", "general", "requirement shape: path, disjoint, split-merge or general")
 		workers   = fs.Int("workers", 0, "recompute fan-out (0 = GOMAXPROCS)")
+
+		classes = fs.Int("classes", 1, "number of admission priority classes")
+		quota   = fs.String("quota", "", "per-class admission quotas, comma-separated (0 = unlimited), e.g. 100,50")
+		preempt = fs.Bool("preempt", false, "let higher classes preempt strictly lower ones when capacity runs out")
+		percap  = fs.Int("instance-capacity", 0, "concurrent admissions per service instance (0 = unlimited)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	quotas, err := parseQuotas(*quota)
+	if err != nil {
 		return err
 	}
 
@@ -66,7 +98,16 @@ func run(args []string) error {
 	}
 
 	reg := sflow.NewMetrics()
-	srv := daemon.New(sc.Overlay, daemon.Options{Workers: *workers, Metrics: reg})
+	srv := daemon.New(sc.Overlay, daemon.Options{
+		Workers: *workers,
+		Metrics: reg,
+		Admission: provision.AllocatorOptions{
+			Classes:          *classes,
+			Quotas:           quotas,
+			Preempt:          *preempt,
+			InstanceCapacity: *percap,
+		},
+	})
 	if err := srv.Serve(*addr); err != nil {
 		srv.Close()
 		return err

@@ -1,7 +1,9 @@
 // Command sflowload is a closed-loop load generator for sflowd: it opens a
 // configurable number of client connections, each looping one outstanding
-// Solve call at a time until the duration elapses, and reports solve latency
-// quantiles and throughput.
+// call at a time until the duration elapses, and reports latency quantiles
+// and throughput. -mode solve loops Solve calls; -mode admit loops
+// admit+release pairs against the daemon's multi-tenant capacity allocator
+// (emitted as BenchmarkServeAdmit/... lines).
 //
 // Results are printed to stdout as `go test -bench`-style lines so the
 // existing benchjson tool can serialize and regression-gate them:
@@ -50,6 +52,9 @@ func run(args []string) error {
 		clients  = fs.Int("clients", 100, "concurrent closed-loop client connections")
 		duration = fs.Duration("duration", 5*time.Second, "measurement window")
 		alg      = fs.String("alg", "heuristic", "federation algorithm to request")
+		mode     = fs.String("mode", "solve", "operation to loop: solve, or admit (admit+release pairs against the capacity allocator)")
+		demand   = fs.Int64("demand", 50, "bandwidth demand per admission (admit mode)")
+		classes  = fs.Int("classes", 1, "spread admissions across this many priority classes (admit mode; must not exceed sflowd -classes)")
 
 		seed      = fs.Int64("seed", 1, "scenario seed (must match sflowd)")
 		size      = fs.Int("size", 20, "underlay network size (must match sflowd)")
@@ -72,6 +77,12 @@ func run(args []string) error {
 	}
 	if *clients < 1 {
 		return fmt.Errorf("need at least one client")
+	}
+	if *mode != "solve" && *mode != "admit" {
+		return fmt.Errorf("unknown -mode %q (want solve or admit)", *mode)
+	}
+	if *classes < 1 {
+		return fmt.Errorf("need at least one class")
 	}
 
 	k, err := sflow.ParseScenarioKind(*kind)
@@ -107,10 +118,28 @@ func run(args []string) error {
 			var lats []int64
 			for time.Now().Before(deadline) {
 				t0 := time.Now()
-				resp, err := c.Solve(*alg, sc.Req, sc.SourceNID)
-				if err != nil || resp.Err != "" {
-					failures.Add(1)
-					return
+				if *mode == "admit" {
+					// One op = admit + release: the allocator is exercised
+					// end to end and the run leaves no residue. An in-band
+					// rejection still completes the op (the decision was
+					// served); only transport failures abort.
+					resp, err := c.Admit(*alg, sc.Req, sc.SourceNID, *demand, id%*classes, 0)
+					if err != nil {
+						failures.Add(1)
+						return
+					}
+					if resp.Err == "" {
+						if _, err := c.Release(resp.Ticket); err != nil {
+							failures.Add(1)
+							return
+						}
+					}
+				} else {
+					resp, err := c.Solve(*alg, sc.Req, sc.SourceNID)
+					if err != nil || resp.Err != "" {
+						failures.Add(1)
+						return
+					}
 				}
 				lats = append(lats, time.Since(t0).Nanoseconds())
 			}
@@ -151,15 +180,19 @@ func run(args []string) error {
 		}
 	}
 
+	bench := "ServeSolve"
+	if *mode == "admit" {
+		bench = "ServeAdmit"
+	}
 	tag := fmt.Sprintf("alg=%s/clients=%d", *alg, *clients)
-	fmt.Printf("BenchmarkServeSolve/%s/p50 \t%d\t%d ns/op\n", tag, solves, p50)
-	fmt.Printf("BenchmarkServeSolve/%s/p99 \t%d\t%d ns/op\n", tag, solves, p99)
-	fmt.Printf("BenchmarkServeSolve/%s/persolve \t%d\t%d ns/op\n", tag, solves, perSolve)
+	fmt.Printf("Benchmark%s/%s/p50 \t%d\t%d ns/op\n", bench, tag, solves, p50)
+	fmt.Printf("Benchmark%s/%s/p99 \t%d\t%d ns/op\n", bench, tag, solves, p99)
+	fmt.Printf("Benchmark%s/%s/persolve \t%d\t%d ns/op\n", bench, tag, solves, perSolve)
 	fmt.Printf("BenchmarkServeCalibration/alg=%s \t%d\t%d ns/op\n", *alg, calN, calNS)
 
 	fmt.Fprintf(os.Stderr,
-		"sflowload: %d clients for %s against %s: %d solves (%.0f solves/sec), p50 %s, p99 %s, %d client failures\n",
-		*clients, elapsed.Round(time.Millisecond), *addr, solves, rate,
+		"sflowload: %d clients for %s against %s: %d %s ops (%.0f ops/sec), p50 %s, p99 %s, %d client failures\n",
+		*clients, elapsed.Round(time.Millisecond), *addr, solves, *mode, rate,
 		time.Duration(p50), time.Duration(p99), failures.Load())
 	if failed := failures.Load(); failed > int64(*clients/2) {
 		return fmt.Errorf("%d of %d clients failed", failed, *clients)

@@ -32,6 +32,7 @@ import (
 	"sflow/internal/flow"
 	"sflow/internal/metrics"
 	"sflow/internal/overlay"
+	"sflow/internal/provision"
 	"sflow/internal/qos"
 	"sflow/internal/reduce"
 	"sflow/internal/require"
@@ -60,6 +61,14 @@ type Options struct {
 	// snapshot immediately before it becomes visible to readers. Tests use
 	// it to record the exact state each epoch was published with.
 	PublishHook func(*session.Snapshot)
+	// Admission tunes the server's multi-tenant capacity allocator
+	// (priority classes, quotas, preemption, instance capacity). The
+	// allocator accounts against a private residual copy of the boot
+	// overlay: admissions reserve capacity from the boot-time substrate,
+	// independent of later epoch mutations, so admission decisions stay
+	// replayable from the recorded log alone. Admission.Metrics defaults to
+	// Options.Metrics.
+	Admission provision.AllocatorOptions
 }
 
 // writerCmd is one queued write-side request and its reply slot.
@@ -73,6 +82,11 @@ type Server struct {
 	sess *session.Session // owned by the writer goroutine after New
 	cur  atomic.Pointer[epoch]
 	hook func(*session.Snapshot)
+
+	// alloc is the multi-tenant capacity allocator; it serializes its own
+	// operations, so admit/release/tenants handlers run on RPC goroutines
+	// without involving the epoch writer.
+	alloc *provision.Allocator
 
 	mutCh chan writerCmd
 	stop  chan struct{}
@@ -90,9 +104,12 @@ type Server struct {
 	solves       *metrics.Counter
 	mutations    *metrics.Counter
 	repairs      *metrics.Counter
+	admits       *metrics.Counter
+	releases     *metrics.Counter
 	published    *metrics.Counter
 	retiredTotal *metrics.Counter
 	solveUS      *metrics.Histogram
+	admitUS      *metrics.Histogram
 	publishUS    *metrics.Histogram
 }
 
@@ -100,9 +117,13 @@ type Server struct {
 // epoch and starts the writer goroutine. Call Serve to accept clients and
 // Close to shut down.
 func New(ov *overlay.Overlay, opts Options) *Server {
+	if opts.Admission.Metrics == nil {
+		opts.Admission.Metrics = opts.Metrics
+	}
 	s := &Server{
 		sess:  session.New(ov, session.Options{Workers: opts.Workers, Metrics: opts.Metrics}),
 		hook:  opts.PublishHook,
+		alloc: provision.NewAllocator(ov, opts.Admission),
 		mutCh: make(chan writerCmd, 256),
 		stop:  make(chan struct{}),
 		done:  make(chan struct{}),
@@ -111,9 +132,13 @@ func New(ov *overlay.Overlay, opts Options) *Server {
 		s.solves = reg.Counter("daemon_solves_total")
 		s.mutations = reg.Counter("daemon_mutations_total")
 		s.repairs = reg.Counter("daemon_repairs_total")
+		s.admits = reg.Counter("daemon_admits_total")
+		s.releases = reg.Counter("daemon_releases_total")
 		s.published = reg.Counter("daemon_epochs_published_total")
 		s.retiredTotal = reg.Counter("daemon_epochs_retired_total")
 		s.solveUS = reg.Histogram("daemon_solve_us",
+			metrics.ExponentialBounds(10, 10, 6), metrics.Volatile())
+		s.admitUS = reg.Histogram("daemon_admit_us",
 			metrics.ExponentialBounds(10, 10, 6), metrics.Volatile())
 		s.publishUS = reg.Histogram("daemon_publish_us",
 			metrics.ExponentialBounds(10, 10, 6), metrics.Volatile())
@@ -150,10 +175,17 @@ func (s *Server) Close() {
 	}
 	close(s.stop)
 	<-s.done
+	// The allocator closes after the RPC server: no admit/release handler
+	// can still be running.
+	s.alloc.Close()
 	// Final retirement sweep: with no handlers left every tracked epoch has
 	// drained.
 	s.sweepRetired()
 }
+
+// Allocator exposes the server's capacity allocator; tests use it to run the
+// sequential-replay oracle against the recorded admission log.
+func (s *Server) Allocator() *provision.Allocator { return s.alloc }
 
 // Epoch returns the currently published epoch id.
 func (s *Server) Epoch() uint64 { return s.cur.Load().id }
@@ -181,6 +213,12 @@ func (s *Server) Handle(req any) (any, error) {
 		return s.solve(r), nil
 	case OpInfo:
 		return s.info(), nil
+	case OpAdmit:
+		return s.admit(r), nil
+	case OpRelease:
+		return s.release(r), nil
+	case OpTenants:
+		return s.tenants(), nil
 	case OpMutate, OpRepair, OpStats:
 		return s.submit(r), nil
 	default:
@@ -322,6 +360,103 @@ func (s *Server) info() *Response {
 		resp.Err = fmt.Sprintf("daemon: encoding overlay: %v", err)
 	}
 	return resp
+}
+
+// --- admission path --------------------------------------------------------
+
+// admissionAlgorithm adapts one named solver to the allocator's Algorithm
+// shape, federating over the allocator's residual overlay. The daemon serves
+// the deterministic registry algorithms only ("random" included: its rng is
+// re-seeded per call), so every recorded admission log replays exactly.
+func admissionAlgorithm(name string) (provision.Algorithm, error) {
+	fn, ok := solvers[name]
+	if !ok {
+		return nil, fmt.Errorf("daemon: unknown algorithm %q", name)
+	}
+	return func(ov *overlay.Overlay, req *require.Requirement, src int) (*flow.Graph, qos.Metric, error) {
+		ag, err := abstract.Build(ov, req)
+		if err != nil {
+			return nil, qos.Unreachable, err
+		}
+		sol, err := fn(ag, src)
+		if err != nil {
+			return nil, qos.Unreachable, err
+		}
+		return sol.flow, sol.metric, nil
+	}, nil
+}
+
+// admit answers OpAdmit on the RPC goroutine: the allocator's writer loop is
+// the serialization point, no epoch is pinned (admissions account against the
+// allocator's residual, not the served epoch).
+func (s *Server) admit(r *Request) *Response {
+	start := time.Now()
+	resp := &Response{Epoch: s.cur.Load().id}
+	if r.Requirement == nil {
+		resp.Err = "daemon: admit without a requirement"
+		return resp
+	}
+	name := r.Algorithm
+	if name == "" {
+		name = "heuristic"
+	}
+	alg, err := admissionAlgorithm(name)
+	if err != nil {
+		resp.Err = err.Error()
+		return resp
+	}
+	tk, err := s.alloc.Admit(provision.AdmitRequest{
+		Req:    r.Requirement,
+		Src:    r.Source,
+		Demand: r.Demand,
+		Class:  r.Class,
+		TTL:    time.Duration(r.TTLMS) * time.Millisecond,
+		Tag:    name,
+		Alg:    alg,
+	})
+	if err != nil {
+		resp.Err = err.Error()
+		var aerr *provision.AdmissionError
+		if errors.As(err, &aerr) {
+			resp.Reason = string(aerr.Reason)
+		}
+		return resp
+	}
+	resp.Ticket = tk.ID
+	m := tk.Metric
+	resp.Metric = &m
+	if data, merr := json.Marshal(tk.Flow); merr == nil {
+		resp.Flow = data
+	} else {
+		resp.Err = fmt.Sprintf("daemon: encoding flow: %v", merr)
+	}
+	s.admits.Inc()
+	s.admitUS.Observe(time.Since(start).Microseconds())
+	return resp
+}
+
+// release answers OpRelease on the RPC goroutine.
+func (s *Server) release(r *Request) *Response {
+	resp := &Response{Epoch: s.cur.Load().id}
+	if err := s.alloc.Release(r.Ticket); err != nil {
+		resp.Err = err.Error()
+		return resp
+	}
+	resp.Ticket = r.Ticket
+	s.releases.Inc()
+	return resp
+}
+
+// tenants answers OpTenants: the admitted set, per-class fairness counters
+// and residual utilization, all snapshotted through the allocator's writer
+// loop.
+func (s *Server) tenants() *Response {
+	return &Response{
+		Epoch:       s.cur.Load().id,
+		Tenants:     s.alloc.Tenants(),
+		Classes:     s.alloc.ClassCounters(),
+		Utilization: s.alloc.Utilization(),
+	}
 }
 
 // --- write path ------------------------------------------------------------
@@ -545,6 +680,25 @@ func (c *Client) Repair(req *require.Requirement, src int, unresponsive []int) (
 
 // Info fetches the current epoch and overlay.
 func (c *Client) Info() (*Response, error) { return c.Do(&Request{Op: OpInfo}) }
+
+// Admit requests admission of req at demand (Kbit/s) from src, federated by
+// the named algorithm ("" defaults to "heuristic") in the given priority
+// class. ttlMS > 0 leases the admission for that many milliseconds. On
+// rejection Response.Err is set and Response.Reason carries the
+// machine-readable cause.
+func (c *Client) Admit(algorithm string, req *require.Requirement, src int, demand int64, class int, ttlMS int64) (*Response, error) {
+	return c.Do(&Request{Op: OpAdmit, Algorithm: algorithm, Requirement: req,
+		Source: src, Demand: demand, Class: class, TTLMS: ttlMS})
+}
+
+// Release departs the admitted tenant holding ticket.
+func (c *Client) Release(ticket uint64) (*Response, error) {
+	return c.Do(&Request{Op: OpRelease, Ticket: ticket})
+}
+
+// Tenants fetches the admitted tenants, per-class counters and residual
+// utilization.
+func (c *Client) Tenants() (*Response, error) { return c.Do(&Request{Op: OpTenants}) }
 
 // Stats fetches session statistics.
 func (c *Client) Stats() (*Response, error) { return c.Do(&Request{Op: OpStats}) }

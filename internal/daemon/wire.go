@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"sflow/internal/provision"
 	"sflow/internal/qos"
 	"sflow/internal/require"
 	"sflow/internal/session"
@@ -29,6 +30,17 @@ const (
 	OpInfo = "info"
 	// OpStats reports session statistics via the writer goroutine.
 	OpStats = "stats"
+	// OpAdmit admits one tenant against the server's capacity allocator,
+	// reserving the demanded bandwidth on its residual overlay. The
+	// allocator serializes concurrent admissions internally, so this runs
+	// on the RPC goroutine without touching the epoch writer.
+	OpAdmit = "admit"
+	// OpRelease departs an admitted tenant by ticket, returning its
+	// reserved capacity.
+	OpRelease = "release"
+	// OpTenants reports the admitted tenants, per-class counters and
+	// residual utilization. Read-only.
+	OpTenants = "tenants"
 )
 
 // Mutation kinds, mirroring the session's event methods.
@@ -70,6 +82,16 @@ type Request struct {
 
 	// Repair fields.
 	Unresponsive []int `json:"unresponsive,omitempty"`
+
+	// Admit fields (Algorithm, Requirement and Source are shared with
+	// solve). TTLMS, when positive, auto-releases the admission after that
+	// many milliseconds.
+	Demand int64 `json:"demand,omitempty"`
+	Class  int   `json:"class,omitempty"`
+	TTLMS  int64 `json:"ttl_ms,omitempty"`
+
+	// Release fields.
+	Ticket uint64 `json:"ticket,omitempty"`
 }
 
 // Response answers one Request. Epoch always names the epoch the answer was
@@ -96,6 +118,18 @@ type Response struct {
 
 	// Stats results.
 	Stats *session.Stats `json:"stats,omitempty"`
+
+	// Admit results: the granted ticket (its flow graph and metric travel
+	// in the shared Flow/Metric fields). On rejection Err is set and Reason
+	// carries the machine-readable cause ("quota", "compute", "no-flow",
+	// "bandwidth").
+	Ticket uint64 `json:"ticket,omitempty"`
+	Reason string `json:"reason,omitempty"`
+
+	// Tenants results.
+	Tenants     []provision.TenantInfo    `json:"tenants,omitempty"`
+	Classes     []provision.ClassCounters `json:"classes,omitempty"`
+	Utilization int64                     `json:"utilization,omitempty"`
 }
 
 // serverCodec frames the daemon side of the protocol: requests in, responses

@@ -602,6 +602,7 @@ func All(cfg Config) ([]*Series, error) {
 		{"fig10a", Fig10a}, {"fig10b", Fig10b}, {"fig10c", Fig10c}, {"fig10d", Fig10d},
 		{"ablation-lookahead", AblationLookahead}, {"ablation-reduction", AblationReduction},
 		{"admission", Admission},
+		{"tenants", Tenants},
 		{"overhead", Overhead},
 		{"repair", RepairChurn},
 		{"blocking", Blocking},

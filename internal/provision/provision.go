@@ -23,6 +23,45 @@ import (
 // demanded bandwidth.
 var ErrRejected = errors.New("provision: request rejected")
 
+// RejectReason is the machine-readable cause carried by an AdmissionError.
+type RejectReason string
+
+// The rejection reasons an admission can fail with.
+const (
+	// ReasonQuota: the request's priority class is at its concurrent-
+	// admission quota (Allocator only).
+	ReasonQuota RejectReason = "quota"
+	// ReasonCompute: the source instance is at its compute capacity.
+	ReasonCompute RejectReason = "compute"
+	// ReasonNoFlow: the federation algorithm found no feasible flow graph
+	// on the residual overlay.
+	ReasonNoFlow RejectReason = "no-flow"
+	// ReasonBandwidth: a flow graph exists but cannot sustain the demanded
+	// bandwidth (bottleneck too narrow, or the request's own streams
+	// jointly oversubscribe a link).
+	ReasonBandwidth RejectReason = "bandwidth"
+)
+
+// AdmissionError is the typed rejection every admission failure returns: it
+// wraps ErrRejected (errors.Is keeps working) and adds a machine-readable
+// Reason plus the rejected request's priority class, so callers and wire
+// protocols can react to *why* a request bounced without parsing text.
+type AdmissionError struct {
+	Reason RejectReason
+	// Class is the rejected request's priority class (0 outside an
+	// Allocator, which stamps it).
+	Class int
+	// Detail is the human-readable specifics.
+	Detail string
+}
+
+func (e *AdmissionError) Error() string {
+	return fmt.Sprintf("%v (%s): %s", ErrRejected, e.Reason, e.Detail)
+}
+
+// Unwrap makes errors.Is(err, ErrRejected) hold for every AdmissionError.
+func (e *AdmissionError) Unwrap() error { return ErrRejected }
+
 // Algorithm federates a requirement over (the residual) overlay from a
 // source instance. The facade's Heuristic/Fixed/... functions have this
 // shape; the distributed Federate is adapted trivially.
@@ -94,11 +133,18 @@ func (m *Manager) InstanceLoad(nid int) int { return m.inUse[nid] }
 func (m *Manager) Residual() *overlay.Overlay { return m.residual }
 
 // Admitted returns snapshots of the accepted requests in admission order.
-// Release takes the live pointer returned by Admit, not these copies.
+// Release takes the live pointer returned by Admit, not these copies: the
+// snapshots carry no reservation state (passing one to Release is an error
+// rather than a silent corruption of the live books).
 func (m *Manager) Admitted() []Admission {
 	out := make([]Admission, 0, len(m.admitted))
 	for _, a := range m.admitted {
-		out = append(out, *a)
+		cp := *a
+		// The live reserved map must not leak: a copy aliasing it would let
+		// Release(&copy) return bandwidth while the live admission still
+		// holds it, double-releasing on the next Release(live).
+		cp.reserved = nil
+		out = append(out, cp)
 	}
 	return out
 }
@@ -118,9 +164,10 @@ func (m *Manager) AggregateDemand() int64 {
 // Admit federates req over the residual overlay using alg and, if the
 // resulting flow graph sustains the demanded bandwidth on every stream,
 // reserves that bandwidth along each stream's route. A request is rejected
-// (ErrRejected) when the algorithm fails on the residual overlay or the
-// achieved bottleneck falls short of the demand; rejection leaves the
-// residual overlay untouched.
+// with an *AdmissionError — errors.Is(err, ErrRejected) holds, and the
+// error's Reason says why — when the algorithm fails on the residual
+// overlay or the achieved bottleneck falls short of the demand; rejection
+// leaves the residual overlay untouched.
 func (m *Manager) Admit(req *require.Requirement, src int, demand int64, alg Algorithm) (*Admission, error) {
 	if demand <= 0 {
 		return nil, fmt.Errorf("provision: non-positive demand %d", demand)
@@ -128,7 +175,8 @@ func (m *Manager) Admit(req *require.Requirement, src int, demand int64, alg Alg
 	view := m.residual
 	if m.capacity > 0 {
 		if m.inUse[src] >= m.capacity {
-			return nil, m.reject(fmt.Errorf("%w: source instance %d at compute capacity", ErrRejected, src))
+			return nil, m.reject(&AdmissionError{Reason: ReasonCompute,
+				Detail: fmt.Sprintf("source instance %d at compute capacity", src)})
 		}
 		view = m.residual.Clone()
 		for nid, n := range m.inUse {
@@ -141,11 +189,11 @@ func (m *Manager) Admit(req *require.Requirement, src int, demand int64, alg Alg
 	}
 	fg, metric, err := alg(view, req, src)
 	if err != nil {
-		return nil, m.reject(fmt.Errorf("%w: %v", ErrRejected, err))
+		return nil, m.reject(&AdmissionError{Reason: ReasonNoFlow, Detail: err.Error()})
 	}
 	if !metric.Reachable() || metric.Bandwidth < demand {
-		return nil, m.reject(fmt.Errorf("%w: achievable bandwidth %d below demand %d",
-			ErrRejected, metric.Bandwidth, demand))
+		return nil, m.reject(&AdmissionError{Reason: ReasonBandwidth,
+			Detail: fmt.Sprintf("achievable bandwidth %d below demand %d", metric.Bandwidth, demand)})
 	}
 	if err := fg.Validate(req, view); err != nil {
 		return nil, fmt.Errorf("provision: algorithm returned invalid flow: %w", err)
@@ -164,8 +212,9 @@ func (m *Manager) Admit(req *require.Requirement, src int, demand int64, alg Alg
 	for link, need := range needs {
 		cur, ok := m.residual.LinkMetric(link[0], link[1])
 		if !ok || cur.Bandwidth < need {
-			return nil, m.reject(fmt.Errorf("%w: link %d->%d carries %d streams needing %d, has %d",
-				ErrRejected, link[0], link[1], need/demand, need, cur.Bandwidth))
+			return nil, m.reject(&AdmissionError{Reason: ReasonBandwidth,
+				Detail: fmt.Sprintf("link %d->%d carries %d streams needing %d, has %d",
+					link[0], link[1], need/demand, need, cur.Bandwidth)})
 		}
 		reserved[link] = reservation{amount: need, latency: cur.Latency}
 	}
@@ -183,14 +232,15 @@ func (m *Manager) Admit(req *require.Requirement, src int, demand int64, alg Alg
 	for _, need := range needs {
 		m.reservedBW += need
 	}
-	if reg := m.metrics; reg != nil {
-		reg.Counter("provision_admitted_total").Inc()
-		m.observeUtilization()
-	}
+	m.metrics.Counter("provision_admitted_total").Inc()
+	m.observeUtilization()
 	return a, nil
 }
 
 // reject counts the rejection (when instrumented) and passes err through.
+// Like every metrics call site in this package it relies on the registry's
+// nil-safety: a nil *Registry resolves nil handles whose updates are no-ops,
+// so uninstrumented managers take this path without guards.
 func (m *Manager) reject(err error) error {
 	m.metrics.Counter("provision_rejected_total").Inc()
 	return err
@@ -203,7 +253,16 @@ func (m *Manager) observeUtilization() {
 		return
 	}
 	m.metrics.Histogram("provision_utilization_pct", metrics.LinearBounds(10, 10, 10)).
-		Observe(m.reservedBW * 100 / m.totalBW)
+		Observe(m.utilizationPct())
+}
+
+// utilizationPct returns the reserved share of the pristine overlay's
+// aggregate bandwidth in percent (0 on a bandwidth-less overlay).
+func (m *Manager) utilizationPct() int64 {
+	if m.totalBW <= 0 {
+		return 0
+	}
+	return m.reservedBW * 100 / m.totalBW
 }
 
 // Release returns an admission's reserved bandwidth to the residual overlay
@@ -239,10 +298,39 @@ func (m *Manager) Release(a *Admission) error {
 	for _, r := range a.reserved {
 		m.reservedBW -= r.amount
 	}
-	if reg := m.metrics; reg != nil {
-		reg.Counter("provision_released_total").Inc()
-		m.observeUtilization()
+	m.metrics.Counter("provision_released_total").Inc()
+	m.observeUtilization()
+	return nil
+}
+
+// restore is the exact inverse of Release: it re-applies a released
+// admission's recorded reservations without re-running the federation
+// algorithm. The preemption rollback uses it — when evicting victims did not
+// make a high-priority request fit, the victims are restored byte-identically
+// (links that re-saturate to zero disappear again, exactly as they were).
+// It must only be called on an admission this manager released, while the
+// residual still has the released capacity available.
+func (m *Manager) restore(a *Admission) error {
+	if a == nil || a.reserved == nil || !a.released {
+		return fmt.Errorf("provision: restore of an admission that is not released")
 	}
+	for link, r := range a.reserved {
+		cur, ok := m.residual.LinkMetric(link[0], link[1])
+		if !ok || cur.Bandwidth < r.amount {
+			return fmt.Errorf("provision: restore %d on %d->%d: capacity no longer available",
+				r.amount, link[0], link[1])
+		}
+	}
+	for link, r := range a.reserved {
+		if err := m.residual.ReduceLinkBandwidth(link[0], link[1], r.amount); err != nil {
+			return fmt.Errorf("provision: restore %d on %d->%d: %w", r.amount, link[0], link[1], err)
+		}
+		m.reservedBW += r.amount
+	}
+	for _, nid := range a.Flow.Assignment() {
+		m.inUse[nid]++
+	}
+	a.released = false
 	return nil
 }
 

@@ -275,6 +275,7 @@ var (
 	AblationLookahead = experiments.AblationLookahead
 	AblationReduction = experiments.AblationReduction
 	AdmissionCapacity = experiments.Admission
+	TenantSweep       = experiments.Tenants
 	ProtocolOverhead  = experiments.Overhead
 	RepairChurn       = experiments.RepairChurn
 	BlockingUnderLoad = experiments.Blocking
@@ -405,36 +406,30 @@ func NewProvisionerMetrics(ov *Overlay, reg *Metrics) *Provisioner {
 	return provision.NewManagerMetrics(ov, reg)
 }
 
-// SFlowAlgorithm adapts the distributed sFlow protocol for provisioning.
-func SFlowAlgorithm(opts Options) FederationAlgorithm {
-	return func(ov *Overlay, req *Requirement, src int) (*FlowGraph, Metric, error) {
-		res, err := core.Federate(ov, req, src, opts)
-		if err != nil {
-			return nil, qos.Unreachable, err
-		}
-		return res.Flow, res.Metric, nil
-	}
-}
+// SFlowAlgorithm adapts the distributed sFlow protocol for provisioning with
+// explicit protocol Options (faults, reliability, tracing).
+//
+// Deprecated: use RegistryAlgorithm("sflow", SolveOptions{Metrics: opts.Metrics});
+// this wrapper remains only for tuning the full core Options.
+func SFlowAlgorithm(opts Options) FederationAlgorithm { return federateAlgorithm(opts) }
 
 // FixedAlgorithm adapts the fixed control algorithm for provisioning.
-func FixedAlgorithm() FederationAlgorithm {
-	return func(ov *Overlay, req *Requirement, src int) (*FlowGraph, Metric, error) {
-		return Fixed(ov, req, src)
-	}
-}
+//
+// Deprecated: use RegistryAlgorithm("fixed", SolveOptions{}).
+func FixedAlgorithm() FederationAlgorithm { return RegistryAlgorithm("fixed", SolveOptions{}) }
 
 // RandomAlgorithm adapts the random control algorithm for provisioning.
+//
+// Deprecated: use RegistryAlgorithm("random", SolveOptions{Rng: rng}).
 func RandomAlgorithm(rng *rand.Rand) FederationAlgorithm {
-	return func(ov *Overlay, req *Requirement, src int) (*FlowGraph, Metric, error) {
-		return RandomPlacement(ov, req, src, rng)
-	}
+	return RegistryAlgorithm("random", SolveOptions{Rng: rng})
 }
 
 // HeuristicAlgorithm adapts the centralised reduction heuristic.
+//
+// Deprecated: use RegistryAlgorithm("heuristic", SolveOptions{}).
 func HeuristicAlgorithm() FederationAlgorithm {
-	return func(ov *Overlay, req *Requirement, src int) (*FlowGraph, Metric, error) {
-		return Heuristic(ov, req, src)
-	}
+	return RegistryAlgorithm("heuristic", SolveOptions{})
 }
 
 // Theorem 1 surface: the reduction from SAT to the Maximum Service Flow
