@@ -2,18 +2,24 @@
 
 GO ?= go
 
-# Pinned linter + fuzz budget, overridable from the environment/CI.
+# Pinned linter + vulnerability scanner + fuzz budget, overridable from the
+# environment/CI.
 STATICCHECK_VERSION ?= 2025.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
 FUZZTIME ?= 30s
 
-.PHONY: all build test race race-hot race-session race-daemon race-admit check smoke cover cover-check bench bench-hotpath bench-json bench-check bench-admit serve-bench serve-check vet fmt fmt-check lint staticcheck fuzz figures examples clean
+# Bench gates tee the fresh benchmark output here so CI can upload it as an
+# artifact when a gate fails (compare against the committed baseline offline).
+FRESHDIR ?= .bench-fresh
+
+.PHONY: all build test race race-hot race-session race-daemon race-admit race-reopt check smoke cover cover-check bench bench-hotpath bench-json bench-check bench-admit bench-reopt reopt-check serve-bench serve-check vet fmt fmt-check lint staticcheck vulncheck fuzz figures examples clean
 
 all: build test
 
 # Tier-1 gate: what CI runs on every PR. The equivalence-oracle property
 # tests of the incremental session run race-instrumented on every gate, as
 # does the serving daemon's concurrent-clients smoke.
-check: build vet test race-session race-daemon race-admit smoke
+check: build vet test race-session race-daemon race-admit race-reopt smoke
 
 # Race-instrumented end-to-end run of the metrics-enabled benchmark driver:
 # a small Fig 10(a) sweep at several workers with a snapshot written, the
@@ -55,6 +61,15 @@ race-admit:
 	$(GO) test -race ./internal/provision/ -run 'TestAllocator|TestConcurrentAdmissionMatchesSequentialReplay|TestReplay|TestSeededAdmitRelease'
 	$(GO) test -race ./internal/daemon/ -run 'TestAdmitReleaseTenantsRPC|TestConcurrentAdmitRPCMatchesSequentialReplay'
 	$(GO) test -race . -run 'TestAllocatorPublicAPI|TestReplayAdmissionsWithNilAlgFor'
+
+# Race-instrumented re-optimization battery: the link-load ledger must
+# deep-equal a from-scratch recount after any seeded interleaving, gated live
+# migrations must never regress max utilization, and the daemon's background
+# reoptimizer loop must relieve a hot link end-to-end over RPC.
+race-reopt:
+	$(GO) test -race ./internal/reopt/
+	$(GO) test -race ./internal/provision/ -run 'TestMigrate|TestExpiryReleaseRaceKeepsLedgerExact|TestMigrationCarriesLease'
+	$(GO) test -race ./internal/daemon/ -run 'TestLinksRPCTracksAdmittedLoad|TestReoptLoopRelievesHotLink'
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...
@@ -98,7 +113,9 @@ bench-json:
 # the baseline machine, so ratios are normalized by the map-oracle all-pairs
 # benchmark — a calibration leg the CSR hot path does not touch.
 bench-check:
+	@mkdir -p $(FRESHDIR)
 	$(GO) test -run '^$$' -bench '$(GATEBENCH)' -benchtime 0.2s -count $(BENCHCOUNT) ./internal/qos/ \
+		| tee $(FRESHDIR)/bench-hotpath.txt \
 		| $(GO) run ./cmd/benchjson -compare results/BENCH_hotpath.json \
 			-match '$(GATEBENCH)' -normalize 'BenchmarkAllPairs/engine=map/n=120' -threshold 1.25
 
@@ -113,6 +130,25 @@ bench-admit:
 	$(GO) test -run '^$$' -bench '$(ADMITBENCH)' -benchmem -count $(BENCHCOUNT) ./internal/provision/ \
 		| $(GO) run ./cmd/benchjson -out results/BENCH_admit.json
 	@echo "wrote results/BENCH_admit.json"
+
+# Re-optimization benchmark record and gate: one gated live migration through
+# the planner's mirror-session solve (BenchmarkPlannerMigration), normalized
+# by a stateless abstract+reduce solve over the same topology
+# (BenchmarkReoptCalibration) so runner speed cancels out. bench-reopt
+# regenerates the committed baseline; reopt-check fails CI on a >25%
+# regression.
+REOPTBENCH ?= BenchmarkPlannerMigration|BenchmarkReoptCalibration
+bench-reopt:
+	$(GO) test -run '^$$' -bench '$(REOPTBENCH)' -benchmem -count $(BENCHCOUNT) ./internal/reopt/ \
+		| $(GO) run ./cmd/benchjson -out results/BENCH_reopt.json
+	@echo "wrote results/BENCH_reopt.json"
+
+reopt-check:
+	@mkdir -p $(FRESHDIR)
+	$(GO) test -run '^$$' -bench '$(REOPTBENCH)' -benchtime 0.2s -count $(BENCHCOUNT) ./internal/reopt/ \
+		| tee $(FRESHDIR)/bench-reopt.txt \
+		| $(GO) run ./cmd/benchjson -compare results/BENCH_reopt.json \
+			-match 'BenchmarkPlannerMigration' -normalize 'BenchmarkReoptCalibration' -threshold 1.25
 
 # Serving benchmark: launch sflowd, drive it with SERVE_CLIENTS closed-loop
 # sflowload clients for SERVE_DURATION, and record latency quantiles and
@@ -146,7 +182,8 @@ serve-bench:
 	echo "wrote results/BENCH_serving.json"
 
 serve-check:
-	@$(run_serve_load); \
+	@mkdir -p $(FRESHDIR); $(run_serve_load); \
+	cp $$tmp/bench.txt $(FRESHDIR)/bench-serving.txt; \
 	$(GO) run ./cmd/benchjson -in $$tmp/bench.txt -compare results/BENCH_serving.json \
 		-match '$(SERVEGATE)' -normalize 'BenchmarkServeCalibration/alg=$(SERVE_ALG)' -threshold 1.25; status=$$?; \
 	rm -rf $$tmp; exit $$status
@@ -167,6 +204,11 @@ lint: fmt-check vet staticcheck
 
 staticcheck:
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+
+# Known-vulnerability scan of the module and its (stdlib) call graph, pinned
+# like staticcheck. Downloads on first use, so it needs network (CI has it).
+vulncheck:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
 
 # Short-budget fuzzing of the two codec trust boundaries: the TCP frame
 # reader and the protocol wire codec (including the reliability wrapper).
@@ -192,3 +234,4 @@ examples:
 # results/ holds committed reproduced figures — never delete it here.
 clean:
 	rm -f cover.out
+	rm -rf $(FRESHDIR)

@@ -111,6 +111,12 @@ func TestAllocatorPublicAPI(t *testing.T) {
 	default:
 		t.Fatalf("unknown reason %q", aerr.Reason)
 	}
+	if al.Utilization() == 0 {
+		t.Fatal("utilization 0 with a 50-demand tenant admitted")
+	}
+	if res := al.Residual(); res == nil || res.NumInstances() != sc.Overlay.NumInstances() {
+		t.Fatalf("residual snapshot = %v", res)
+	}
 	if err := al.Release(tk.ID); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+BenchmarkWidestKernel/n=120-8         	    1000	    50000 ns/op	    1024 B/op	      12 allocs/op
+BenchmarkWidestKernel/n=120-8         	    1000	    48000 ns/op	    1024 B/op	      12 allocs/op
+BenchmarkWidestKernel/n=120-8         	    1000	    52000 ns/op	    1024 B/op	      12 allocs/op
+BenchmarkCalibration-8                	    2000	    10000 ns/op
+BenchmarkNoMetric-8                   	    2000	  garbage
+PASS
+`
+
+func parsed(t *testing.T, text string) *Record {
+	t.Helper()
+	rec, err := parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+// parse keeps the minimum ns/op per benchmark, strips the GOMAXPROCS
+// suffix, and skips lines without a ns/op figure.
+func TestParseKeepsMinimumAndStripsSuffix(t *testing.T) {
+	rec := parsed(t, benchOutput)
+	if len(rec.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %+v", len(rec.Benchmarks), rec.Benchmarks)
+	}
+	by := rec.byName()
+	kernel, ok := by["BenchmarkWidestKernel/n=120"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %+v", rec.Benchmarks)
+	}
+	if kernel.NsPerOp != 48000 {
+		t.Fatalf("ns/op = %v, want the minimum 48000", kernel.NsPerOp)
+	}
+	if kernel.BytesPerOp != 1024 || kernel.AllocsPerOp != 12 {
+		t.Fatalf("memory columns = %+v", kernel)
+	}
+	if _, ok := by["BenchmarkNoMetric"]; ok {
+		t.Fatal("line without ns/op parsed as a benchmark")
+	}
+}
+
+func TestCalibration(t *testing.T) {
+	rec := parsed(t, benchOutput)
+	ns, name, err := rec.calibration(regexp.MustCompile("BenchmarkCalibration"))
+	if err != nil || ns != 10000 || name != "BenchmarkCalibration" {
+		t.Fatalf("calibration = %v %q %v", ns, name, err)
+	}
+	if _, _, err := rec.calibration(regexp.MustCompile("NoSuchBenchmark")); err == nil {
+		t.Fatal("calibration matched nothing but did not fail")
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	baseline := parsed(t, benchOutput)
+	match := regexp.MustCompile("BenchmarkWidestKernel")
+	norm := regexp.MustCompile("BenchmarkCalibration")
+
+	// Identical run: passes, with or without normalization.
+	if err := compare(baseline, parsed(t, benchOutput), match, norm, 1.25); err != nil {
+		t.Fatalf("identical run failed the gate: %v", err)
+	}
+	if err := compare(baseline, parsed(t, benchOutput), match, nil, 1.25); err != nil {
+		t.Fatalf("identical run failed the unnormalized gate: %v", err)
+	}
+
+	// A 2x slowdown of the gated kernel fails at 1.25x.
+	slow := parsed(t, strings.ReplaceAll(strings.ReplaceAll(strings.ReplaceAll(
+		benchOutput, "48000", "96000"), "50000", "100000"), "52000", "104000"))
+	if err := compare(baseline, slow, match, norm, 1.25); err == nil {
+		t.Fatal("2x regression passed the gate")
+	}
+
+	// The same slowdown passes when the calibration leg slowed down equally:
+	// the machine is slower, not the code.
+	slower := parsed(t, strings.ReplaceAll(strings.ReplaceAll(strings.ReplaceAll(strings.ReplaceAll(
+		benchOutput, "48000", "96000"), "50000", "100000"), "52000", "104000"), "10000 ns/op", "20000 ns/op"))
+	if err := compare(baseline, slower, match, norm, 1.25); err != nil {
+		t.Fatalf("uniformly slower machine failed the normalized gate: %v", err)
+	}
+
+	// A benchmark present in the baseline but missing from the run fails
+	// loudly instead of silently shrinking the gate.
+	missing := parsed(t, "BenchmarkCalibration-8 100 10000 ns/op\n")
+	if err := compare(baseline, missing, match, norm, 1.25); err == nil {
+		t.Fatal("missing gated benchmark passed")
+	}
+
+	// A match regexp that covers nothing makes the gate vacuous: error.
+	if err := compare(baseline, parsed(t, benchOutput), regexp.MustCompile("NoSuch"), nil, 1.25); err == nil {
+		t.Fatal("vacuous gate passed")
+	}
+
+	// Baseline and current disagreeing on the calibration benchmark is a
+	// configuration error, not a pass.
+	otherCal := parsed(t, benchOutput+"BenchmarkAaaCalibration-8 100 9000 ns/op\n")
+	if err := compare(otherCal, parsed(t, benchOutput), match, regexp.MustCompile("Calibration"), 1.25); err == nil {
+		t.Fatal("differing calibration benchmarks passed")
+	}
+}

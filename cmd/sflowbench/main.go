@@ -35,7 +35,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sflowbench", flag.ContinueOnError)
 	var (
-		fig       = fs.String("fig", "all", "figure to reproduce: 10a, 10b, 10c, 10d, lookahead, reduction, admission, tenants, overhead, repair, blocking, hierarchy, faults, dynamics or all")
+		fig       = fs.String("fig", "all", "figure to reproduce: 10a, 10b, 10c, 10d, lookahead, reduction, admission, tenants, overhead, repair, blocking, hierarchy, faults, dynamics, reopt or all")
 		sizes     = fs.String("sizes", "10,20,30,40,50", "comma-separated network sizes")
 		trials    = fs.Int("trials", 10, "trials per network size")
 		seed      = fs.Int64("seed", 1, "base random seed")
@@ -123,7 +123,7 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-	case "10a", "10b", "10c", "10d", "lookahead", "reduction", "admission", "tenants", "overhead", "repair", "blocking", "hierarchy", "faults", "dynamics":
+	case "10a", "10b", "10c", "10d", "lookahead", "reduction", "admission", "tenants", "overhead", "repair", "blocking", "hierarchy", "faults", "dynamics", "reopt":
 		fns := map[string]func(sflow.ExperimentConfig) (*sflow.Series, error){
 			"10a": sflow.Fig10a, "10b": sflow.Fig10b,
 			"10c": sflow.Fig10c, "10d": sflow.Fig10d,
@@ -132,7 +132,7 @@ func run(args []string, out io.Writer) error {
 			"overhead": sflow.ProtocolOverhead,
 			"repair":   sflow.RepairChurn, "blocking": sflow.BlockingUnderLoad,
 			"hierarchy": sflow.HierarchyCompare, "faults": sflow.FaultSweep,
-			"dynamics": sflow.DynamicsSweep,
+			"dynamics": sflow.DynamicsSweep, "reopt": sflow.ReoptSweep,
 		}
 		s, err := fns[*fig](cfg)
 		if err != nil {

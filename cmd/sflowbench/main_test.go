@@ -175,3 +175,27 @@ func TestRunJSONOutput(t *testing.T) {
 		t.Fatalf("json wrong: %s", data[:60])
 	}
 }
+
+// The reopt figure runs the congestion-driven re-optimization sweep: every
+// row must show relieved hotspots (postmax <= premax) and zero new ones.
+func TestRunReoptFigure(t *testing.T) {
+	out, err := runBench(t, "-fig", "reopt", "-trials", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"reopt", "ParallelPaths", "premax", "postmax", "migrations", "newhot"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 5 || !strings.HasPrefix(fields[0], "2") && !strings.HasPrefix(fields[0], "3") &&
+			!strings.HasPrefix(fields[0], "4") && !strings.HasPrefix(fields[0], "5") && !strings.HasPrefix(fields[0], "6") {
+			continue
+		}
+		if fields[4] != "0.0000" {
+			t.Fatalf("new hotspots in row %q", line)
+		}
+	}
+}

@@ -6,7 +6,11 @@
 // publishes fresh epochs — see DESIGN.md, "Serving architecture". Admission
 // (admit/release/tenants ops) runs through a capacity allocator configured
 // by -classes/-quota/-preempt/-instance-capacity; see DESIGN.md,
-// "Multi-tenant allocator".
+// "Multi-tenant allocator". With -reopt the daemon also runs the
+// congestion-driven reoptimizer: every -reopt-interval it inspects per-link
+// admitted load (served by the `links` op), flags links sustained above
+// -hot-threshold, and live-migrates the cheapest tenants off them under a
+// no-regression gate — see DESIGN.md, "Re-optimization loop".
 //
 // The overlay is generated reproducibly from the scenario flags, so a load
 // generator started with the same flags (see sflowload) targets the same
@@ -29,6 +33,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"sflow"
 	"sflow/internal/daemon"
@@ -76,6 +81,11 @@ func run(args []string) error {
 		quota   = fs.String("quota", "", "per-class admission quotas, comma-separated (0 = unlimited), e.g. 100,50")
 		preempt = fs.Bool("preempt", false, "let higher classes preempt strictly lower ones when capacity runs out")
 		percap  = fs.Int("instance-capacity", 0, "concurrent admissions per service instance (0 = unlimited)")
+
+		reoptOn  = fs.Bool("reopt", false, "run the congestion-driven reoptimizer loop (live migration off hot links)")
+		hotTh    = fs.Float64("hot-threshold", 0.9, "link utilization at which the reoptimizer considers a link hot")
+		reoptIvl = fs.Duration("reopt-interval", time.Second, "reoptimizer step period")
+		sustain  = fs.Int("reopt-sustain", 2, "consecutive hot observations before a link is declared congested")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -106,6 +116,12 @@ func run(args []string) error {
 			Quotas:           quotas,
 			Preempt:          *preempt,
 			InstanceCapacity: *percap,
+		},
+		Reopt: daemon.ReoptOptions{
+			Enabled:      *reoptOn,
+			HotThreshold: *hotTh,
+			Sustain:      *sustain,
+			Interval:     *reoptIvl,
 		},
 	})
 	if err := srv.Serve(*addr); err != nil {

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestParseQuotas(t *testing.T) {
+	got, err := parseQuotas("100, 50,0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{100, 50, 0}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("parseQuotas = %v", got)
+	}
+	if got, err := parseQuotas(""); err != nil || got != nil {
+		t.Fatalf("empty quota = %v, %v", got, err)
+	}
+	for _, bad := range []string{"abc", "-1", "1,,2"} {
+		if _, err := parseQuotas(bad); err == nil {
+			t.Errorf("parseQuotas(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-nonsense"},
+		{"-kind", "bogus"},
+		{"-quota", "x"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}
+
+// Full daemon lifecycle: serve with the reoptimizer enabled, write the
+// address file, then shut down cleanly on SIGTERM.
+func TestRunServesAndShutsDown(t *testing.T) {
+	dir := t.TempDir()
+	addrfile := filepath.Join(dir, "addr")
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0", "-addrfile", addrfile,
+			"-size", "10", "-services", "3", "-instances", "2",
+			"-reopt", "-hot-threshold", "0.9", "-reopt-interval", "10ms",
+		})
+	}()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if data, err := os.ReadFile(addrfile); err == nil && strings.Contains(string(data), ":") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("address file never appeared")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down on SIGTERM")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"sflow/internal/metrics"
 	"sflow/internal/overlay"
 	"sflow/internal/qos"
 	"sflow/internal/require"
@@ -180,5 +181,71 @@ func TestAssignmentMetricCriticalPath(t *testing.T) {
 	m := g.AssignmentMetric(map[int]int{1: 1, 2: 2, 3: 3, 4: 4})
 	if m != (qos.Metric{Bandwidth: 10, Latency: 10}) {
 		t.Fatalf("diamond metric = %+v, want {10 10}", m)
+	}
+}
+
+// Every Build variant — worker-pooled, instrumented, and the FromAllPairs
+// wrapper over an externally computed table — must label edges identically
+// to the plain sequential Build.
+func TestBuildVariantsEquivalent(t *testing.T) {
+	o, req := fixture(t)
+	base, err := Build(o, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.New()
+	variants := map[string]*Graph{}
+	if g, err := BuildWorkers(o, req, 1); err != nil {
+		t.Fatal(err)
+	} else {
+		variants["workers=1"] = g
+	}
+	if g, err := BuildWorkers(o, req, 4); err != nil {
+		t.Fatal(err)
+	} else {
+		variants["workers=4"] = g
+	}
+	if g, err := BuildMetrics(o, req, reg); err != nil {
+		t.Fatal(err)
+	} else {
+		variants["metrics"] = g
+	}
+	if g, err := BuildWorkersMetrics(o, req, 2, reg); err != nil {
+		t.Fatal(err)
+	} else {
+		variants["workers+metrics"] = g
+	}
+	if g, err := FromAllPairs(o, req, base.AllPairs()); err != nil {
+		t.Fatal(err)
+	} else {
+		variants["from-all-pairs"] = g
+	}
+	for name, g := range variants {
+		for _, e := range req.Edges() {
+			for _, u := range g.Slots(e[0]) {
+				for _, v := range g.Slots(e[1]) {
+					if got, want := g.EdgeMetric(u, v), base.EdgeMetric(u, v); got != want {
+						t.Fatalf("%s: edge %d->%d = %+v, want %+v", name, u, v, got, want)
+					}
+				}
+			}
+		}
+	}
+	var builds int64 = -1
+	for _, c := range reg.Snapshot().Counters {
+		if c.Key == "abstract_builds_total" {
+			builds = c.Value
+		}
+	}
+	if builds != 2 {
+		t.Fatalf("instrumented builds counted %d, want 2", builds)
+	}
+	// FromAllPairs still validates required services against the overlay.
+	badReq, err := require.NewPath(1, 2, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromAllPairs(o, badReq, base.AllPairs()); err == nil {
+		t.Fatal("FromAllPairs accepted a requirement with an uninstantiated service")
 	}
 }

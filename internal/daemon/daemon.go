@@ -35,6 +35,7 @@ import (
 	"sflow/internal/provision"
 	"sflow/internal/qos"
 	"sflow/internal/reduce"
+	"sflow/internal/reopt"
 	"sflow/internal/require"
 	"sflow/internal/session"
 	"sflow/internal/transport"
@@ -69,6 +70,28 @@ type Options struct {
 	// replayable from the recorded log alone. Admission.Metrics defaults to
 	// Options.Metrics.
 	Admission provision.AllocatorOptions
+	// Reopt configures the congestion-driven reoptimizer. The link-load
+	// ledger behind the `links` RPC is always on; the background migration
+	// loop runs only when Reopt.Enabled is set.
+	Reopt ReoptOptions
+}
+
+// ReoptOptions tunes the server's congestion-driven reoptimizer.
+type ReoptOptions struct {
+	// Enabled starts the background reoptimizer loop: every Interval the
+	// planner feeds the link ledger to the hysteresis detector and migrates
+	// tenants off sustained-hot links (no-regression gated; see
+	// internal/reopt).
+	Enabled bool
+	// HotThreshold, ClearThreshold and Sustain configure the detector (see
+	// reopt.DetectorConfig for defaults).
+	HotThreshold   float64
+	ClearThreshold float64
+	Sustain        int
+	// Interval is the planner's step period. <=0 defaults to 1s.
+	Interval time.Duration
+	// MaxMovesPerLink caps migrations per hot link per step (default 8).
+	MaxMovesPerLink int
 }
 
 // writerCmd is one queued write-side request and its reply slot.
@@ -87,6 +110,13 @@ type Server struct {
 	// operations, so admit/release/tenants handlers run on RPC goroutines
 	// without involving the epoch writer.
 	alloc *provision.Allocator
+
+	// ledger folds the allocator's committed transitions into per-link
+	// loads (always on — it backs the `links` RPC); planner is the
+	// congestion-driven migrator, nil unless Options.Reopt.Enabled.
+	ledger    *reopt.Ledger
+	planner   *reopt.Planner
+	reoptDone chan struct{}
 
 	mutCh chan writerCmd
 	stop  chan struct{}
@@ -120,14 +150,36 @@ func New(ov *overlay.Overlay, opts Options) *Server {
 	if opts.Admission.Metrics == nil {
 		opts.Admission.Metrics = opts.Metrics
 	}
-	s := &Server{
-		sess:  session.New(ov, session.Options{Workers: opts.Workers, Metrics: opts.Metrics}),
-		hook:  opts.PublishHook,
-		alloc: provision.NewAllocator(ov, opts.Admission),
-		mutCh: make(chan writerCmd, 256),
-		stop:  make(chan struct{}),
-		done:  make(chan struct{}),
+	// The link ledger observes every committed allocator transition; it must
+	// be installed before the first admission, so it is wired here rather
+	// than left to callers. A caller-provided observer still sees
+	// everything, after the ledger.
+	ledger := reopt.NewLedger(ov, opts.Metrics)
+	if prev := opts.Admission.Observer; prev != nil {
+		opts.Admission.Observer = fanoutObserver{ledger, prev}
+	} else {
+		opts.Admission.Observer = ledger
 	}
+	s := &Server{
+		sess:      session.New(ov, session.Options{Workers: opts.Workers, Metrics: opts.Metrics}),
+		hook:      opts.PublishHook,
+		alloc:     provision.NewAllocator(ov, opts.Admission),
+		ledger:    ledger,
+		reoptDone: make(chan struct{}),
+		mutCh:     make(chan writerCmd, 256),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	s.planner = reopt.NewPlanner(s.alloc, ledger, ov, reopt.PlannerConfig{
+		Detector: reopt.DetectorConfig{
+			HotThreshold:   opts.Reopt.HotThreshold,
+			ClearThreshold: opts.Reopt.ClearThreshold,
+			Sustain:        opts.Reopt.Sustain,
+		},
+		MaxMovesPerLink: opts.Reopt.MaxMovesPerLink,
+		Workers:         opts.Workers,
+		Metrics:         opts.Metrics,
+	})
 	if reg := opts.Metrics; reg != nil {
 		s.solves = reg.Counter("daemon_solves_total")
 		s.mutations = reg.Counter("daemon_mutations_total")
@@ -145,8 +197,63 @@ func New(ov *overlay.Overlay, opts Options) *Server {
 	}
 	s.publish(s.sess.Snapshot())
 	go s.writerLoop()
+	if opts.Reopt.Enabled {
+		interval := opts.Reopt.Interval
+		if interval <= 0 {
+			interval = time.Second
+		}
+		go s.reoptLoop(interval)
+	} else {
+		close(s.reoptDone)
+	}
 	return s
 }
+
+// fanoutObserver forwards allocator transitions to several observers in
+// order.
+type fanoutObserver []provision.Observer
+
+func (f fanoutObserver) TenantAdmitted(t *provision.Ticket) {
+	for _, o := range f {
+		o.TenantAdmitted(t)
+	}
+}
+
+func (f fanoutObserver) TenantDeparted(t *provision.Ticket, kind provision.EventKind) {
+	for _, o := range f {
+		o.TenantDeparted(t, kind)
+	}
+}
+
+func (f fanoutObserver) TenantMigrated(old, fresh *provision.Ticket) {
+	for _, o := range f {
+		o.TenantMigrated(old, fresh)
+	}
+}
+
+// reoptLoop is the background reoptimizer: one planner step per tick. The
+// planner serializes its migrations through the allocator's writer loop, so
+// the only concurrency here is with admit/release RPC handlers — exactly the
+// traffic the planner is built to run against.
+func (s *Server) reoptLoop(interval time.Duration) {
+	defer close(s.reoptDone)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+			s.planner.Step()
+		}
+	}
+}
+
+// ReoptimizeOnce runs one synchronous planner step and returns its report.
+// It is the test/CLI entry point; the background loop (Options.Reopt.Enabled)
+// calls the same Step. Do not call concurrently with a running background
+// loop.
+func (s *Server) ReoptimizeOnce() reopt.StepReport { return s.planner.Step() }
 
 // Serve starts answering RPCs on addr ("127.0.0.1:0" picks a free port; read
 // it back with Addr).
@@ -175,6 +282,9 @@ func (s *Server) Close() {
 	}
 	close(s.stop)
 	<-s.done
+	// The reoptimizer stops before the allocator: a planner step mid-flight
+	// still needs the allocator's writer loop for its migrations.
+	<-s.reoptDone
 	// The allocator closes after the RPC server: no admit/release handler
 	// can still be running.
 	s.alloc.Close()
@@ -219,6 +329,8 @@ func (s *Server) Handle(req any) (any, error) {
 		return s.release(r), nil
 	case OpTenants:
 		return s.tenants(), nil
+	case OpLinks:
+		return s.links(), nil
 	case OpMutate, OpRepair, OpStats:
 		return s.submit(r), nil
 	default:
@@ -457,6 +569,27 @@ func (s *Server) tenants() *Response {
 		Classes:     s.alloc.ClassCounters(),
 		Utilization: s.alloc.Utilization(),
 	}
+}
+
+// links answers OpLinks from the ledger on the RPC goroutine. Hot reflects
+// the planner's detector state (sustained congestion with hysteresis), not
+// the instantaneous threshold, so a spike the detector has not confirmed yet
+// reads as Hot=false.
+func (s *Server) links() *Response {
+	lls := s.ledger.Links()
+	out := make([]LinkStatus, len(lls))
+	det := s.planner.Detector()
+	for i, ll := range lls {
+		out[i] = LinkStatus{
+			From: ll.From, To: ll.To,
+			Capacity:    ll.Capacity,
+			Load:        ll.Load,
+			Utilization: ll.Utilization(),
+			Tenants:     ll.Tenants,
+			Hot:         det.Hot(reopt.Link{ll.From, ll.To}),
+		}
+	}
+	return &Response{Epoch: s.cur.Load().id, Links: out}
 }
 
 // --- write path ------------------------------------------------------------
@@ -699,6 +832,10 @@ func (c *Client) Release(ticket uint64) (*Response, error) {
 // Tenants fetches the admitted tenants, per-class counters and residual
 // utilization.
 func (c *Client) Tenants() (*Response, error) { return c.Do(&Request{Op: OpTenants}) }
+
+// Links fetches per-link traffic accounting: capacity, admitted load,
+// utilization and the reoptimizer's hot flag for every boot-overlay link.
+func (c *Client) Links() (*Response, error) { return c.Do(&Request{Op: OpLinks}) }
 
 // Stats fetches session statistics.
 func (c *Client) Stats() (*Response, error) { return c.Do(&Request{Op: OpStats}) }

@@ -41,6 +41,10 @@ const (
 	// OpTenants reports the admitted tenants, per-class counters and
 	// residual utilization. Read-only.
 	OpTenants = "tenants"
+	// OpLinks reports per-link traffic accounting from the admission
+	// ledger: capacity, admitted load, utilization and the reoptimizer's
+	// hot flag for every boot-overlay link. Read-only.
+	OpLinks = "links"
 )
 
 // Mutation kinds, mirroring the session's event methods.
@@ -130,6 +134,24 @@ type Response struct {
 	Tenants     []provision.TenantInfo    `json:"tenants,omitempty"`
 	Classes     []provision.ClassCounters `json:"classes,omitempty"`
 	Utilization int64                     `json:"utilization,omitempty"`
+
+	// Links results (OpLinks), sorted by (From, To).
+	Links []LinkStatus `json:"links,omitempty"`
+}
+
+// LinkStatus is one boot-overlay link's traffic account as served by OpLinks.
+type LinkStatus struct {
+	From int `json:"from"`
+	To   int `json:"to"`
+	// Capacity is the boot bandwidth; Load the bandwidth admitted tenants
+	// hold on the link right now.
+	Capacity int64 `json:"capacity"`
+	Load     int64 `json:"load,omitempty"`
+	// Utilization is Load/Capacity; Tenants how many admissions cross the
+	// link; Hot whether the reoptimizer's detector currently flags it.
+	Utilization float64 `json:"utilization,omitempty"`
+	Tenants     int     `json:"tenants,omitempty"`
+	Hot         bool    `json:"hot,omitempty"`
 }
 
 // serverCodec frames the daemon side of the protocol: requests in, responses

@@ -25,6 +25,7 @@ func TestSweepCSVDeterministicAcrossWorkerCounts(t *testing.T) {
 		{"ablation-reduction", AblationReduction},
 		{"faults", FaultSweep},
 		{"dynamics", Dynamics},
+		{"reopt", Reopt},
 	} {
 		seq, err := entry.fn(detCfg(1))
 		if err != nil {

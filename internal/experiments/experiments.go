@@ -609,6 +609,7 @@ func All(cfg Config) ([]*Series, error) {
 		{"hierarchy", Hierarchy},
 		{"faults", FaultSweep},
 		{"dynamics", Dynamics},
+		{"reopt", Reopt},
 	} {
 		s, err := e.fn(cfg)
 		if err != nil {

@@ -69,3 +69,56 @@ func TestHistogramQuantileOverflowAndClamping(t *testing.T) {
 		t.Fatalf("nil histogram quantile = %d, want 0", got)
 	}
 }
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	r := New()
+
+	// A single finite bucket: every quantile of in-range data interpolates
+	// inside (0, 10] and p0/p100 hit the bucket edges.
+	single := r.Histogram("single_us", []int64{10})
+	for i := 0; i < 4; i++ {
+		single.Observe(int64(i + 1))
+	}
+	if got := single.Quantile(0); got != 0 {
+		t.Fatalf("single-bucket p0 = %d, want lower bound 0", got)
+	}
+	for _, q := range []float64{0.25, 0.5, 0.75} {
+		if got := single.Quantile(q); got < 0 || got > 10 {
+			t.Fatalf("single-bucket q=%v = %d, want within (0, 10]", q, got)
+		}
+	}
+	if got := single.Quantile(1); got < 0 || got > 10 {
+		t.Fatalf("single-bucket p100 = %d, want within (0, 10]", got)
+	}
+
+	// One observation: every quantile collapses to the same bucket estimate.
+	solo := r.Histogram("solo_us", []int64{10, 100})
+	solo.Observe(42)
+	p0, p50, p100 := solo.Quantile(0), solo.Quantile(0.5), solo.Quantile(1)
+	if p0 != p50 || p50 != p100 {
+		t.Fatalf("single observation quantiles differ: p0=%d p50=%d p100=%d", p0, p50, p100)
+	}
+	// Interpolation at the first rank of a bucket reports the bucket's
+	// lower edge, so the estimate may sit exactly on the open bound.
+	if p0 < 10 || p0 > 100 {
+		t.Fatalf("single observation quantile = %d, want within its bucket [10, 100]", p0)
+	}
+
+	// No finite bounds at all: everything lands in the overflow bucket and
+	// Quantile falls back to the running mean.
+	unbounded := r.Histogram("unbounded_us", nil)
+	unbounded.Observe(10)
+	unbounded.Observe(30)
+	if got := unbounded.Quantile(0.5); got != 20 {
+		t.Fatalf("boundless histogram quantile = %d, want mean 20", got)
+	}
+
+	// p0 and p100 on an empty histogram are 0, like any other quantile.
+	empty := r.Histogram("empty_us", []int64{10})
+	if got := empty.Quantile(0); got != 0 {
+		t.Fatalf("empty p0 = %d, want 0", got)
+	}
+	if got := empty.Quantile(1); got != 0 {
+		t.Fatalf("empty p100 = %d, want 0", got)
+	}
+}

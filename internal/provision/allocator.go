@@ -34,6 +34,34 @@ var ErrClosed = errors.New("provision: allocator closed")
 // higher-class admission.
 var ErrNoTicket = errors.New("provision: no such active ticket")
 
+// ErrVetoed is returned by Migrate when the caller's gate rejected the
+// re-placement: the migration was rolled back exactly and the tenant still
+// holds its original reservations.
+var ErrVetoed = errors.New("provision: migration vetoed")
+
+// Observer receives committed tenant transitions. Every callback runs on the
+// allocator's writer loop, strictly in the recorded serialization order, so
+// an observer that folds reservations into its own books (a link-load
+// ledger, say) sees exactly the residual overlay's history. Callbacks must
+// not call back into the Allocator (the loop would deadlock) and should be
+// quick — they serialize with admissions.
+//
+// Speculative work never reaches an observer: preemption trials, migration
+// trials and gate-vetoed migrations are invisible because their releases and
+// re-admissions are rolled back before the operation returns.
+type Observer interface {
+	// TenantAdmitted fires after an admission commits. For an admission
+	// that preempted victims, the victims' TenantDeparted callbacks fire
+	// first — the order capacity actually moved.
+	TenantAdmitted(t *Ticket)
+	// TenantDeparted fires after a tenant's reservations were returned for
+	// good. kind is EventRelease, EventExpire or EventPreempt.
+	TenantDeparted(t *Ticket, kind EventKind)
+	// TenantMigrated fires after a committed migration: old's reservations
+	// were returned and fresh's (same ticket ID) are now held.
+	TenantMigrated(old, fresh *Ticket)
+}
+
 // AllocatorOptions tunes a multi-tenant Allocator. The zero value is a
 // single-class allocator with no quotas, no preemption and no instance
 // capacity bound.
@@ -61,6 +89,10 @@ type AllocatorOptions struct {
 	// (alloc_admitted_total{class=...} and friends), an active-tenant gauge
 	// and a residual-utilization histogram.
 	Metrics *metrics.Registry
+	// Observer, when non-nil, receives committed tenant transitions on the
+	// writer loop (see Observer). Replay ignores it: the oracle re-executes
+	// the log without side effects.
+	Observer Observer
 }
 
 // Ticket is one admitted tenant: the handle Release takes. Its exported
@@ -80,6 +112,13 @@ type Ticket struct {
 	adm *Admission // live manager-side admission; writer-owned
 }
 
+// Reservations returns a copy of the per-link bandwidth holds behind this
+// ticket. Safe to call from Observer callbacks (the ticket handed to a
+// callback is committed); the copy never changes afterwards.
+func (t *Ticket) Reservations() map[[2]int]Reservation {
+	return t.adm.Reservations()
+}
+
 // TenantInfo is a point-in-time public snapshot of one admitted tenant.
 type TenantInfo struct {
 	Ticket uint64 `json:"ticket"`
@@ -97,12 +136,15 @@ type ClassCounters struct {
 	// Admitted counts requests of this class that were admitted; Rejected
 	// those that bounced (for any reason, quota included); Preempted the
 	// admitted tenants of this class later evicted by higher classes;
-	// Released explicit departures; Expired TTL departures.
+	// Released explicit departures; Expired TTL departures; Migrated
+	// committed re-placements (the tenant stays active, so Migrated moves
+	// neither Active nor Admitted).
 	Admitted  int64 `json:"admitted"`
 	Rejected  int64 `json:"rejected"`
 	Preempted int64 `json:"preempted"`
 	Released  int64 `json:"released"`
 	Expired   int64 `json:"expired"`
+	Migrated  int64 `json:"migrated,omitempty"`
 	// Active is the number of currently admitted tenants of this class.
 	Active int `json:"active"`
 }
@@ -135,6 +177,14 @@ const (
 	EventReject  EventKind = "reject"
 	EventRelease EventKind = "release"
 	EventExpire  EventKind = "expire"
+	// EventMigrate records a committed Migrate: the ticket's reservations
+	// were re-placed by a fresh federation run. Replay re-executes it with
+	// the algorithm algFor rebuilds from the event's Tag.
+	EventMigrate EventKind = "migrate"
+	// EventPreempt never appears in the log (a preemption is recorded inside
+	// the admitting event's Preempted list); it exists as the departure kind
+	// Observer.TenantDeparted reports for evicted tenants.
+	EventPreempt EventKind = "preempt"
 )
 
 // Event is one entry of the allocator's admission log: the exact sequential
@@ -161,8 +211,8 @@ type Event struct {
 
 // classState is the writer-owned ledger of one priority class.
 type classState struct {
-	admitted, rejected, preempted, released, expired int64
-	active                                           int
+	admitted, rejected, preempted, released, expired, migrated int64
+	active                                                     int
 }
 
 // allocCmd is one closure queued to the writer loop.
@@ -326,6 +376,53 @@ func (a *Allocator) Release(id uint64) error {
 	return err
 }
 
+// MigrateGate vets a proposed migration before it commits. It runs on the
+// writer loop with the departing placement's reservations (old) and the
+// proposed placement's (next), after the trial re-admission already holds
+// next on the residual. Returning a non-nil error rolls the whole operation
+// back exactly — the tenant keeps its original placement — and Migrate
+// returns the error wrapped in ErrVetoed. A nil gate accepts every feasible
+// re-placement.
+type MigrateGate func(old, next map[[2]int]Reservation) error
+
+// Migrate re-places one admitted tenant atomically: on the writer loop it
+// releases the ticket's reservations, re-federates the original requirement
+// with alg over the freed residual, consults gate, and either commits the new
+// placement under the same ticket ID (recorded as an EventMigrate carrying
+// tag, so Replay can rebuild alg) or restores the original reservations
+// byte-identically. The ticket's class, demand and TTL lease carry over; the
+// returned Ticket is the new handle (the old pointer's Flow/Metric describe
+// the abandoned placement).
+//
+// Failure modes: ErrNoTicket if id is not active; an *AdmissionError if the
+// re-federation does not fit (original placement restored); ErrVetoed if the
+// gate declined (original placement restored). None of these are logged —
+// the residual is unchanged, so the serialization has nothing to record.
+func (a *Allocator) Migrate(id uint64, alg Algorithm, gate MigrateGate, tag string) (*Ticket, error) {
+	var (
+		t   *Ticket
+		err error
+	)
+	if e := a.exec(func() { t, err = a.migrateCore(id, alg, gate, tag) }); e != nil {
+		return nil, e
+	}
+	return t, err
+}
+
+// Reservations returns a copy of every active tenant's per-link bandwidth
+// holds, keyed by ticket ID: the from-scratch recount an external link-load
+// ledger must agree with (the reopt property tests pin exactly that).
+func (a *Allocator) Reservations() map[uint64]map[[2]int]Reservation {
+	var out map[uint64]map[[2]int]Reservation
+	_ = a.exec(func() {
+		out = make(map[uint64]map[[2]int]Reservation, len(a.tickets))
+		for id, t := range a.tickets {
+			out[id] = t.adm.Reservations()
+		}
+	})
+	return out
+}
+
 // Tenants returns the currently admitted tenants sorted by ticket ID.
 func (a *Allocator) Tenants() []TenantInfo {
 	var out []TenantInfo
@@ -423,8 +520,20 @@ func (a *Allocator) admitCore(r AdmitRequest) (*Ticket, []uint64, error) {
 	a.record(Event{Kind: EventAdmit, Ticket: t.ID, Tag: r.Tag, Class: r.Class,
 		Src: r.Src, Demand: r.Demand, Req: r.Req, Preempted: preempted})
 	a.counter("alloc_admitted_total", r.Class).Inc()
+	if obs := a.observer(); obs != nil {
+		obs.TenantAdmitted(t)
+	}
 	a.observe()
 	return t, preempted, nil
+}
+
+// observer resolves the configured Observer; Replay runs without one so the
+// oracle re-execution has no side effects outside its own allocator.
+func (a *Allocator) observer() Observer {
+	if !a.async {
+		return nil
+	}
+	return a.opts.Observer
 }
 
 // preemptAndRetry evicts strictly-lower-class tenants one at a time —
@@ -476,6 +585,9 @@ func (a *Allocator) preemptAndRetry(r AdmitRequest, orig *AdmissionError) (*Admi
 				a.classes[e.Class].preempted++
 				a.classes[e.Class].active--
 				a.counter("alloc_preempted_total", e.Class).Inc()
+				if obs := a.observer(); obs != nil {
+					obs.TenantDeparted(e, EventPreempt)
+				}
 			}
 			return adm, ids, nil
 		}
@@ -528,8 +640,66 @@ func (a *Allocator) releaseCore(id uint64, kind EventKind) error {
 	}
 	a.record(Event{Kind: kind, Ticket: id, Tag: t.Tag, Class: t.Class,
 		Src: t.Src, Demand: t.Demand})
+	if obs := a.observer(); obs != nil {
+		obs.TenantDeparted(t, kind)
+	}
 	a.observe()
 	return nil
+}
+
+// migrateCore re-places one admitted tenant on the writer loop. The residual
+// transitions atomically from "old placement held" to either "new placement
+// held" (commit) or back to "old placement held" (rollback) — no intermediate
+// state is ever observable, because nothing else runs on the loop meanwhile.
+func (a *Allocator) migrateCore(id uint64, alg Algorithm, gate MigrateGate, tag string) (*Ticket, error) {
+	if alg == nil {
+		return nil, fmt.Errorf("provision: migrate without an algorithm")
+	}
+	t, ok := a.tickets[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: ticket %d", ErrNoTicket, id)
+	}
+	old := t.adm
+	if err := a.mgr.Release(old); err != nil {
+		return nil, err
+	}
+	rollback := func() {
+		if err := a.mgr.restore(old); err != nil {
+			// Cannot happen: restore exactly undoes the release above and
+			// nothing else touched the residual in between.
+			panic(fmt.Sprintf("provision: migration rollback: %v", err))
+		}
+	}
+	adm, err := a.mgr.Admit(old.Req, t.Src, t.Demand, alg)
+	if err != nil {
+		rollback()
+		return nil, err
+	}
+	if gate != nil {
+		if gerr := gate(old.Reservations(), adm.Reservations()); gerr != nil {
+			if rerr := a.mgr.Release(adm); rerr != nil {
+				panic(fmt.Sprintf("provision: migration veto unwind: %v", rerr))
+			}
+			rollback()
+			return nil, fmt.Errorf("%w: %v", ErrVetoed, gerr)
+		}
+	}
+	fresh := &Ticket{
+		ID: t.ID, Tag: t.Tag, Class: t.Class, Src: t.Src, Demand: t.Demand,
+		Flow: adm.Flow, Metric: adm.Metric, Expires: t.Expires, adm: adm,
+	}
+	// The TTL timer (if any) captured the ticket ID, not the *Ticket, so the
+	// lease carries over to the fresh handle untouched.
+	a.tickets[id] = fresh
+	a.classes[t.Class].migrated++
+	a.record(Event{Kind: EventMigrate, Ticket: id, Tag: tag, Class: t.Class,
+		Src: t.Src, Demand: t.Demand, Req: old.Req})
+	a.counter("alloc_migrated_total", t.Class).Inc()
+	if obs := a.observer(); obs != nil {
+		obs.TenantMigrated(t, fresh)
+	}
+	a.observe()
+	return fresh, nil
 }
 
 // expire is the TTL timer callback: it funnels the departure through the
@@ -593,7 +763,8 @@ func (a *Allocator) countersLocked() []ClassCounters {
 	out := make([]ClassCounters, len(a.classes))
 	for c, s := range a.classes {
 		out[c] = ClassCounters{Class: c, Admitted: s.admitted, Rejected: s.rejected,
-			Preempted: s.preempted, Released: s.released, Expired: s.expired, Active: s.active}
+			Preempted: s.preempted, Released: s.released, Expired: s.expired,
+			Migrated: s.migrated, Active: s.active}
 	}
 	return out
 }
@@ -640,6 +811,12 @@ func Replay(ov *overlay.Overlay, opts AllocatorOptions, log []Event, algFor func
 		case EventRelease, EventExpire:
 			if err := a.releaseCore(ev.Ticket, ev.Kind); err != nil {
 				return nil, fmt.Errorf("provision: replay %d: release ticket %d: %w", i, ev.Ticket, err)
+			}
+		case EventMigrate:
+			// A logged migration committed, so the replay must commit too; the
+			// gate is gone (its decision is baked into the log's existence).
+			if _, err := a.migrateCore(ev.Ticket, algFor(ev), nil, ev.Tag); err != nil {
+				return nil, fmt.Errorf("provision: replay %d: migrate ticket %d: %w", i, ev.Ticket, err)
 			}
 		default:
 			return nil, fmt.Errorf("provision: replay %d: unknown event kind %q", i, ev.Kind)

@@ -1,0 +1,128 @@
+package provision
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Regression test for the expiry-vs-release race on the active-tenant books:
+// when an explicit Release races a TTL expiry of the same ticket, exactly one
+// of them may depart the tenant. A double departure would decrement the
+// class's active count twice (driving it negative and desyncing the
+// active-tenant gauge from the real tenant set); a lost departure would leak
+// the ticket. The writer loop serializes both paths and releaseCore bounces
+// the loser with ErrNoTicket — pinned here under -race with the TTL timers
+// firing mid-release on purpose.
+func TestExpiryReleaseRaceKeepsLedgerExact(t *testing.T) {
+	ov, req := chainOverlay(t)
+	a := NewAllocator(ov, AllocatorOptions{})
+	defer a.Close()
+
+	const rounds = 40
+	var wg sync.WaitGroup
+	for i := 0; i < rounds; i++ {
+		tkt, err := a.Admit(AdmitRequest{
+			Req: req, Src: 10, Demand: 1, TTL: time.Millisecond,
+			Tag: fmt.Sprintf("lease%d", i), Alg: optimalAlg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			// Race the 1ms expiry; losing with ErrNoTicket is the only
+			// acceptable failure.
+			if err := a.Release(id); err != nil && !errors.Is(err, ErrNoTicket) {
+				t.Errorf("release ticket %d: %v", id, err)
+			}
+		}(tkt.ID)
+	}
+	wg.Wait()
+
+	// Quiesce: wait until every remaining lease expired.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && len(a.Tenants()) > 0 {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if n := len(a.Tenants()); n != 0 {
+		t.Fatalf("%d tenants still active after every TTL lapsed", n)
+	}
+
+	// The class ledger must balance exactly: every admission departed once,
+	// through exactly one of the two racing paths.
+	cc := a.ClassCounters()[0]
+	if cc.Admitted != rounds {
+		t.Fatalf("admitted = %d, want %d", cc.Admitted, rounds)
+	}
+	if cc.Active != 0 {
+		t.Fatalf("active = %d, want 0 (double departure decrements below zero)", cc.Active)
+	}
+	if got := cc.Released + cc.Expired; got != rounds {
+		t.Fatalf("released(%d) + expired(%d) = %d, want %d", cc.Released, cc.Expired, got, rounds)
+	}
+
+	// And the recorded serialization agrees: exactly one departure event per
+	// ticket, never two.
+	departed := make(map[uint64]int)
+	for _, ev := range a.Log() {
+		if ev.Kind == EventRelease || ev.Kind == EventExpire {
+			departed[ev.Ticket]++
+		}
+	}
+	for id, n := range departed {
+		if n != 1 {
+			t.Fatalf("ticket %d departed %d times", id, n)
+		}
+	}
+	if len(departed) != rounds {
+		t.Fatalf("%d distinct departures logged, want %d", len(departed), rounds)
+	}
+
+	// The residual must be fully restored — no bandwidth leaked by the race.
+	if u := a.Utilization(); u != 0 {
+		t.Fatalf("utilization after full drain = %d%%, want 0", u)
+	}
+}
+
+// A TTL lease must survive a migration: the timer captured the ticket ID,
+// not the handle, so the fresh placement expires on the original deadline.
+func TestMigrationCarriesLease(t *testing.T) {
+	ov, req := chainOverlay(t)
+	a := NewAllocator(ov, AllocatorOptions{})
+	defer a.Close()
+
+	tkt, err := a.Admit(AdmitRequest{
+		Req: req, Src: 10, Demand: 5, TTL: 30 * time.Millisecond, Tag: "lease", Alg: optimalAlg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := a.Migrate(tkt.ID, optimalAlg, nil, "mig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.ID != tkt.ID {
+		t.Fatalf("migration changed the ticket ID: %d -> %d", tkt.ID, fresh.ID)
+	}
+	if !fresh.Expires.Equal(tkt.Expires) {
+		t.Fatalf("migration moved the lease deadline: %v -> %v", tkt.Expires, fresh.Expires)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && len(a.Tenants()) > 0 {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if n := len(a.Tenants()); n != 0 {
+		t.Fatalf("migrated lease never expired (%d tenants active)", n)
+	}
+	cc := a.ClassCounters()[0]
+	if cc.Expired != 1 || cc.Migrated != 1 {
+		t.Fatalf("counters = %+v, want Expired=1 Migrated=1", cc)
+	}
+	if u := a.Utilization(); u != 0 {
+		t.Fatalf("utilization after expiry = %d%%, want 0", u)
+	}
+}

@@ -1,0 +1,175 @@
+package provision
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"sflow/internal/flow"
+	"sflow/internal/overlay"
+	"sflow/internal/qos"
+	"sflow/internal/require"
+)
+
+// avoidLinkAlg federates like optimalAlg but with link u->v masked out, so a
+// migration is forced onto the other route.
+func avoidLinkAlg(u, v int) Algorithm {
+	return func(ov *overlay.Overlay, req *require.Requirement, src int) (*flow.Graph, qos.Metric, error) {
+		view := ov.Clone()
+		if view.HasLink(u, v) {
+			if err := view.RemoveLink(u, v); err != nil {
+				return nil, qos.Unreachable, err
+			}
+		}
+		return optimalAlg(view, req, src)
+	}
+}
+
+// Migrate must move the tenant's reservations to the new route atomically:
+// the old route's bandwidth comes back, the new route's is reserved, the
+// lease and ticket id carry over, and the event log records the migration so
+// Replay reproduces the exact final residual.
+func TestMigrateMovesReservations(t *testing.T) {
+	o, req := chainOverlay(t)
+	a := NewAllocator(o, AllocatorOptions{})
+	defer a.Close()
+
+	tk, err := a.Admit(AdmitRequest{Req: req, Src: 10, Demand: 50, Tag: "m", Alg: optimalAlg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tk.Reservations()[[2]int{10, 20}]; !ok {
+		t.Fatalf("admission landed on %v, want the 100-link 10->20", tk.Reservations())
+	}
+
+	var gateOld, gateNext map[[2]int]Reservation
+	gate := func(old, next map[[2]int]Reservation) error {
+		gateOld, gateNext = old, next
+		return nil
+	}
+	fresh, err := a.Migrate(tk.ID, avoidLinkAlg(10, 20), gate, "mig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.ID != tk.ID {
+		t.Fatalf("migration minted a new ticket id %d, want %d", fresh.ID, tk.ID)
+	}
+	if _, ok := fresh.Reservations()[[2]int{10, 21}]; !ok {
+		t.Fatalf("migrated reservations = %v, want the 60-link 10->21", fresh.Reservations())
+	}
+	if _, ok := gateOld[[2]int{10, 20}]; !ok {
+		t.Fatalf("gate saw old reservations %v, want 10->20", gateOld)
+	}
+	if _, ok := gateNext[[2]int{10, 21}]; !ok {
+		t.Fatalf("gate saw next reservations %v, want 10->21", gateNext)
+	}
+	all := a.Reservations()
+	if !reflect.DeepEqual(all[tk.ID], fresh.Reservations()) {
+		t.Fatalf("allocator reservations %v diverge from the ticket's %v", all[tk.ID], fresh.Reservations())
+	}
+	if cc := a.ClassCounters(); cc[0].Migrated != 1 {
+		t.Fatalf("class counters = %+v, want Migrated 1", cc[0])
+	}
+
+	// Replaying the migration with the unmasked algorithm re-picks the
+	// 100-link and silently diverges from the live run — algFor must return
+	// the same masked algorithm the live migration used.
+	diverged, err := Replay(o, AllocatorOptions{}, a.Log(), func(Event) Algorithm { return optimalAlg })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(diverged.Reservations(), a.Reservations()) {
+		t.Fatal("unmasked replay reproduced the masked migration, expected divergence")
+	}
+	replayed, err := Replay(o, AllocatorOptions{}, a.Log(), func(ev Event) Algorithm {
+		if ev.Kind == EventMigrate {
+			return avoidLinkAlg(10, 20)
+		}
+		return optimalAlg
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := replayed.Reservations(), a.Reservations(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("replayed reservations %v, want %v", got, want)
+	}
+	if got, want := replayed.Utilization(), a.Utilization(); got != want {
+		t.Fatalf("replayed utilization %d, want %d", got, want)
+	}
+}
+
+// A vetoed migration must restore the original placement exactly and leave
+// no trace in the event log; a failed re-federation must do the same.
+func TestMigrateVetoAndFailureRestore(t *testing.T) {
+	o, req := chainOverlay(t)
+	a := NewAllocator(o, AllocatorOptions{})
+	defer a.Close()
+
+	tk, err := a.Admit(AdmitRequest{Req: req, Src: 10, Demand: 50, Tag: "m", Alg: optimalAlg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := a.Reservations()
+	logLen := len(a.Log())
+
+	_, err = a.Migrate(tk.ID, avoidLinkAlg(10, 20), func(old, next map[[2]int]Reservation) error {
+		return fmt.Errorf("not today")
+	}, "veto")
+	if !errors.Is(err, ErrVetoed) {
+		t.Fatalf("vetoed migration returned %v, want ErrVetoed", err)
+	}
+
+	// Re-federation failure: demand 50 does not fit once both routes are
+	// masked from the algorithm's view.
+	failAlg := func(ov *overlay.Overlay, req *require.Requirement, src int) (*flow.Graph, qos.Metric, error) {
+		return nil, qos.Unreachable, fmt.Errorf("no route")
+	}
+	if _, err := a.Migrate(tk.ID, failAlg, nil, "fail"); err == nil {
+		t.Fatal("migration with a failing algorithm succeeded")
+	}
+
+	if got := a.Reservations(); !reflect.DeepEqual(got, before) {
+		t.Fatalf("reservations after veto+failure = %v, want untouched %v", got, before)
+	}
+	if got := len(a.Log()); got != logLen {
+		t.Fatalf("aborted migrations were logged: %d events, want %d", got, logLen)
+	}
+	if cc := a.ClassCounters(); cc[0].Migrated != 0 {
+		t.Fatalf("class counters = %+v, want Migrated 0", cc[0])
+	}
+	if err := a.Release(tk.ID); err != nil {
+		t.Fatalf("ticket unusable after aborted migrations: %v", err)
+	}
+}
+
+func TestMigrateErrors(t *testing.T) {
+	o, req := chainOverlay(t)
+	a := NewAllocator(o, AllocatorOptions{})
+	defer a.Close()
+
+	if _, err := a.Migrate(7, optimalAlg, nil, "x"); !errors.Is(err, ErrNoTicket) {
+		t.Fatalf("migrate of unknown ticket returned %v, want ErrNoTicket", err)
+	}
+	tk, err := a.Admit(AdmitRequest{Req: req, Src: 10, Demand: 10, Tag: "m", Alg: optimalAlg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Migrate(tk.ID, nil, nil, "x"); err == nil {
+		t.Fatal("migrate with a nil algorithm succeeded")
+	}
+}
+
+// The typed rejection renders reason and detail for humans while staying
+// errors.Is-compatible.
+func TestAdmissionErrorText(t *testing.T) {
+	err := &AdmissionError{Reason: ReasonBandwidth, Detail: "bottleneck 60 < demand 80"}
+	if !errors.Is(err, ErrRejected) {
+		t.Fatal("AdmissionError does not unwrap to ErrRejected")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, string(ReasonBandwidth)) || !strings.Contains(msg, "bottleneck") {
+		t.Fatalf("error text %q misses reason or detail", msg)
+	}
+}

@@ -77,14 +77,27 @@ type Admission struct {
 	// reserved maps each (from, to) link to the bandwidth this admission
 	// holds on it and the link's latency (needed to re-create a link that
 	// saturated away when the admission is released).
-	reserved map[[2]int]reservation
+	reserved map[[2]int]Reservation
 	released bool
 }
 
-// reservation is one admission's hold on one link.
-type reservation struct {
-	amount  int64
-	latency int64
+// Reservation is one admission's hold on one link: the bandwidth amount it
+// reserves and the link's latency (kept so a link that saturated away can be
+// re-created exactly on release).
+type Reservation struct {
+	Amount  int64
+	Latency int64
+}
+
+// Reservations returns a copy of the admission's per-link holds, keyed by
+// (from, to). The copy stays valid after the admission is released — it is
+// the raw material for link-load accounting (see internal/reopt).
+func (a *Admission) Reservations() map[[2]int]Reservation {
+	out := make(map[[2]int]Reservation, len(a.reserved))
+	for link, r := range a.reserved {
+		out[link] = r
+	}
+	return out
 }
 
 // Manager tracks the residual overlay across admissions.
@@ -208,7 +221,7 @@ func (m *Manager) Admit(req *require.Requirement, src int, demand int64, alg Alg
 			needs[[2]int{e.Path[i], e.Path[i+1]}] += demand
 		}
 	}
-	reserved := make(map[[2]int]reservation, len(needs))
+	reserved := make(map[[2]int]Reservation, len(needs))
 	for link, need := range needs {
 		cur, ok := m.residual.LinkMetric(link[0], link[1])
 		if !ok || cur.Bandwidth < need {
@@ -216,7 +229,7 @@ func (m *Manager) Admit(req *require.Requirement, src int, demand int64, alg Alg
 				Detail: fmt.Sprintf("link %d->%d carries %d streams needing %d, has %d",
 					link[0], link[1], need/demand, need, cur.Bandwidth)})
 		}
-		reserved[link] = reservation{amount: need, latency: cur.Latency}
+		reserved[link] = Reservation{Amount: need, Latency: cur.Latency}
 	}
 	for link, need := range needs {
 		if err := m.residual.ReduceLinkBandwidth(link[0], link[1], need); err != nil {
@@ -284,19 +297,19 @@ func (m *Manager) Release(a *Admission) error {
 	}
 	for link, r := range a.reserved {
 		if _, ok := m.residual.LinkMetric(link[0], link[1]); ok {
-			if err := m.residual.GrowLinkBandwidth(link[0], link[1], r.amount); err != nil {
+			if err := m.residual.GrowLinkBandwidth(link[0], link[1], r.Amount); err != nil {
 				return err
 			}
 			continue
 		}
 		// The link saturated away: re-create it with the returned
 		// capacity.
-		if err := m.residual.AddLink(link[0], link[1], r.amount, r.latency); err != nil {
+		if err := m.residual.AddLink(link[0], link[1], r.Amount, r.Latency); err != nil {
 			return fmt.Errorf("provision: restore link %d->%d: %w", link[0], link[1], err)
 		}
 	}
 	for _, r := range a.reserved {
-		m.reservedBW -= r.amount
+		m.reservedBW -= r.Amount
 	}
 	m.metrics.Counter("provision_released_total").Inc()
 	m.observeUtilization()
@@ -316,16 +329,16 @@ func (m *Manager) restore(a *Admission) error {
 	}
 	for link, r := range a.reserved {
 		cur, ok := m.residual.LinkMetric(link[0], link[1])
-		if !ok || cur.Bandwidth < r.amount {
+		if !ok || cur.Bandwidth < r.Amount {
 			return fmt.Errorf("provision: restore %d on %d->%d: capacity no longer available",
-				r.amount, link[0], link[1])
+				r.Amount, link[0], link[1])
 		}
 	}
 	for link, r := range a.reserved {
-		if err := m.residual.ReduceLinkBandwidth(link[0], link[1], r.amount); err != nil {
-			return fmt.Errorf("provision: restore %d on %d->%d: %w", r.amount, link[0], link[1], err)
+		if err := m.residual.ReduceLinkBandwidth(link[0], link[1], r.Amount); err != nil {
+			return fmt.Errorf("provision: restore %d on %d->%d: %w", r.Amount, link[0], link[1], err)
 		}
-		m.reservedBW += r.amount
+		m.reservedBW += r.Amount
 	}
 	for _, nid := range a.Flow.Assignment() {
 		m.inUse[nid]++

@@ -1,0 +1,128 @@
+package reopt
+
+import (
+	"sort"
+	"sync"
+)
+
+// DetectorConfig tunes congestion detection. The zero value is usable:
+// threshold 0.9, clear threshold 0.72 (0.8×hot), sustain 2.
+type DetectorConfig struct {
+	// HotThreshold is the utilization (Load/Capacity) at or above which a
+	// link counts toward congestion. <=0 defaults to 0.9.
+	HotThreshold float64
+	// ClearThreshold is the utilization strictly below which a hot link is
+	// declared cold again. <=0 defaults to 0.8×HotThreshold. The gap between
+	// the two thresholds is the hysteresis band: a link inside it keeps its
+	// previous state instead of flapping.
+	ClearThreshold float64
+	// Sustain is how many consecutive Observe calls a link must spend at or
+	// above HotThreshold before it is declared hot — a guard against
+	// transient spikes. <=0 defaults to 2 (1 means immediate).
+	Sustain int
+}
+
+// withDefaults resolves zero fields to their documented defaults.
+func (c DetectorConfig) withDefaults() DetectorConfig {
+	if c.HotThreshold <= 0 {
+		c.HotThreshold = 0.9
+	}
+	if c.ClearThreshold <= 0 {
+		c.ClearThreshold = 0.8 * c.HotThreshold
+	}
+	if c.ClearThreshold > c.HotThreshold {
+		c.ClearThreshold = c.HotThreshold
+	}
+	if c.Sustain <= 0 {
+		c.Sustain = 2
+	}
+	return c
+}
+
+// Detector is the hysteresis congestion detector. It is deterministic: the
+// same sequence of Observe inputs yields the same sequence of hot sets. One
+// goroutine at a time drives Observe (the planner's step loop); Hot may be
+// read concurrently (the daemon's links RPC does).
+type Detector struct {
+	mu     sync.Mutex
+	cfg    DetectorConfig
+	streak map[Link]int
+	hot    map[Link]bool
+}
+
+// NewDetector builds a detector with cfg's (defaulted) thresholds.
+func NewDetector(cfg DetectorConfig) *Detector {
+	return &Detector{
+		cfg:    cfg.withDefaults(),
+		streak: make(map[Link]int),
+		hot:    make(map[Link]bool),
+	}
+}
+
+// Config returns the resolved (defaulted) configuration.
+func (d *Detector) Config() DetectorConfig { return d.cfg }
+
+// Observe feeds one epoch of link accounts and returns the links considered
+// hot after this observation, sorted by utilization descending (ties by
+// (From, To) ascending). A link at or above HotThreshold for Sustain
+// consecutive observations turns hot; it stays hot until an observation
+// strictly below ClearThreshold; in between it holds its previous state.
+func (d *Detector) Observe(links []LinkLoad) []LinkLoad {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	seen := make(map[Link]LinkLoad, len(links))
+	for _, ll := range links {
+		link := Link{ll.From, ll.To}
+		seen[link] = ll
+		u := ll.Utilization()
+		switch {
+		case u >= d.cfg.HotThreshold:
+			d.streak[link]++
+			if d.streak[link] >= d.cfg.Sustain {
+				d.hot[link] = true
+			}
+		case u < d.cfg.ClearThreshold:
+			delete(d.streak, link)
+			delete(d.hot, link)
+		default:
+			// Hysteresis band: reset the sustain streak (the link is no
+			// longer at the hot threshold) but keep an already-hot link hot.
+			delete(d.streak, link)
+		}
+	}
+	// A link absent from this observation carries no traffic anymore; forget
+	// its state so the maps do not grow with churned links.
+	for link := range d.hot {
+		if _, ok := seen[link]; !ok {
+			delete(d.hot, link)
+		}
+	}
+	for link := range d.streak {
+		if _, ok := seen[link]; !ok {
+			delete(d.streak, link)
+		}
+	}
+	out := make([]LinkLoad, 0, len(d.hot))
+	for link := range d.hot {
+		out = append(out, seen[link])
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ui, uj := out[i].Utilization(), out[j].Utilization()
+		if ui != uj {
+			return ui > uj
+		}
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// Hot reports whether link is currently considered hot. Safe to call
+// concurrently with Observe.
+func (d *Detector) Hot(link Link) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.hot[link]
+}

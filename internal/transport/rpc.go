@@ -1,10 +1,12 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Request/response framing for long-lived serving on top of the package's
@@ -118,13 +120,39 @@ func (s *RPCServer) serveConn(conn net.Conn) {
 	}
 }
 
+// ErrCallTimeout is returned by RPCClient.Call when a per-call timeout set
+// with SetTimeout elapses before the response arrives. The connection stays
+// usable: the late response is discarded by correlation id when it finally
+// lands, so a subsequent Call is answered by its own response, not a stale
+// one.
+var ErrCallTimeout = errors.New("transport: rpc call timed out")
+
+// clientFrame is one frame (or terminal read error) delivered by the client's
+// reader goroutine.
+type clientFrame struct {
+	id      int
+	payload []byte
+	err     error
+}
+
 // RPCClient is one client connection to an RPCServer. A client is safe for
 // use by one goroutine at a time (a closed loop); open one client per
 // concurrent caller — connections are the server's unit of parallelism.
+//
+// Responses are drained by a dedicated reader goroutine and matched to calls
+// by correlation id, so a Call that gave up on its response (ErrCallTimeout)
+// does not poison the connection: the abandoned response is skipped as stale
+// when the next Call drains the channel.
 type RPCClient struct {
-	conn  net.Conn
-	codec Codec
-	next  int
+	conn    net.Conn
+	codec   Codec
+	mu      sync.Mutex // serializes Call; guards next and timeout
+	next    int
+	timeout time.Duration
+
+	frames chan clientFrame
+	closed chan struct{}
+	once   sync.Once
 }
 
 // DialRPC connects to an RPCServer.
@@ -133,13 +161,49 @@ func DialRPC(addr string, codec Codec) (*RPCClient, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: rpc dial %s: %w", addr, err)
 	}
-	return &RPCClient{conn: conn, codec: codec}, nil
+	c := &RPCClient{
+		conn:   conn,
+		codec:  codec,
+		frames: make(chan clientFrame),
+		closed: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// readLoop delivers every incoming frame to the (single) caller blocked in
+// Call. A read error is delivered once and ends the loop; Close ends it even
+// when no Call is waiting to receive.
+func (c *RPCClient) readLoop() {
+	for {
+		id, payload, err := readFrame(c.conn)
+		select {
+		case c.frames <- clientFrame{id: id, payload: payload, err: err}:
+		case <-c.closed:
+			return
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// SetTimeout bounds how long each subsequent Call waits for its response;
+// zero (the default) waits forever. On expiry Call returns ErrCallTimeout
+// and the connection remains usable for further calls.
+func (c *RPCClient) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.timeout = d
+	c.mu.Unlock()
 }
 
 // Call sends one request and blocks for its response. The correlation id the
 // response echoes is verified, so a framing bug surfaces as an error here
-// rather than as a silently mismatched response.
+// rather than as a silently mismatched response; responses to calls that
+// already timed out carry older ids and are skipped.
 func (c *RPCClient) Call(req any) (any, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	payload, err := c.codec.Encode(req)
 	if err != nil {
 		return nil, fmt.Errorf("transport: rpc encode: %w", err)
@@ -149,19 +213,42 @@ func (c *RPCClient) Call(req any) (any, error) {
 	if err := writeFrame(c.conn, id, payload); err != nil {
 		return nil, fmt.Errorf("transport: rpc send: %w", err)
 	}
-	gotID, data, err := readFrame(c.conn)
-	if err != nil {
-		return nil, fmt.Errorf("transport: rpc receive: %w", err)
+	var timeoutC <-chan time.Time
+	if c.timeout > 0 {
+		timer := time.NewTimer(c.timeout)
+		defer timer.Stop()
+		timeoutC = timer.C
 	}
-	if gotID != id {
-		return nil, fmt.Errorf("transport: rpc response id %d does not match request id %d", gotID, id)
+	for {
+		select {
+		case f := <-c.frames:
+			if f.err != nil {
+				return nil, fmt.Errorf("transport: rpc receive: %w", f.err)
+			}
+			if f.id < id {
+				continue // stale response to a call that timed out
+			}
+			if f.id > id {
+				return nil, fmt.Errorf("transport: rpc response id %d does not match request id %d", f.id, id)
+			}
+			resp, err := c.codec.Decode(f.payload)
+			if err != nil {
+				return nil, fmt.Errorf("transport: rpc decode: %w", err)
+			}
+			return resp, nil
+		case <-timeoutC:
+			return nil, fmt.Errorf("transport: rpc call %d: %w", id, ErrCallTimeout)
+		case <-c.closed:
+			return nil, fmt.Errorf("transport: rpc call %d: client closed", id)
+		}
 	}
-	resp, err := c.codec.Decode(data)
-	if err != nil {
-		return nil, fmt.Errorf("transport: rpc decode: %w", err)
-	}
-	return resp, nil
 }
 
-// Close releases the connection. Safe to call more than once.
-func (c *RPCClient) Close() { _ = c.conn.Close() }
+// Close releases the connection and stops the reader goroutine. Safe to call
+// more than once.
+func (c *RPCClient) Close() {
+	c.once.Do(func() {
+		close(c.closed)
+		_ = c.conn.Close()
+	})
+}

@@ -1,9 +1,11 @@
 package transport
 
 import (
+	"errors"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestRPCRoundTrip(t *testing.T) {
@@ -95,5 +97,51 @@ func TestRPCServerCloseUnblocksClients(t *testing.T) {
 		t.Fatal("Call succeeded against a closed server")
 	} else if !strings.Contains(err.Error(), "rpc") {
 		t.Fatalf("unexpected error shape: %v", err)
+	}
+}
+
+// A call that times out must not poison the connection: when the server
+// finally answers the abandoned request, the next Call has to recognize the
+// stale correlation id, skip the frame and wait for its own response.
+func TestRPCCallTimeoutThenLateResponse(t *testing.T) {
+	release := make(chan struct{})
+	srv, err := NewRPCServer("127.0.0.1:0", jsonCodec{}, func(req any) (any, error) {
+		if req.(int) == 99 {
+			<-release // hold the first response past the client's timeout
+		}
+		return req.(int) * 2, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := DialRPC(srv.Addr(), jsonCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	c.SetTimeout(30 * time.Millisecond)
+	if _, err := c.Call(99); !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("slow call returned %v, want ErrCallTimeout", err)
+	}
+
+	// Let the stale response for call 1 hit the wire before (and after —
+	// either order must work) call 2 goes out.
+	close(release)
+	c.SetTimeout(5 * time.Second)
+	resp, err := c.Call(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.(int) != 14 {
+		t.Fatalf("second call answered with %v, want 14 (stale frame not skipped?)", resp)
+	}
+
+	// Timeout zero restores the wait-forever default.
+	c.SetTimeout(0)
+	if resp, err := c.Call(8); err != nil || resp.(int) != 16 {
+		t.Fatalf("call after resetting timeout: %v %v", resp, err)
 	}
 }

@@ -282,6 +282,7 @@ var (
 	HierarchyCompare  = experiments.Hierarchy
 	FaultSweep        = experiments.FaultSweep
 	DynamicsSweep     = experiments.Dynamics
+	ReoptSweep        = experiments.Reopt
 	AllExperiments    = experiments.All
 	ExperimentReport  = experiments.Report
 	ParseScenarioKind = scenario.ParseKind
