@@ -12,14 +12,14 @@ FUZZTIME ?= 30s
 # artifact when a gate fails (compare against the committed baseline offline).
 FRESHDIR ?= .bench-fresh
 
-.PHONY: all build test race race-hot race-session race-daemon race-admit race-reopt check smoke cover cover-check bench bench-hotpath bench-json bench-check bench-admit bench-reopt reopt-check serve-bench serve-check vet fmt fmt-check lint staticcheck vulncheck fuzz figures examples clean
+.PHONY: all build test race race-hot race-session race-daemon race-admit race-reopt race-lazy check smoke cover cover-check bench bench-hotpath bench-json bench-check bench-admit bench-reopt reopt-check bench-lazy lazy-check serve-bench serve-check vet fmt fmt-check lint staticcheck vulncheck fuzz figures examples clean
 
 all: build test
 
 # Tier-1 gate: what CI runs on every PR. The equivalence-oracle property
 # tests of the incremental session run race-instrumented on every gate, as
 # does the serving daemon's concurrent-clients smoke.
-check: build vet test race-session race-daemon race-admit race-reopt smoke
+check: build vet test race-session race-daemon race-admit race-reopt race-lazy smoke
 
 # Race-instrumented end-to-end run of the metrics-enabled benchmark driver:
 # a small Fig 10(a) sweep at several workers with a snapshot written, the
@@ -61,6 +61,15 @@ race-admit:
 	$(GO) test -race ./internal/provision/ -run 'TestAllocator|TestConcurrentAdmissionMatchesSequentialReplay|TestReplay|TestSeededAdmitRelease'
 	$(GO) test -race ./internal/daemon/ -run 'TestAdmitReleaseTenantsRPC|TestConcurrentAdmitRPCMatchesSequentialReplay'
 	$(GO) test -race . -run 'TestAllocatorPublicAPI|TestReplayAdmissionsWithNilAlgFor'
+
+# Race-instrumented lazy-routing battery: the single-flight row memoization
+# is the one place concurrent readers share mutable state with a computing
+# goroutine, so the qos lazy tests, the lazy churn oracle and the root
+# byte-equivalence battery all run under the race detector on every check.
+race-lazy:
+	$(GO) test -race ./internal/qos/ -run 'TestLazy|TestIncrementalLazy|FuzzLazyInvalidation'
+	$(GO) test -race -short ./internal/session/ -run 'TestLazyEquivalenceOracleTrace|TestLazySnapshotIsConsistentAndImmutable'
+	$(GO) test -race -short . -run 'TestLazySolveByteIdentical|TestLazySessionSolveByteIdentical|TestContractedHierarchicalSolves'
 
 # Race-instrumented re-optimization battery: the link-load ledger must
 # deep-equal a from-scratch recount after any seeded interleaving, gated live
@@ -150,6 +159,26 @@ reopt-check:
 		| $(GO) run ./cmd/benchjson -compare results/BENCH_reopt.json \
 			-match 'BenchmarkPlannerMigration' -normalize 'BenchmarkReoptCalibration' -threshold 1.25
 
+# Large-overlay latency record and gate: one demand-driven federation against
+# directly generated 10k- and 50k-node overlays (BenchmarkLazyFederate),
+# normalized by the identical solve at 2k nodes (BenchmarkLazyCalibration) so
+# runner speed cancels out. bench-lazy regenerates the committed baseline;
+# lazy-check fails CI on a >25% regression. -benchtime 1x keeps the gate
+# bounded: each 50k op is seconds, and min-over-$(BENCHCOUNT) runs absorbs
+# scheduler noise.
+LAZYBENCH ?= BenchmarkLazyFederate|BenchmarkLazyCalibration
+bench-lazy:
+	$(GO) test -run '^$$' -bench '$(LAZYBENCH)' -benchmem -benchtime 1x -count $(BENCHCOUNT) . \
+		| $(GO) run ./cmd/benchjson -out results/BENCH_lazy.json
+	@echo "wrote results/BENCH_lazy.json"
+
+lazy-check:
+	@mkdir -p $(FRESHDIR)
+	$(GO) test -run '^$$' -bench '$(LAZYBENCH)' -benchtime 1x -count $(BENCHCOUNT) . \
+		| tee $(FRESHDIR)/bench-lazy.txt \
+		| $(GO) run ./cmd/benchjson -compare results/BENCH_lazy.json \
+			-match 'BenchmarkLazyFederate' -normalize 'BenchmarkLazyCalibration' -threshold 1.25
+
 # Serving benchmark: launch sflowd, drive it with SERVE_CLIENTS closed-loop
 # sflowload clients for SERVE_DURATION, and record latency quantiles and
 # throughput. serve-bench regenerates the committed baseline
@@ -210,8 +239,10 @@ staticcheck:
 vulncheck:
 	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
 
-# Short-budget fuzzing of the two codec trust boundaries: the TCP frame
-# reader and the protocol wire codec (including the reliability wrapper).
+# Short-budget fuzzing of the codec trust boundaries (TCP frame reader,
+# protocol wire codec and the reliability wrapper, CSR freeze round-trip)
+# and the two incremental-invalidation oracles (link-state views, lazy
+# routing rows).
 fuzz:
 	$(GO) test ./internal/transport -run '^$$' -fuzz FuzzReadFrame -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/transport -run '^$$' -fuzz FuzzFrameRoundTrip -fuzztime $(FUZZTIME)
@@ -219,6 +250,7 @@ fuzz:
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzWireRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/linkstate -run '^$$' -fuzz FuzzLinkstateIncremental -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/csr -run '^$$' -fuzz FuzzFreezeRoundTrip -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/qos -run '^$$' -fuzz FuzzLazyInvalidation -fuzztime $(FUZZTIME)
 
 # Regenerate every reproduced figure (tables + CSV + SVG under results/).
 figures:

@@ -21,6 +21,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"sflow"
 )
@@ -35,7 +36,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sflowbench", flag.ContinueOnError)
 	var (
-		fig       = fs.String("fig", "all", "figure to reproduce: 10a, 10b, 10c, 10d, lookahead, reduction, admission, tenants, overhead, repair, blocking, hierarchy, faults, dynamics, reopt or all")
+		fig       = fs.String("fig", "all", "figure to reproduce: 10a, 10b, 10c, 10d, lookahead, reduction, admission, tenants, overhead, repair, blocking, hierarchy, faults, dynamics, reopt, scale or all")
 		sizes     = fs.String("sizes", "10,20,30,40,50", "comma-separated network sizes")
 		trials    = fs.Int("trials", 10, "trials per network size")
 		seed      = fs.Int64("seed", 1, "base random seed")
@@ -51,6 +52,8 @@ func run(args []string, out io.Writer) error {
 			"write the run's metrics snapshot to this file ('-' for stdout); deterministic metrics only, so the file is byte-identical at any -workers")
 		pprofAddr = fs.String("pprof", "",
 			"serve net/http/pprof on this address (e.g. localhost:6060) for the duration of the run")
+		lazy = fs.Bool("lazy", false,
+			"demand-driven single-solve mode: for each -sizes entry, generate a large overlay directly (ring backbone + random links, path requirement) and federate it once with lazy routing, printing rows computed and wall time; ignores -fig")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -116,6 +119,10 @@ func run(args []string, out io.Writer) error {
 		return writeMetrics()
 	}
 
+	if *lazy {
+		return runLazy(out, sz, *seed, *services, *workers)
+	}
+
 	var series []*sflow.Series
 	switch *fig {
 	case "all":
@@ -123,7 +130,7 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-	case "10a", "10b", "10c", "10d", "lookahead", "reduction", "admission", "tenants", "overhead", "repair", "blocking", "hierarchy", "faults", "dynamics", "reopt":
+	case "10a", "10b", "10c", "10d", "lookahead", "reduction", "admission", "tenants", "overhead", "repair", "blocking", "hierarchy", "faults", "dynamics", "reopt", "scale":
 		fns := map[string]func(sflow.ExperimentConfig) (*sflow.Series, error){
 			"10a": sflow.Fig10a, "10b": sflow.Fig10b,
 			"10c": sflow.Fig10c, "10d": sflow.Fig10d,
@@ -133,6 +140,12 @@ func run(args []string, out io.Writer) error {
 			"repair":   sflow.RepairChurn, "blocking": sflow.BlockingUnderLoad,
 			"hierarchy": sflow.HierarchyCompare, "faults": sflow.FaultSweep,
 			"dynamics": sflow.DynamicsSweep, "reopt": sflow.ReoptSweep,
+			"scale": sflow.ScaleSweep,
+		}
+		if *fig == "scale" && !sizesFlagSet(fs) {
+			// The evaluation default 10..50 is below the regime the scale
+			// sweep exists for; let the experiment pick its own sizes.
+			cfg.Sizes = nil
 		}
 		s, err := fns[*fig](cfg)
 		if err != nil {
@@ -181,6 +194,50 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return writeMetrics()
+}
+
+// sizesFlagSet reports whether -sizes was passed explicitly.
+func sizesFlagSet(fs *flag.FlagSet) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "sizes" {
+			set = true
+		}
+	})
+	return set
+}
+
+// runLazy is the -lazy single-solve mode: one demand-driven federation per
+// overlay size, demonstrating interactive solves in the 10k–100k-node regime
+// (cost scales with the rows read — slot instances — not overlay size).
+func runLazy(out io.Writer, sizes []int, seed int64, services, workers int) error {
+	fmt.Fprintf(out, "%-12s %12s %12s %12s %14s %12s\n",
+		"nodes", "links", "rows", "bandwidth", "latency", "wall")
+	for _, n := range sizes {
+		sc, err := sflow.GenerateLargeScenario(sflow.LargeScenarioConfig{
+			Seed: seed, Nodes: n, Services: services,
+		})
+		if err != nil {
+			return err
+		}
+		reg := sflow.NewMetrics()
+		start := time.Now()
+		sol, err := sflow.Solve("heuristic", sc.Overlay, sc.Req, sc.SourceNID,
+			sflow.SolveOptions{Lazy: true, Workers: workers, Metrics: reg})
+		wall := time.Since(start)
+		if err != nil {
+			return fmt.Errorf("n=%d: %w", n, err)
+		}
+		var rows int64
+		for _, c := range reg.Snapshot().Counters {
+			if c.Key == "qos_lazy_rows_computed_total" {
+				rows = c.Value
+			}
+		}
+		fmt.Fprintf(out, "%-12d %12d %12d %12d %14d %12s\n",
+			n, sc.Overlay.NumLinks(), rows, sol.Metric.Bandwidth, sol.Metric.Latency, wall.Round(time.Millisecond))
+	}
+	return nil
 }
 
 func parseSizes(s string) ([]int, error) {

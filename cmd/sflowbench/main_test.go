@@ -199,3 +199,37 @@ func TestRunReoptFigure(t *testing.T) {
 		}
 	}
 }
+
+// -lazy is the interactive large-overlay mode: one demand-driven federation
+// per size, reporting the rows the lazy table actually computed.
+func TestRunLazyMode(t *testing.T) {
+	out, err := runBench(t, "-lazy", "-sizes", "200,400", "-services", "4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"nodes", "links", "rows", "bandwidth", "wall", "200", "400"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunLazyModePropagatesFailure(t *testing.T) {
+	// 3 nodes is below GenerateLarge's floor; the error must surface.
+	if _, err := runBench(t, "-lazy", "-sizes", "3", "-services", "4"); err == nil {
+		t.Fatal("-lazy accepted an ungeneratable size")
+	}
+}
+
+// The scale figure honours explicit -sizes, so it stays unit-test sized.
+func TestRunScaleFigure(t *testing.T) {
+	out, err := runBench(t, "-fig", "scale", "-sizes", "60", "-trials", "1", "-services", "4", "-instances", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"scale", "rows_frac", "contracted_solved", "OverlayNodes"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -76,6 +76,8 @@ func run(args []string) error {
 		instances = fs.Int("instances", 3, "instances per non-source service")
 		kind      = fs.String("kind", "general", "requirement shape: path, disjoint, split-merge or general")
 		workers   = fs.Int("workers", 0, "recompute fan-out (0 = GOMAXPROCS)")
+		lazy      = fs.Bool("lazy", false, "demand-driven routing: no all-pairs computation at boot, rows materialize on first read, churn evicts instead of recomputing (for -large overlays)")
+		large     = fs.Int("large", 0, "serve a directly generated large overlay with this many nodes instead of the underlay scenario (path requirement; pair with -lazy)")
 
 		classes = fs.Int("classes", 1, "number of admission priority classes")
 		quota   = fs.String("quota", "", "per-class admission quotas, comma-separated (0 = unlimited), e.g. 100,50")
@@ -99,10 +101,19 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	sc, err := sflow.GenerateScenario(sflow.ScenarioConfig{
-		Seed: *seed, NetworkSize: *size, Services: *services,
-		InstancesPerService: *instances, Kind: k,
-	})
+	var sc *sflow.Scenario
+	if *large > 0 {
+		sc, err = sflow.GenerateLargeScenario(sflow.LargeScenarioConfig{
+			Seed: *seed, Nodes: *large, Services: *services,
+			InstancesPerService: *instances,
+		})
+		k = sflow.KindPath
+	} else {
+		sc, err = sflow.GenerateScenario(sflow.ScenarioConfig{
+			Seed: *seed, NetworkSize: *size, Services: *services,
+			InstancesPerService: *instances, Kind: k,
+		})
+	}
 	if err != nil {
 		return err
 	}
@@ -110,6 +121,7 @@ func run(args []string) error {
 	reg := sflow.NewMetrics()
 	srv := daemon.New(sc.Overlay, daemon.Options{
 		Workers: *workers,
+		Lazy:    *lazy,
 		Metrics: reg,
 		Admission: provision.AllocatorOptions{
 			Classes:          *classes,
@@ -128,8 +140,12 @@ func run(args []string) error {
 		srv.Close()
 		return err
 	}
+	scale := *size
+	if *large > 0 {
+		scale = *large
+	}
 	fmt.Printf("sflowd: serving seed=%d size=%d services=%d kind=%s on %s\n",
-		*seed, *size, *services, k, srv.Addr())
+		*seed, scale, *services, k, srv.Addr())
 	if *addrfile != "" {
 		if err := os.WriteFile(*addrfile, []byte(srv.Addr()+"\n"), 0o644); err != nil {
 			srv.Close()

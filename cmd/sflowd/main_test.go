@@ -77,3 +77,41 @@ func TestRunServesAndShutsDown(t *testing.T) {
 		t.Fatal("daemon did not shut down on SIGTERM")
 	}
 }
+
+// -large -lazy serves a directly generated overlay with demand-driven
+// routing: the daemon must come up (no all-pairs at boot) and shut down
+// cleanly.
+func TestRunServesLargeLazyOverlay(t *testing.T) {
+	dir := t.TempDir()
+	addrfile := filepath.Join(dir, "addr")
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0", "-addrfile", addrfile,
+			"-large", "300", "-lazy", "-services", "4", "-instances", "2",
+		})
+	}()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if data, err := os.ReadFile(addrfile); err == nil && strings.Contains(string(data), ":") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("address file never appeared")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down on SIGTERM")
+	}
+}

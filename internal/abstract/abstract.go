@@ -14,6 +14,7 @@ package abstract
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"sflow/internal/flow"
@@ -28,7 +29,7 @@ import (
 type Graph struct {
 	req *require.Requirement
 	ov  *overlay.Overlay
-	ap  *qos.AllPairs
+	ap  qos.Table
 }
 
 // Build constructs the abstract graph for a requirement over an overlay. It
@@ -64,18 +65,69 @@ func BuildWorkersMetrics(ov *overlay.Overlay, req *require.Requirement, workers 
 	})
 }
 
-// FromAllPairs wraps an externally maintained all-pairs shortest-widest
-// table into an abstract graph, skipping the rebuild Build would do. The
-// caller guarantees ap is current for ov (an incremental session's flushed
-// table); the required-service validation still runs, since instances may
-// have left since the table was first built.
-func FromAllPairs(ov *overlay.Overlay, req *require.Requirement, ap *qos.AllPairs) (*Graph, error) {
+// FromAllPairs wraps an externally maintained shortest-widest table — eager
+// *qos.AllPairs or demand-driven *qos.LazyAllPairs — into an abstract graph,
+// skipping the rebuild Build would do. The caller guarantees ap is current
+// for ov (an incremental session's flushed table); the required-service
+// validation still runs, since instances may have left since the table was
+// first built.
+func FromAllPairs(ov *overlay.Overlay, req *require.Requirement, ap qos.Table) (*Graph, error) {
 	for _, sid := range req.Services() {
 		if len(ov.InstancesOf(sid)) == 0 {
 			return nil, fmt.Errorf("abstract: required service %d has no instance in the overlay", sid)
 		}
 	}
 	return &Graph{req: req, ov: ov, ap: ap}, nil
+}
+
+// BuildLazy constructs the abstract graph over a demand-driven table: no
+// all-pairs computation runs up front, and only the rows the federation
+// algorithms read — the rows of instances populating service slots with
+// outgoing requirement edges — are ever computed. Those slot rows are
+// prefetched here in a workers-wide fan-out (<= 0 means GOMAXPROCS), so a
+// following solve reads them warm; answers are byte-identical to Build's at
+// any worker count. This is what makes federating against 10k–100k-node
+// overlays interactive: cost scales with slot instances, not overlay size.
+func BuildLazy(ov *overlay.Overlay, req *require.Requirement, workers int, reg *metrics.Registry) (*Graph, error) {
+	for _, sid := range req.Services() {
+		if len(ov.InstancesOf(sid)) == 0 {
+			return nil, fmt.Errorf("abstract: required service %d has no instance in the overlay", sid)
+		}
+	}
+	start := time.Now()
+	lt := qos.NewLazyAllPairs(ov, reg)
+	lt.Prefetch(SlotSources(ov, req), workers)
+	g := &Graph{req: req, ov: ov, ap: lt}
+	if reg != nil {
+		reg.Counter("abstract_lazy_builds_total").Inc()
+		reg.Histogram("abstract_build_us", metrics.ExponentialBounds(10, 10, 6), metrics.Volatile()).
+			Observe(time.Since(start).Microseconds())
+	}
+	return g, nil
+}
+
+// SlotSources returns the sources a federation solve over the abstract graph
+// reads rows from: the instances of every required service with at least one
+// outgoing requirement edge, ascending and deduplicated. Edge metrics and
+// paths are always read from the edge's tail, so sink-only services need no
+// rows.
+func SlotSources(ov *overlay.Overlay, req *require.Requirement) []int {
+	tails := make(map[int]struct{})
+	for _, e := range req.Edges() {
+		tails[e[0]] = struct{}{}
+	}
+	var srcs []int
+	seen := make(map[int]struct{})
+	for sid := range tails {
+		for _, nid := range ov.InstancesOf(sid) {
+			if _, ok := seen[nid]; !ok {
+				seen[nid] = struct{}{}
+				srcs = append(srcs, nid)
+			}
+		}
+	}
+	sort.Ints(srcs)
+	return srcs
 }
 
 func build(ov *overlay.Overlay, req *require.Requirement, reg *metrics.Registry, allPairs func(qos.Graph) *qos.AllPairs) (*Graph, error) {
@@ -132,8 +184,8 @@ func (g *Graph) EdgePath(from, to int) []int {
 	return g.ap.Path(from, to)
 }
 
-// AllPairs exposes the underlying all-pairs shortest-widest results.
-func (g *Graph) AllPairs() *qos.AllPairs { return g.ap }
+// AllPairs exposes the underlying shortest-widest table (eager or lazy).
+func (g *Graph) AllPairs() qos.Table { return g.ap }
 
 // Realize materialises a complete instance assignment (SID -> NID) as a
 // service flow graph: every requirement edge becomes a flow edge carrying the

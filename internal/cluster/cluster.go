@@ -143,11 +143,28 @@ type Result struct {
 	K int
 }
 
+// Options tunes Federate's routing-table strategy.
+type Options struct {
+	// Lazy prices cluster pairs and solves the intra-cluster problem from
+	// demand-driven tables instead of eager all-pairs computations: only the
+	// rows the greedy assignment and the final solve actually read are ever
+	// routed. The result is byte-identical to eager mode.
+	Lazy bool
+	// Workers bounds the lazy slot-row prefetch fan-out (<= 0 means
+	// GOMAXPROCS). Ignored in eager mode.
+	Workers int
+}
+
 // Federate runs the hierarchical algorithm: cluster the overlay into k
 // groups, pick one cluster per required service greedily on summarised
 // inter-cluster link quality, then solve the instance-level federation
 // inside the chosen clusters with the reduction heuristics.
 func Federate(ov *overlay.Overlay, req *require.Requirement, src int, k int) (*Result, error) {
+	return FederateWith(ov, req, src, k, Options{})
+}
+
+// FederateWith is Federate with an explicit table strategy.
+func FederateWith(ov *overlay.Overlay, req *require.Requirement, src int, k int, opts Options) (*Result, error) {
 	if got := ov.SIDOf(src); got != req.Source() {
 		return nil, fmt.Errorf("cluster: source instance %d provides service %d, requirement starts at %d",
 			src, got, req.Source())
@@ -172,7 +189,12 @@ func Federate(ov *overlay.Overlay, req *require.Requirement, src int, k int) (*R
 	// Cluster-level link quality: the best achievable metric between any
 	// instance of one cluster and any instance of the other — the summary
 	// a cluster head would advertise for its group. Memoised per pair.
-	ap := qos.ComputeAllPairs(ov)
+	var ap qos.Table
+	if opts.Lazy {
+		ap = qos.NewLazyAllPairs(ov, nil)
+	} else {
+		ap = qos.ComputeAllPairs(ov)
+	}
 	members := cl.Clusters()
 	memo := make(map[[2]int]qos.Metric)
 	clusterMetric := func(a, b int) qos.Metric {
@@ -251,7 +273,12 @@ func Federate(ov *overlay.Overlay, req *require.Requirement, src int, k int) (*R
 			}
 		}
 	}
-	ag, err := abstract.Build(sub, req)
+	var ag *abstract.Graph
+	if opts.Lazy {
+		ag, err = abstract.BuildLazy(sub, req, opts.Workers, nil)
+	} else {
+		ag, err = abstract.Build(sub, req)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInfeasible, err)
 	}

@@ -1,0 +1,180 @@
+package cluster
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"sflow/internal/overlay"
+	"sflow/internal/qos"
+	"sflow/internal/require"
+	"sflow/internal/scenario"
+)
+
+func largeScenario(t *testing.T, seed int64, nodes int) *scenario.Scenario {
+	t.Helper()
+	s, err := scenario.GenerateLarge(scenario.LargeConfig{
+		Seed: seed, Nodes: nodes, Services: 4, InstancesPerService: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBuildBFSPartition(t *testing.T) {
+	s := largeScenario(t, 1, 60)
+	for _, k := range []int{1, 3, 8} {
+		cl, err := BuildBFS(s.Overlay, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cl.Medoids) != k {
+			t.Fatalf("k=%d: %d seeds", k, len(cl.Medoids))
+		}
+		if len(cl.Member) != s.Overlay.NumInstances() {
+			t.Fatalf("k=%d: %d members", k, len(cl.Member))
+		}
+		for nid, ci := range cl.Member {
+			if ci < 0 || ci >= k {
+				t.Fatalf("k=%d: node %d in cluster %d", k, nid, ci)
+			}
+		}
+		// Seeds belong to their own cluster (the first seed wins a tie).
+		seen := map[int]bool{}
+		for ci, seed := range cl.Medoids {
+			if !seen[seed] && cl.Member[seed] != ci {
+				t.Fatalf("k=%d: seed %d assigned to cluster %d, want %d", k, seed, cl.Member[seed], ci)
+			}
+			seen[seed] = true
+		}
+		again, err := BuildBFS(s.Overlay, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(cl, again) {
+			t.Fatalf("k=%d: BuildBFS not deterministic", k)
+		}
+	}
+}
+
+func TestBuildBFSRejectsBadK(t *testing.T) {
+	s := largeScenario(t, 1, 30)
+	for _, k := range []int{0, -1, 31} {
+		if _, err := BuildBFS(s.Overlay, k); err == nil {
+			t.Errorf("k=%d accepted", k)
+		}
+	}
+}
+
+func TestContractBestBoundaryLink(t *testing.T) {
+	s := largeScenario(t, 2, 60)
+	cl, err := BuildBFS(s.Overlay, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg := Contract(s.Overlay, cl)
+
+	if got := cg.Nodes(); !reflect.DeepEqual(got, []int{0, 1, 2, 3}) {
+		t.Fatalf("Nodes() = %v", got)
+	}
+	if cg.Out(-1) != nil || cg.Out(4) != nil {
+		t.Fatal("out-of-range Out() should be nil")
+	}
+
+	// Recompute the per-ordered-pair best boundary link by hand and check
+	// every contracted arc matches it.
+	want := map[[2]int]qos.Metric{}
+	for _, l := range s.Overlay.Links() {
+		a, b := cl.Member[l.From], cl.Member[l.To]
+		if a == b {
+			continue
+		}
+		m := qos.Metric{Bandwidth: l.Bandwidth, Latency: l.Latency}
+		if cur, ok := want[[2]int{a, b}]; !ok || m.Better(cur) {
+			want[[2]int{a, b}] = m
+		}
+	}
+	arcs := 0
+	for _, c := range cg.Nodes() {
+		prev := -1
+		for _, a := range cg.Out(c) {
+			if a.To <= prev {
+				t.Fatalf("cluster %d out-arcs not sorted: %v", c, cg.Out(c))
+			}
+			prev = a.To
+			m, ok := want[[2]int{c, a.To}]
+			if !ok {
+				t.Fatalf("arc %d->%d has no boundary link", c, a.To)
+			}
+			if (qos.Metric{Bandwidth: a.Bandwidth, Latency: a.Latency}) != m {
+				t.Fatalf("arc %d->%d = %d/%d, want %v", c, a.To, a.Bandwidth, a.Latency, m)
+			}
+			arcs++
+		}
+	}
+	if arcs != len(want) {
+		t.Fatalf("contracted graph has %d arcs, boundary pairs = %d", arcs, len(want))
+	}
+}
+
+func TestFederateContractedSolves(t *testing.T) {
+	s := largeScenario(t, 3, 200)
+	r, err := FederateContracted(s.Overlay, s.Req, s.SourceNID, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.K != 8 {
+		t.Fatalf("K = %d, want 8", r.K)
+	}
+	if !r.Flow.Complete(s.Req) {
+		t.Fatal("contracted federation returned an incomplete flow")
+	}
+	for _, sid := range s.Req.Services() {
+		if _, ok := r.ClusterOf[sid]; !ok {
+			t.Fatalf("no cluster chosen for service %d", sid)
+		}
+	}
+	again, err := FederateContracted(s.Overlay, s.Req, s.SourceNID, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Metric != r.Metric || !reflect.DeepEqual(again.ClusterOf, r.ClusterOf) {
+		t.Fatal("FederateContracted not deterministic")
+	}
+}
+
+func TestFederateContractedRejectsWrongSource(t *testing.T) {
+	s := largeScenario(t, 4, 60)
+	// Any relay instance provides service 5, not the requirement's source.
+	relay := s.Overlay.InstancesOf(5)[0]
+	if _, err := FederateContracted(s.Overlay, s.Req, relay, 4, 1); err == nil {
+		t.Fatal("wrong-source instance accepted")
+	}
+	if _, err := FederateContracted(s.Overlay, s.Req, s.SourceNID, 0, 1); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestFederateContractedInfeasibleMissingService(t *testing.T) {
+	req, err := require.GeneratePath(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := overlay.New()
+	// Services 1 and 2 are hosted; service 3 has no instance anywhere
+	// (GeneratePath numbers the chain 1..n).
+	for nid, sid := range []int{1, 2, 2, 1} {
+		if err := o.AddInstance(nid, sid, nid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for nid := 0; nid < 4; nid++ {
+		if err := o.AddLink(nid, (nid+1)%4, 100, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := FederateContracted(o, req, 0, 2, 1); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}

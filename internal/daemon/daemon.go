@@ -45,9 +45,13 @@ import (
 // all-pairs table. readers counts the solve/info handlers currently routing
 // against it; the writer retires an epoch only after readers drains to zero.
 type epoch struct {
-	id      uint64
-	ov      *overlay.Overlay
-	ap      *qos.AllPairs
+	id uint64
+	ov *overlay.Overlay
+	// ap is the epoch's shortest-widest table: an eager *qos.AllPairs, or in
+	// lazy mode a pinned *qos.LazyAllPairs whose still-missing rows compute
+	// on first read (single-flight across the epoch's concurrent readers)
+	// from the epoch's own frozen graph — immutable either way.
+	ap      qos.Table
 	readers atomic.Int64
 }
 
@@ -55,6 +59,11 @@ type epoch struct {
 type Options struct {
 	// Workers bounds the session's recompute fan-out (see session.Options).
 	Workers int
+	// Lazy runs the session and every published epoch demand-driven (see
+	// session.Options.Lazy): no all-pairs computation at boot, rows
+	// materialize the first time a solve reads them, churn evicts instead of
+	// recomputing. Served answers are byte-identical to eager mode.
+	Lazy bool
 	// Metrics, when non-nil, receives server counters and latency
 	// histograms in addition to the session's own instrumentation.
 	Metrics *metrics.Registry
@@ -161,7 +170,7 @@ func New(ov *overlay.Overlay, opts Options) *Server {
 		opts.Admission.Observer = ledger
 	}
 	s := &Server{
-		sess:      session.New(ov, session.Options{Workers: opts.Workers, Metrics: opts.Metrics}),
+		sess:      session.New(ov, session.Options{Workers: opts.Workers, Metrics: opts.Metrics, Lazy: opts.Lazy}),
 		hook:      opts.PublishHook,
 		alloc:     provision.NewAllocator(ov, opts.Admission),
 		ledger:    ledger,
@@ -178,6 +187,7 @@ func New(ov *overlay.Overlay, opts Options) *Server {
 		},
 		MaxMovesPerLink: opts.Reopt.MaxMovesPerLink,
 		Workers:         opts.Workers,
+		Lazy:            opts.Lazy,
 		Metrics:         opts.Metrics,
 	})
 	if reg := opts.Metrics; reg != nil {

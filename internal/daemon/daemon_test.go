@@ -207,7 +207,7 @@ func TestEpochRetirementWaitsForReaders(t *testing.T) {
 		t.Fatalf("live epochs = %d, want 2 (current + pinned)", got)
 	}
 	// The pinned epoch still answers from its frozen state.
-	if want := qos.ComputeAllPairsWorkers(pinned.ov, 1); !pinned.ap.Equal(want) {
+	if want := qos.ComputeAllPairsWorkers(pinned.ov, 1); !qos.TablesEqual(pinned.ap, want) {
 		t.Fatal("pinned epoch no longer matches its own overlay")
 	}
 

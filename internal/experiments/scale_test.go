@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+func scaleCfg() Config {
+	return Config{Sizes: []int{40, 80}, Trials: 2, Seed: 5, Services: 4, Instances: 2}
+}
+
+func TestScaleShape(t *testing.T) {
+	s, err := Scale(scaleCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"solved", "rows_frac", "match", "contracted_solved"}; !reflect.DeepEqual(s.Columns, want) {
+		t.Fatalf("columns = %v", s.Columns)
+	}
+	if len(s.Points) != 2 {
+		t.Fatalf("%d points, want 2", len(s.Points))
+	}
+	for _, p := range s.Points {
+		if p.Values["solved"] != 1 {
+			t.Fatalf("size %d: lazy solve failed in some trial", p.X)
+		}
+		if p.Values["match"] != 1 {
+			t.Fatalf("size %d: lazy solution diverged from the eager oracle", p.X)
+		}
+		if p.Values["contracted_solved"] != 1 {
+			t.Fatalf("size %d: contracted path failed in some trial", p.X)
+		}
+		if f := p.Values["rows_frac"]; f <= 0 || f > 1 {
+			t.Fatalf("size %d: rows_frac = %v", p.X, f)
+		}
+	}
+	// Demand-driven row count is fixed by the requirement, so the fraction
+	// must fall as the overlay grows.
+	if s.Points[1].Values["rows_frac"] >= s.Points[0].Values["rows_frac"] {
+		t.Fatalf("rows_frac did not shrink with size: %v vs %v",
+			s.Points[0].Values["rows_frac"], s.Points[1].Values["rows_frac"])
+	}
+}
+
+func TestScaleDeterministicAcrossWorkers(t *testing.T) {
+	cfg := scaleCfg()
+	a, err := Scale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	b, err := Scale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CSV() != b.CSV() {
+		t.Fatal("scale series differs across worker counts")
+	}
+}
+
+func TestScaleSpotCheckAboveOracleCutoff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping the >2000-node spot-check cell")
+	}
+	// One trial just past the cutoff exercises the memoization spot check
+	// instead of the full eager oracle.
+	s, err := Scale(Config{Sizes: []int{scaleOracleCutoff + 100}, Trials: 1, Seed: 9, Services: 4, Instances: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.Points[0]
+	if p.Values["solved"] != 1 || p.Values["match"] != 1 {
+		t.Fatalf("spot-check cell: solved=%v match=%v", p.Values["solved"], p.Values["match"])
+	}
+	if f := p.Values["rows_frac"]; f > 0.05 {
+		t.Fatalf("rows_frac = %v at %d nodes; lazy table routed far more than the slot rows", f, p.X)
+	}
+}

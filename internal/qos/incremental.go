@@ -48,6 +48,11 @@ type Incremental struct {
 	stale     bool
 	scratches []*Scratch
 
+	// lazy, when non-nil, replaces the eager table: mutation reports forward
+	// into it, Flush evicts instead of recomputing, and reads go through
+	// Table() / Lazy(). The eager fields above stay nil in lazy mode.
+	lazy *LazyAllPairs
+
 	flushes, recomputed, saved *metrics.Counter
 }
 
@@ -76,6 +81,40 @@ func NewIncremental(g Graph, workers int, reg *metrics.Registry) *Incremental {
 		inc.register(src, res)
 	}
 	return inc
+}
+
+// NewIncrementalLazy builds an Incremental in lazy mode: no routing runs up
+// front, rows materialize on first read through Table() (or Lazy()), and
+// Flush evicts stale rows instead of recomputing them — a source touched by
+// churn that no consumer reads never costs a Dijkstra. workers bounds
+// Prefetch/Materialize fan-out. The mutation-report contract (OutChanged /
+// NodeAdded / NodeRemoved, single writer) is identical to eager mode.
+func NewIncrementalLazy(g Graph, workers int, reg *metrics.Registry) *Incremental {
+	inc := &Incremental{
+		g:       g,
+		workers: workers,
+		lazy:    NewLazyAllPairs(g, reg),
+	}
+	if reg != nil {
+		inc.flushes = reg.Counter("qos_incremental_flushes_total")
+		inc.recomputed = reg.Counter("qos_incremental_recomputed_sources_total")
+		inc.saved = reg.Counter("qos_incremental_saved_sources_total")
+	}
+	return inc
+}
+
+// Lazy returns the demand-driven table when the Incremental was built with
+// NewIncrementalLazy, nil otherwise.
+func (inc *Incremental) Lazy() *LazyAllPairs { return inc.lazy }
+
+// Table returns the read interface of the maintained table without forcing
+// materialization: the lazy table in lazy mode (pending invalidation is
+// applied on the next read), the flushed eager table otherwise.
+func (inc *Incremental) Table() Table {
+	if inc.lazy != nil {
+		return inc.lazy
+	}
+	return inc.AllPairs()
 }
 
 // register adds src to the readers set of every node its result reached.
@@ -107,6 +146,10 @@ func (inc *Incremental) unregister(src int, res *Result) {
 // added, removed, or re-weighted): every source that could reach u — and
 // only those — must recompute.
 func (inc *Incremental) OutChanged(u int) {
+	if inc.lazy != nil {
+		inc.lazy.OutChanged(u)
+		return
+	}
 	inc.stale = true
 	for src := range inc.readers[u] {
 		inc.dirty[src] = struct{}{}
@@ -123,6 +166,10 @@ func (inc *Incremental) OutChanged(u int) {
 // run; existing sources cannot reach a node that has no in-links yet, and
 // the links that follow arrive as OutChanged events.
 func (inc *Incremental) NodeAdded(n int) {
+	if inc.lazy != nil {
+		inc.lazy.NodeAdded(n)
+		return
+	}
 	inc.stale = true
 	inc.dirty[n] = struct{}{}
 }
@@ -133,6 +180,10 @@ func (inc *Incremental) NodeAdded(n int) {
 // as well, which over-approximates safely even if the caller's OutChanged
 // calls already cover them.
 func (inc *Incremental) NodeRemoved(n int) {
+	if inc.lazy != nil {
+		inc.lazy.NodeRemoved(n)
+		return
+	}
 	inc.stale = true
 	for src := range inc.readers[n] {
 		inc.dirty[src] = struct{}{}
@@ -147,8 +198,12 @@ func (inc *Incremental) NodeRemoved(n int) {
 	delete(inc.readers, n)
 }
 
-// Dirty returns the sources currently queued for recomputation, ascending.
+// Dirty returns the sources currently queued for recomputation (eager mode)
+// or eviction (lazy mode), ascending.
 func (inc *Incremental) Dirty() []int {
+	if inc.lazy != nil {
+		return inc.lazy.Dirty()
+	}
 	out := make([]int, 0, len(inc.dirty))
 	for src := range inc.dirty {
 		out = append(out, src)
@@ -160,7 +215,19 @@ func (inc *Incremental) Dirty() []int {
 // Flush recomputes every dirty source and returns how many were recomputed.
 // The maintained table afterwards equals a from-scratch ComputeAllPairs on
 // the current graph, byte for byte.
+//
+// In lazy mode Flush runs no routing at all: it evicts the dirty rows (the
+// returned count) and defers recomputation to the next read of each source —
+// flush work is pinned to the rows consumers actually touched, never the
+// whole dirty set.
 func (inc *Incremental) Flush() int {
+	if inc.lazy != nil {
+		evicted := inc.lazy.Flush()
+		if evicted > 0 {
+			inc.flushes.Inc()
+		}
+		return evicted
+	}
 	if len(inc.dirty) == 0 {
 		return 0
 	}
@@ -241,7 +308,15 @@ func (inc *Incremental) Flush() int {
 // AllPairs flushes pending recomputation and returns the maintained table.
 // The returned value is updated in place by later flushes; callers that need
 // a stable snapshot must not mutate the graph while holding on to results.
+//
+// In lazy mode this materializes every row — it defeats the point of
+// laziness and exists for equivalence checks; demand-driven consumers should
+// use Table() instead.
 func (inc *Incremental) AllPairs() *AllPairs {
+	if inc.lazy != nil {
+		inc.lazy.Flush()
+		return inc.lazy.Materialize(inc.workers)
+	}
 	inc.Flush()
 	return inc.ap
 }

@@ -1,0 +1,489 @@
+// Lazy, demand-driven all-pairs shortest-widest routing.
+//
+// ComputeAllPairs runs one Dijkstra per source and materializes the full N²
+// table, which walls the system off from large overlays: the federation
+// algorithms on top only ever read the rows of instances that populate a
+// requirement's service slots — typically a few dozen sources out of tens of
+// thousands. LazyAllPairs serves the same read interface row by row, on
+// demand: a row is computed by the dense CSR kernels the first time any
+// reader asks for it, memoized, and — because shortestWidest(g, s) is a pure
+// function of the out-arc lists it actually reads — stays valid until a
+// mutation touches a node the row's run read. Invalidation therefore reuses
+// exactly the reverse-dependency ("readers") argument behind Incremental:
+// OutChanged(u) evicts precisely the materialized rows whose sources reach u,
+// and rows nobody materialized cost nothing to invalidate.
+//
+// Concurrency: the read methods (Metric, Path, From, Sources, Prefetch,
+// Materialize) are safe for any number of concurrent readers; a per-source
+// single-flight latch guarantees that concurrent requests for the same
+// uncomputed row run the kernel exactly once and share the one Result. The
+// mutation methods (OutChanged, NodeAdded, NodeRemoved, Flush) follow
+// Incremental's single-writer contract: they must be serialized with each
+// other AND with reads of the live table — which is what session.Session's
+// one-goroutine contract and the daemon's RCU epochs already provide
+// (concurrent readers only ever touch immutable Snapshots).
+package qos
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"sflow/internal/csr"
+	"sflow/internal/metrics"
+)
+
+// Table is the read interface over an all-pairs shortest-widest computation —
+// what the abstract-graph builder and the Solve registry actually consume.
+// Both the eager *AllPairs and the demand-driven *LazyAllPairs implement it,
+// and for every row read the two are byte-identical (selected paths and
+// instrumentation included), which the scale-equivalence battery pins.
+type Table interface {
+	// Metric returns the shortest-widest quality from src to dst.
+	Metric(src, dst int) Metric
+	// Path returns the selected shortest-widest path from src to dst (nil
+	// if unreachable). The returned slice is the caller's to keep.
+	Path(src, dst int) []int
+	// From returns the single-source result rooted at src (nil if src is
+	// not a node of the graph).
+	From(src int) *Result
+	// Sources returns the sources the table covers, ascending.
+	Sources() []int
+}
+
+var (
+	_ Table = (*AllPairs)(nil)
+	_ Table = (*LazyAllPairs)(nil)
+)
+
+// TablesEqual reports whether two tables answer identically: same sources,
+// and per source the same reachable set, metrics and selected paths. It reads
+// every row of both tables, materializing lazy ones — an equivalence-test
+// helper, not a hot-path operation.
+func TablesEqual(a, b Table) bool {
+	as, bs := a.Sources(), b.Sources()
+	if len(as) != len(bs) {
+		return false
+	}
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	for _, src := range as {
+		ra, rb := a.From(src), b.From(src)
+		if (ra == nil) != (rb == nil) {
+			return false
+		}
+		if ra == nil {
+			continue
+		}
+		if len(ra.Dist) != len(rb.Dist) {
+			return false
+		}
+		for dst, m := range ra.Dist {
+			om, ok := rb.Dist[dst]
+			if !ok || m != om {
+				return false
+			}
+			p, op := ra.paths[dst], rb.paths[dst]
+			if len(p) != len(op) {
+				return false
+			}
+			for i := range p {
+				if p[i] != op[i] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// lazyRow is the single-flight latch of one memoized row: the goroutine that
+// created the row computes res and closes done; everyone else waits on done.
+type lazyRow struct {
+	done chan struct{}
+	res  *Result
+}
+
+// LazyStats is a point-in-time summary of what a LazyAllPairs did, for tests
+// and capacity planning.
+type LazyStats struct {
+	// Computed counts kernel executions (rows actually computed).
+	Computed int64
+	// Hits counts reads served from an already-memoized row.
+	Hits int64
+	// DedupWaits counts reads that found another goroutine's computation of
+	// the same row in flight and waited for it instead of running the kernel
+	// again.
+	DedupWaits int64
+	// Evicted counts rows invalidated by mutations.
+	Evicted int64
+}
+
+// LazyAllPairs is the demand-driven Table: rows materialize on first read and
+// are evicted exactly when a mutation could change them. See the package
+// comment above for the concurrency contract.
+type LazyAllPairs struct {
+	mu sync.Mutex
+	// g is the live graph rows are (re-)frozen from; nil for pinned
+	// snapshots, which can never go stale.
+	g      Graph
+	frozen *csr.Graph
+	// nodes is the frozen graph's node set, ascending. Replaced wholesale on
+	// re-freeze (never mutated in place), so snapshots may share it.
+	nodes []int
+	// rows holds the memoized (or in-flight) per-source results.
+	rows map[int]*lazyRow
+	// readers maps node u -> sources whose materialized row read Out(u):
+	// exactly the rows to evict when Out(u) changes.
+	readers map[int]map[int]struct{}
+	// dirty accumulates sources to evict at the next flush (explicit or
+	// read-triggered); stale marks the frozen graph for re-freeze.
+	dirty map[int]struct{}
+	stale bool
+
+	// pool shares dense-kernel scratch buffers between concurrent row
+	// computations; shared with snapshots (Scratch use is exclusive while
+	// checked out).
+	pool *sync.Pool
+
+	ins instr
+
+	computed   atomic.Int64
+	hits       atomic.Int64
+	dedupWaits atomic.Int64
+	evicted    atomic.Int64
+
+	rowsComputed, rowHits, dedups, evictions *metrics.Counter
+}
+
+// NewLazyAllPairs returns a demand-driven table over g. No routing runs
+// until the first row is read. reg, when non-nil, receives qos_lazy_*
+// counters alongside the usual routing instrumentation.
+func NewLazyAllPairs(g Graph, reg *metrics.Registry) *LazyAllPairs {
+	l := &LazyAllPairs{
+		g:       g,
+		rows:    make(map[int]*lazyRow),
+		readers: make(map[int]map[int]struct{}),
+		dirty:   make(map[int]struct{}),
+		stale:   true,
+		pool:    &sync.Pool{New: func() any { return NewScratch() }},
+		ins:     instrFor(reg),
+	}
+	if reg != nil {
+		l.rowsComputed = reg.Counter("qos_lazy_rows_computed_total")
+		l.rowHits = reg.Counter("qos_lazy_row_hits_total")
+		l.dedups = reg.Counter("qos_lazy_dedup_waits_total")
+		l.evictions = reg.Counter("qos_lazy_evicted_rows_total")
+	}
+	return l
+}
+
+// Stats returns what the table has done so far.
+func (l *LazyAllPairs) Stats() LazyStats {
+	return LazyStats{
+		Computed:   l.computed.Load(),
+		Hits:       l.hits.Load(),
+		DedupWaits: l.dedupWaits.Load(),
+		Evicted:    l.evicted.Load(),
+	}
+}
+
+// applyPendingLocked evicts the dirty rows and re-freezes a stale graph. The
+// caller holds l.mu. Re-freezing allocates a fresh CSR graph instead of
+// reusing storage: snapshots may still be routing on the old arrays.
+func (l *LazyAllPairs) applyPendingLocked() {
+	for src := range l.dirty {
+		if row, ok := l.rows[src]; ok {
+			delete(l.rows, src)
+			if row.res != nil {
+				l.unregisterLocked(src, row.res)
+			}
+			l.evicted.Add(1)
+			l.evictions.Inc()
+		}
+	}
+	if len(l.dirty) > 0 {
+		l.dirty = make(map[int]struct{})
+	}
+	if l.stale {
+		if l.g != nil {
+			l.frozen = FreezeGraph(l.g)
+			nodes := l.g.Nodes()
+			l.nodes = append([]int(nil), nodes...)
+			sort.Ints(l.nodes)
+		}
+		l.stale = false
+	}
+}
+
+// registerLocked adds src to the readers set of every node its row reached —
+// the same bookkeeping Incremental keeps eagerly, built here row by row.
+func (l *LazyAllPairs) registerLocked(src int, res *Result) {
+	for u := range res.Dist {
+		set, ok := l.readers[u]
+		if !ok {
+			set = make(map[int]struct{})
+			l.readers[u] = set
+		}
+		set[src] = struct{}{}
+	}
+}
+
+func (l *LazyAllPairs) unregisterLocked(src int, res *Result) {
+	for u := range res.Dist {
+		if set, ok := l.readers[u]; ok {
+			delete(set, src)
+			if len(set) == 0 {
+				delete(l.readers, u)
+			}
+		}
+	}
+}
+
+// From returns the memoized row of src, computing it on first read. Rows are
+// byte-identical to the corresponding ComputeAllPairs row: same frozen-CSR
+// kernels, same deterministic settle order. It returns nil for a source the
+// graph does not know — exactly what the eager table answers.
+func (l *LazyAllPairs) From(src int) *Result {
+	l.mu.Lock()
+	l.applyPendingLocked()
+	if l.frozen == nil {
+		l.mu.Unlock()
+		return nil
+	}
+	idx, ok := l.frozen.Index(src)
+	if !ok {
+		l.mu.Unlock()
+		return nil
+	}
+	if row, ok := l.rows[src]; ok {
+		l.mu.Unlock()
+		select {
+		case <-row.done:
+			l.hits.Add(1)
+			l.rowHits.Inc()
+		default:
+			l.dedupWaits.Add(1)
+			l.dedups.Inc()
+			<-row.done
+		}
+		return row.res
+	}
+	row := &lazyRow{done: make(chan struct{})}
+	l.rows[src] = row
+	frozen := l.frozen
+	l.mu.Unlock()
+
+	sc := l.pool.Get().(*Scratch)
+	res := shortestWidestDense(frozen, idx, sc, l.ins)
+	l.pool.Put(sc)
+
+	l.mu.Lock()
+	// The row may have been evicted while computing (only possible for a
+	// mutation racing a read, which the single-writer contract forbids on
+	// the live table; be defensive anyway): register only if still current.
+	if l.rows[src] == row {
+		l.registerLocked(src, res)
+	}
+	l.mu.Unlock()
+	row.res = res
+	close(row.done)
+	l.computed.Add(1)
+	l.rowsComputed.Inc()
+	return res
+}
+
+// Metric returns the shortest-widest quality from src to dst, computing the
+// src row on first read.
+func (l *LazyAllPairs) Metric(src, dst int) Metric {
+	r := l.From(src)
+	if r == nil {
+		return Unreachable
+	}
+	return r.Metric(dst)
+}
+
+// Path returns the selected shortest-widest path from src to dst (nil if
+// unreachable), computing the src row on first read. The returned slice is a
+// copy: callers cannot alias the memoized row's arena.
+func (l *LazyAllPairs) Path(src, dst int) []int {
+	r := l.From(src)
+	if r == nil {
+		return nil
+	}
+	return r.PathTo(dst)
+}
+
+// Sources returns every source the table covers — all current graph nodes,
+// ascending, whether or not their rows have materialized.
+func (l *LazyAllPairs) Sources() []int {
+	l.mu.Lock()
+	l.applyPendingLocked()
+	nodes := l.nodes
+	l.mu.Unlock()
+	out := make([]int, len(nodes))
+	copy(out, nodes)
+	return out
+}
+
+// ComputedRows returns the sources whose rows are currently materialized,
+// ascending. Test and introspection hook; in-flight rows are included.
+func (l *LazyAllPairs) ComputedRows() []int {
+	l.mu.Lock()
+	out := make([]int, 0, len(l.rows))
+	for src := range l.rows {
+		out = append(out, src)
+	}
+	l.mu.Unlock()
+	sort.Ints(out)
+	return out
+}
+
+// OutChanged records that the out-arcs of u changed: every materialized row
+// whose source reaches u — and only those — is queued for eviction. Rows
+// nobody computed need nothing.
+func (l *LazyAllPairs) OutChanged(u int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.stale = true
+	for src := range l.readers[u] {
+		l.dirty[src] = struct{}{}
+	}
+	// u's own row reads Out(u) by definition.
+	if _, ok := l.rows[u]; ok {
+		l.dirty[u] = struct{}{}
+	}
+}
+
+// NodeAdded records that n joined the graph. No row can have reached a node
+// with no in-links yet, so nothing is evicted; the next read re-freezes.
+func (l *LazyAllPairs) NodeAdded(_ int) {
+	l.mu.Lock()
+	l.stale = true
+	l.mu.Unlock()
+}
+
+// NodeRemoved records that n left along with its incident arcs. As with
+// Incremental, the caller must additionally report OutChanged for every
+// former in-neighbor of n.
+func (l *LazyAllPairs) NodeRemoved(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.stale = true
+	for src := range l.readers[n] {
+		l.dirty[src] = struct{}{}
+	}
+	if _, ok := l.rows[n]; ok {
+		l.dirty[n] = struct{}{}
+	}
+	delete(l.readers, n)
+}
+
+// Dirty returns the materialized sources currently queued for eviction,
+// ascending.
+func (l *LazyAllPairs) Dirty() []int {
+	l.mu.Lock()
+	out := make([]int, 0, len(l.dirty))
+	for src := range l.dirty {
+		out = append(out, src)
+	}
+	l.mu.Unlock()
+	sort.Ints(out)
+	return out
+}
+
+// Flush applies pending invalidation — evicting dirty rows and re-freezing
+// the graph — and returns how many rows were evicted. Unlike an eager
+// Incremental flush it runs NO routing: evicted rows recompute only if and
+// when someone reads them again.
+func (l *LazyAllPairs) Flush() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	before := l.evicted.Load()
+	l.applyPendingLocked()
+	return int(l.evicted.Load() - before)
+}
+
+// Prefetch materializes the rows of srcs that are not yet computed, fanning
+// the kernel runs out over the given worker count (<= 0 means GOMAXPROCS).
+// Prefetching never changes any answer — rows are byte-identical whether
+// computed here or on first demand — it only moves the cost onto more cores.
+func (l *LazyAllPairs) Prefetch(srcs []int, workers int) {
+	if len(srcs) == 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(srcs) {
+		workers = len(srcs)
+	}
+	if workers <= 1 {
+		for _, src := range srcs {
+			l.From(src)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(srcs) {
+					return
+				}
+				l.From(srcs[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Materialize computes every missing row and returns the table in eager
+// form — byte-identical to ComputeAllPairs on the current graph. It defeats
+// the point of laziness and exists for equivalence tests and for callers that
+// genuinely need the full table once.
+func (l *LazyAllPairs) Materialize(workers int) *AllPairs {
+	srcs := l.Sources()
+	l.Prefetch(srcs, workers)
+	ap := &AllPairs{results: make(map[int]*Result, len(srcs))}
+	for _, src := range srcs {
+		ap.results[src] = l.From(src)
+	}
+	return ap
+}
+
+// Snapshot pins the current state as an immutable table: the snapshot shares
+// the already-computed rows (Results are immutable once published) and the
+// frozen CSR graph, but has no live graph reference — later mutations of the
+// parent never evict or re-freeze it, and rows it computes on demand keep
+// answering from the pinned graph. Safe for any number of concurrent readers;
+// the single-flight dedup still applies within the snapshot. Pending
+// invalidation is applied first, so the snapshot reflects every mutation
+// reported before the call.
+func (l *LazyAllPairs) Snapshot() *LazyAllPairs {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.applyPendingLocked()
+	rows := make(map[int]*lazyRow, len(l.rows))
+	for src, row := range l.rows {
+		rows[src] = row
+	}
+	return &LazyAllPairs{
+		g:       nil,
+		frozen:  l.frozen,
+		nodes:   l.nodes,
+		rows:    rows,
+		readers: make(map[int]map[int]struct{}),
+		dirty:   make(map[int]struct{}),
+		pool:    l.pool,
+		ins:     l.ins,
+	}
+}

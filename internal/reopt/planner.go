@@ -25,6 +25,13 @@ type PlannerConfig struct {
 	// Workers bounds the private session's incremental-recompute fan-out
 	// (see session.Options.Workers).
 	Workers int
+	// Lazy runs the mirror session demand-driven (session.Options.Lazy): no
+	// all-pairs computation when the planner is built, and link mutations
+	// between candidates evict rows instead of recomputing them. Candidate
+	// re-federations read the same answers either way; this exists so a
+	// planner over a 10k–100k-node overlay costs nothing until a hotspot
+	// actually fires.
+	Lazy bool
 	// Metrics, when non-nil, receives planner counters
 	// (reopt_migrations_total, reopt_vetoes_total, reopt_failures_total,
 	// reopt_steps_total).
@@ -97,7 +104,7 @@ func NewPlanner(alloc *provision.Allocator, ledger *Ledger, boot *overlay.Overla
 		ledger:     ledger,
 		det:        NewDetector(cfg.Detector),
 		cfg:        cfg,
-		sess:       session.New(boot, session.Options{Workers: cfg.Workers}),
+		sess:       session.New(boot, session.Options{Workers: cfg.Workers, Lazy: cfg.Lazy, Metrics: cfg.Metrics}),
 		applied:    make(map[Link]int64),
 		steps:      reg.Counter("reopt_steps_total"),
 		migrations: reg.Counter("reopt_migrations_total"),

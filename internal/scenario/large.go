@@ -1,0 +1,160 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sflow/internal/overlay"
+	"sflow/internal/require"
+)
+
+// LargeConfig controls direct large-overlay generation. Generate's
+// underlay-plus-placement pipeline pairs instances O(instances²), which is
+// fine at evaluation sizes and hopeless at 50k nodes; GenerateLarge builds
+// the service overlay itself — no underlay — in O(nodes · degree).
+type LargeConfig struct {
+	// Seed makes the scenario fully reproducible.
+	Seed int64
+	// Nodes is the overlay's instance count (>= 4).
+	Nodes int
+	// Services is the length of the path requirement (default 6; the
+	// required services are 1..Services). Only
+	// (Services-1) * InstancesPerService + 1 of the nodes populate slots of
+	// the requirement; every other node provides the relay service
+	// Services+1, which can appear inside routes but never in a slot — the
+	// shape that makes lazy routing pay, since only slot rows are ever read.
+	Services int
+	// InstancesPerService is the slot width of each non-source required
+	// service (default 3). The source service has one instance, NID 0.
+	InstancesPerService int
+	// Degree is how many random out-links each node gets on top of the ring
+	// backbone (default 3).
+	Degree int
+	// BandwidthTiers is the size of the discrete bandwidth palette links
+	// draw from (default 6). Shortest-widest phase 2 runs one Dijkstra per
+	// distinct width class a row reaches, so a small palette keeps per-row
+	// cost flat while still giving the algorithms real choices.
+	BandwidthTiers int
+}
+
+func (c LargeConfig) withDefaults() LargeConfig {
+	if c.Services == 0 {
+		c.Services = 6
+	}
+	if c.InstancesPerService == 0 {
+		c.InstancesPerService = 3
+	}
+	if c.Degree == 0 {
+		c.Degree = 3
+	}
+	if c.BandwidthTiers == 0 {
+		c.BandwidthTiers = 6
+	}
+	return c
+}
+
+// GenerateLarge builds a large-overlay scenario directly: Nodes service
+// instances wired by a deterministic ring backbone (0 → 1 → … → n-1 → 0, so
+// the overlay is strongly connected and every slot pair is reachable) plus
+// Degree random out-links per node, with bandwidths drawn from a small tier
+// palette and latencies in [1, 100]. The requirement is a Services-long path;
+// its slot instances are spread evenly across the id space, and every
+// remaining node provides the relay service Services+1 (outside the
+// requirement, whose services are numbered 1..Services). Scenario.Under is
+// nil — there is no underlay. The same config always yields the same
+// scenario.
+func GenerateLarge(cfg LargeConfig) (*Scenario, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Nodes < 4 {
+		return nil, fmt.Errorf("scenario: large overlay needs >= 4 nodes, got %d", cfg.Nodes)
+	}
+	if cfg.Services < 2 {
+		return nil, fmt.Errorf("scenario: services %d < 2", cfg.Services)
+	}
+	if cfg.InstancesPerService < 1 {
+		return nil, fmt.Errorf("scenario: instances per service %d < 1", cfg.InstancesPerService)
+	}
+	slots := (cfg.Services-1)*cfg.InstancesPerService + 1
+	if slots >= cfg.Nodes {
+		return nil, fmt.Errorf("scenario: %d slot instances need more than %d nodes", slots, cfg.Nodes)
+	}
+	req, err := require.GeneratePath(cfg.Services)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Slot placement: NID 0 is the source instance; the other required
+	// services get InstancesPerService instances each, spread evenly across
+	// the id space so routes between consecutive slots are real multi-hop
+	// paths, not neighbors.
+	sidOf := make([]int, cfg.Nodes)
+	relaySID := cfg.Services + 1 // GeneratePath uses 1..Services; this is outside
+	for i := range sidOf {
+		sidOf[i] = relaySID
+	}
+	sidOf[0] = req.Source()
+	stride := cfg.Nodes / slots
+	pos := stride
+	for _, sid := range req.Services() {
+		if sid == req.Source() {
+			continue
+		}
+		for k := 0; k < cfg.InstancesPerService; k++ {
+			for sidOf[pos%cfg.Nodes] != relaySID {
+				pos++ // skip already-assigned ids (only near the wrap)
+			}
+			sidOf[pos%cfg.Nodes] = sid
+			pos += stride
+		}
+	}
+
+	ov := overlay.New()
+	for nid := 0; nid < cfg.Nodes; nid++ {
+		if err := ov.AddInstance(nid, sidOf[nid], nid); err != nil {
+			return nil, err
+		}
+	}
+
+	// Bandwidth palette: BandwidthTiers values evenly spaced in [100, 10000],
+	// the range the evaluation underlays use.
+	tiers := make([]int64, cfg.BandwidthTiers)
+	for i := range tiers {
+		if cfg.BandwidthTiers == 1 {
+			tiers[i] = 10000
+			break
+		}
+		tiers[i] = 100 + int64(i)*(9900/int64(cfg.BandwidthTiers-1))
+	}
+	link := func(from, to int) error {
+		if from == to || ov.HasLink(from, to) {
+			return nil
+		}
+		return ov.AddLink(from, to, tiers[rng.Intn(len(tiers))], 1+int64(rng.Intn(100)))
+	}
+	for nid := 0; nid < cfg.Nodes; nid++ {
+		if err := link(nid, (nid+1)%cfg.Nodes); err != nil {
+			return nil, err
+		}
+	}
+	for nid := 0; nid < cfg.Nodes; nid++ {
+		for d := 0; d < cfg.Degree; d++ {
+			if err := link(nid, rng.Intn(cfg.Nodes)); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	return &Scenario{
+		Config: Config{
+			Seed:                cfg.Seed,
+			NetworkSize:         cfg.Nodes,
+			Services:            cfg.Services,
+			InstancesPerService: cfg.InstancesPerService,
+			Kind:                KindPath,
+		},
+		Overlay:   ov,
+		Req:       req,
+		SourceNID: 0,
+	}, nil
+}

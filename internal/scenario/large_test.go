@@ -1,0 +1,136 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestGenerateLargeDeterministic(t *testing.T) {
+	cfg := LargeConfig{Seed: 7, Nodes: 80, Services: 4, InstancesPerService: 2}
+	a, err := GenerateLarge(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateLarge(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Overlay.Links(), b.Overlay.Links()) {
+		t.Fatal("same config produced different link sets")
+	}
+	if !reflect.DeepEqual(a.Overlay.Instances(), b.Overlay.Instances()) {
+		t.Fatal("same config produced different instances")
+	}
+	c, err := GenerateLarge(LargeConfig{Seed: 8, Nodes: 80, Services: 4, InstancesPerService: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Overlay.Links(), c.Overlay.Links()) {
+		t.Fatal("different seeds produced identical link sets")
+	}
+}
+
+func TestGenerateLargeInvariants(t *testing.T) {
+	cfg := LargeConfig{Seed: 3, Nodes: 90, Services: 5, InstancesPerService: 3, Degree: 2, BandwidthTiers: 4}
+	s, err := GenerateLarge(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Under != nil {
+		t.Fatal("large scenario should have no underlay")
+	}
+	if s.SourceNID != 0 {
+		t.Fatalf("source NID = %d, want 0", s.SourceNID)
+	}
+	if got := s.Overlay.NumInstances(); got != cfg.Nodes {
+		t.Fatalf("instances = %d, want %d", got, cfg.Nodes)
+	}
+	if got := len(s.Req.Services()); got != cfg.Services {
+		t.Fatalf("requirement has %d services, want %d", got, cfg.Services)
+	}
+	// Slot placement: one source instance, InstancesPerService per other
+	// required service, everything else on the relay service.
+	slots := 1
+	for _, sid := range s.Req.Services() {
+		want := cfg.InstancesPerService
+		if sid == s.Req.Source() {
+			want = 1
+		} else {
+			slots += cfg.InstancesPerService
+		}
+		if got := len(s.Overlay.InstancesOf(sid)); got != want {
+			t.Fatalf("service %d has %d instances, want %d", sid, got, want)
+		}
+	}
+	if got := len(s.Overlay.InstancesOf(cfg.Services + 1)); got != cfg.Nodes-slots {
+		t.Fatalf("relay service has %d instances, want %d", got, cfg.Nodes-slots)
+	}
+	if s.Overlay.SIDOf(0) != s.Req.Source() {
+		t.Fatal("NID 0 does not provide the source service")
+	}
+	// Ring backbone keeps the overlay strongly connected.
+	for nid := 0; nid < cfg.Nodes; nid++ {
+		if !s.Overlay.HasLink(nid, (nid+1)%cfg.Nodes) {
+			t.Fatalf("missing ring link %d -> %d", nid, (nid+1)%cfg.Nodes)
+		}
+	}
+	// Link metrics come from the tier palette and the [1,100] latency range.
+	tiers := map[int64]bool{}
+	for i := 0; i < cfg.BandwidthTiers; i++ {
+		tiers[100+int64(i)*(9900/int64(cfg.BandwidthTiers-1))] = true
+	}
+	for _, l := range s.Overlay.Links() {
+		if !tiers[l.Bandwidth] {
+			t.Fatalf("link %d->%d bandwidth %d outside the %d-tier palette", l.From, l.To, l.Bandwidth, cfg.BandwidthTiers)
+		}
+		if l.Latency < 1 || l.Latency > 100 {
+			t.Fatalf("link %d->%d latency %d outside [1,100]", l.From, l.To, l.Latency)
+		}
+		if l.From == l.To {
+			t.Fatalf("self-link at %d", l.From)
+		}
+	}
+}
+
+func TestGenerateLargeDefaults(t *testing.T) {
+	s, err := GenerateLarge(LargeConfig{Seed: 1, Nodes: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Req.Services()); got != 6 {
+		t.Fatalf("default requirement length = %d, want 6", got)
+	}
+	// Default InstancesPerService is 3: slots = 5*3+1 = 16; the relay
+	// service is 7, one past the requirement's services 1..6.
+	if got := len(s.Overlay.InstancesOf(7)); got != 50-16 {
+		t.Fatalf("relay instances = %d, want %d", got, 50-16)
+	}
+	if s.Config.Kind != KindPath {
+		t.Fatalf("kind = %v, want path", s.Config.Kind)
+	}
+}
+
+func TestGenerateLargeSingleTier(t *testing.T) {
+	s, err := GenerateLarge(LargeConfig{Seed: 2, Nodes: 30, Services: 3, InstancesPerService: 2, BandwidthTiers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range s.Overlay.Links() {
+		if l.Bandwidth != 10000 {
+			t.Fatalf("single-tier palette produced bandwidth %d", l.Bandwidth)
+		}
+	}
+}
+
+func TestGenerateLargeRejections(t *testing.T) {
+	for name, cfg := range map[string]LargeConfig{
+		"too few nodes":      {Seed: 1, Nodes: 3},
+		"one service":        {Seed: 1, Nodes: 20, Services: 1},
+		"zero instances":     {Seed: 1, Nodes: 20, InstancesPerService: -1},
+		"slots beyond nodes": {Seed: 1, Nodes: 10, Services: 6, InstancesPerService: 3},
+	} {
+		if _, err := GenerateLarge(cfg); err == nil {
+			t.Errorf("%s: config accepted", name)
+		}
+	}
+}

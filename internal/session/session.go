@@ -42,6 +42,13 @@ type Options struct {
 	// Metrics, when non-nil, receives session counters (events by kind,
 	// recomputed vs saved sources) and a volatile flush-latency histogram.
 	Metrics *metrics.Registry
+	// Lazy maintains the shortest-widest table demand-driven instead of
+	// eagerly: no all-pairs computation runs at session start, rows
+	// materialize the first time a solve reads them, and churn evicts (never
+	// recomputes) exactly the affected rows. Answers are byte-identical to
+	// eager mode for every row read. This is the mode for 10k–100k-node
+	// overlays, where the full N² table is neither affordable nor needed.
+	Lazy bool
 }
 
 // Stats accumulates what a session did over its lifetime. All fields are
@@ -57,6 +64,10 @@ type Stats struct {
 	// SavedSources counts the per-source runs a from-scratch rebuild would
 	// have performed at each flush but the incremental maintenance skipped.
 	SavedSources int64
+	// EvictedRows counts the materialized rows churn invalidated in lazy
+	// mode (lazy flushes evict instead of recomputing; the other flush
+	// counters above stay zero in lazy mode).
+	EvictedRows int64
 }
 
 // Session owns a private copy of an overlay and keeps its all-pairs
@@ -80,6 +91,7 @@ type Stats struct {
 type Session struct {
 	ov      *overlay.Overlay
 	inc     *qos.Incremental
+	lazy    bool
 	workers int
 	reg     *metrics.Registry
 	stats   Stats
@@ -110,9 +122,14 @@ func (s *Session) exit() { s.inUse.Store(0) }
 // caller's overlay do not affect the session, and vice versa).
 func New(ov *overlay.Overlay, opts Options) *Session {
 	own := ov.Clone()
+	inc := qos.NewIncremental
+	if opts.Lazy {
+		inc = qos.NewIncrementalLazy
+	}
 	s := &Session{
 		ov:      own,
-		inc:     qos.NewIncremental(own, opts.Workers, opts.Metrics),
+		inc:     inc(own, opts.Workers, opts.Metrics),
+		lazy:    opts.Lazy,
 		workers: opts.Workers,
 		reg:     opts.Metrics,
 	}
@@ -128,6 +145,9 @@ func New(ov *overlay.Overlay, opts Options) *Session {
 // mutating it directly (instead of through the session's event methods)
 // silently invalidates the maintained caches.
 func (s *Session) Overlay() *overlay.Overlay { return s.ov }
+
+// Lazy reports whether the session maintains its table demand-driven.
+func (s *Session) Lazy() bool { return s.lazy }
 
 // Stats returns what the session has done so far.
 func (s *Session) Stats() Stats { return s.stats }
@@ -245,8 +265,12 @@ func (s *Session) flush() int {
 	n := s.inc.Flush()
 	s.flushUS.Observe(time.Since(start).Microseconds())
 	s.stats.Flushes++
-	s.stats.RecomputedSources += int64(n)
-	s.stats.SavedSources += int64(s.ov.NumInstances() - n)
+	if s.lazy {
+		s.stats.EvictedRows += int64(n)
+	} else {
+		s.stats.RecomputedSources += int64(n)
+		s.stats.SavedSources += int64(s.ov.NumInstances() - n)
+	}
 	return n
 }
 
@@ -258,14 +282,27 @@ func (s *Session) Dirty() []int {
 }
 
 // AllPairs flushes pending recomputation and returns the maintained
-// shortest-widest table. It equals a from-scratch qos.ComputeAllPairs on the
-// current overlay, byte for byte. The returned table is the live maintained
-// one — later events move it; use Snapshot for an immutable view.
+// shortest-widest table in eager form. It equals a from-scratch
+// qos.ComputeAllPairs on the current overlay, byte for byte. In lazy mode
+// this materializes every row — use Table for demand-driven reads. The
+// returned table is the live maintained one in eager mode — later events
+// move it; use Snapshot for an immutable view.
 func (s *Session) AllPairs() *qos.AllPairs {
 	s.enter("AllPairs")
 	defer s.exit()
 	s.flush()
 	return s.inc.AllPairs()
+}
+
+// Table flushes pending invalidation and returns the maintained table
+// without forcing materialization: in lazy mode rows still compute only when
+// read. The returned table is the live maintained one — later events move
+// it; use Snapshot for an immutable view.
+func (s *Session) Table() qos.Table {
+	s.enter("Table")
+	defer s.exit()
+	s.flush()
+	return s.inc.Table()
 }
 
 // Abstract flushes pending recomputation and returns the service abstract
@@ -276,7 +313,7 @@ func (s *Session) Abstract(req *require.Requirement) (*abstract.Graph, error) {
 	s.enter("Abstract")
 	defer s.exit()
 	s.flush()
-	ag, err := abstract.FromAllPairs(s.ov, req, s.inc.AllPairs())
+	ag, err := abstract.FromAllPairs(s.ov, req, s.inc.Table())
 	if err != nil {
 		return nil, fmt.Errorf("session: %w", err)
 	}
@@ -295,9 +332,12 @@ type Snapshot struct {
 	// Overlay is a private clone; the session's later mutations do not
 	// touch it. Readers must still treat it as read-only among themselves.
 	Overlay *overlay.Overlay
-	// AllPairs equals qos.ComputeAllPairs(Overlay) byte for byte and shares
-	// no mutable state with the session's live table.
-	AllPairs *qos.AllPairs
+	// AllPairs answers exactly like qos.ComputeAllPairs(Overlay) for every
+	// row read and shares no mutable state with the session's live table. In
+	// eager mode it is a *qos.AllPairs; in lazy mode a pinned
+	// *qos.LazyAllPairs that computes still-missing rows on demand from the
+	// snapshot's own frozen graph (safe for concurrent readers either way).
+	AllPairs qos.Table
 }
 
 // Snapshot flushes pending recomputation and publishes the current state as
@@ -310,10 +350,16 @@ func (s *Session) Snapshot() *Snapshot {
 	defer s.exit()
 	s.flush()
 	s.epoch++
+	var table qos.Table
+	if s.lazy {
+		table = s.inc.Lazy().Snapshot()
+	} else {
+		table = s.inc.AllPairs().Snapshot()
+	}
 	return &Snapshot{
 		Epoch:    s.epoch,
 		Overlay:  s.ov.Clone(),
-		AllPairs: s.inc.AllPairs().Snapshot(),
+		AllPairs: table,
 	}
 }
 

@@ -27,7 +27,7 @@ func TestSnapshotIsConsistentAndImmutable(t *testing.T) {
 			snaps = append(snaps, sn)
 			frozen = append(frozen, qos.ComputeAllPairsWorkers(sn.Overlay, 1))
 			// Internal consistency at capture time.
-			if !sn.AllPairs.Equal(frozen[len(frozen)-1]) {
+			if !qos.TablesEqual(sn.AllPairs, frozen[len(frozen)-1]) {
 				t.Fatalf("snapshot %d: table does not match its own overlay", len(snaps)-1)
 			}
 		}
@@ -41,10 +41,10 @@ func TestSnapshotIsConsistentAndImmutable(t *testing.T) {
 	}
 	// After all the churn, every snapshot still answers from its own epoch.
 	for i, sn := range snaps {
-		if !sn.AllPairs.Equal(frozen[i]) {
+		if !qos.TablesEqual(sn.AllPairs, frozen[i]) {
 			t.Fatalf("snapshot %d moved under later session events", i)
 		}
-		if want := qos.ComputeAllPairsWorkers(sn.Overlay, 1); !sn.AllPairs.Equal(want) {
+		if want := qos.ComputeAllPairsWorkers(sn.Overlay, 1); !qos.TablesEqual(sn.AllPairs, want) {
 			t.Fatalf("snapshot %d: overlay mutated after publication", i)
 		}
 	}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package sflow
+
+// raceEnabled reports whether this test binary runs under the race detector;
+// wall-clock-bounded tests skip themselves when it is on.
+const raceEnabled = false

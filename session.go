@@ -61,7 +61,13 @@ func (s *Session) Solve(name string, req *Requirement, src int, opts SolveOption
 		if n := ov.NumInstances(); k > n {
 			k = n
 		}
-		r, err := cluster.Federate(ov, req, src, k)
+		var r *cluster.Result
+		var err error
+		if opts.Contracted {
+			r, err = cluster.FederateContracted(ov, req, src, k, opts.Workers)
+		} else {
+			r, err = cluster.FederateWith(ov, req, src, k, cluster.Options{Lazy: s.Session.Lazy(), Workers: opts.Workers})
+		}
 		if err != nil {
 			return nil, err
 		}

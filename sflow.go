@@ -102,6 +102,9 @@ type (
 	Scenario = scenario.Scenario
 	// ScenarioConfig controls scenario generation.
 	ScenarioConfig = scenario.Config
+	// LargeScenarioConfig controls direct large-overlay generation (10k–100k
+	// nodes, no underlay).
+	LargeScenarioConfig = scenario.LargeConfig
 	// ScenarioKind selects the requirement shape of a generated scenario.
 	ScenarioKind = scenario.Kind
 	// ExperimentConfig controls an evaluation sweep.
@@ -162,6 +165,14 @@ func BuildOverlay(under *Network, placements []Placement, compat *Compatibility)
 
 // GenerateScenario builds a complete reproducible workload.
 func GenerateScenario(cfg ScenarioConfig) (*Scenario, error) { return scenario.Generate(cfg) }
+
+// GenerateLargeScenario builds a large-overlay workload directly (ring
+// backbone plus random links, tiered bandwidths, a path requirement whose
+// slot instances are spread across the id space) in O(nodes · degree) — the
+// input regime for SolveOptions.Lazy and the contracted hierarchical path.
+func GenerateLargeScenario(cfg LargeScenarioConfig) (*Scenario, error) {
+	return scenario.GenerateLarge(cfg)
+}
 
 // Federate runs the distributed sFlow algorithm: the source instance
 // receives the requirement and sfederate messages propagate through the
@@ -283,6 +294,7 @@ var (
 	FaultSweep        = experiments.FaultSweep
 	DynamicsSweep     = experiments.Dynamics
 	ReoptSweep        = experiments.Reopt
+	ScaleSweep        = experiments.Scale
 	AllExperiments    = experiments.All
 	ExperimentReport  = experiments.Report
 	ParseScenarioKind = scenario.ParseKind

@@ -62,6 +62,23 @@ type SolveOptions struct {
 	// Metrics, when non-nil, collects instrumentation from the build and
 	// the algorithm run.
 	Metrics *Metrics
+	// Lazy routes demand-driven: no all-pairs computation runs up front, and
+	// only the shortest-widest rows the chosen algorithm actually reads —
+	// the rows of instances populating service slots — are computed. Answers
+	// are byte-identical to eager mode for every algorithm; the cost stops
+	// scaling with overlay size, which is what makes 10k–100k-node overlays
+	// interactive. For "hierarchical", Lazy prices clusters and solves the
+	// intra-cluster problem from lazy tables.
+	Lazy bool
+	// Contracted switches the "hierarchical" algorithm to the large-overlay
+	// fast path: O(E) BFS clustering, inter-cluster routing on the
+	// contracted k-node cluster digraph, and a lazily expanded
+	// instance-level solve inside the chosen clusters. Cluster pairs are
+	// priced by their best boundary link rather than exact member-pair
+	// routes, so flows may differ from the classic hierarchical algorithm
+	// (they remain valid federations with exact instance-level routes).
+	// Ignored by the other algorithms.
+	Contracted bool
 }
 
 // ErrUnknownAlgorithm is returned by Solve for a name outside Algorithms().
@@ -85,6 +102,9 @@ type PartialFederationError = core.PartialFederationError
 // algorithm, mapping build failures (a required service without instances)
 // onto the facade's (nil, Unreachable, error) convention.
 func buildAbstract(ov *Overlay, req *Requirement, opts SolveOptions) (*abstract.Graph, error) {
+	if opts.Lazy {
+		return abstract.BuildLazy(ov, req, opts.Workers, opts.Metrics)
+	}
 	return abstract.BuildWorkersMetrics(ov, req, opts.Workers, opts.Metrics)
 }
 
@@ -181,7 +201,13 @@ func Solve(name string, ov *Overlay, req *Requirement, src int, opts SolveOption
 		if n := ov.NumInstances(); k > n {
 			k = n
 		}
-		r, err := cluster.Federate(ov, req, src, k)
+		var r *cluster.Result
+		var err error
+		if opts.Contracted {
+			r, err = cluster.FederateContracted(ov, req, src, k, opts.Workers)
+		} else {
+			r, err = cluster.FederateWith(ov, req, src, k, cluster.Options{Lazy: opts.Lazy, Workers: opts.Workers})
+		}
 		if err != nil {
 			return nil, err
 		}
