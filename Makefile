@@ -12,7 +12,7 @@ FUZZTIME ?= 30s
 # artifact when a gate fails (compare against the committed baseline offline).
 FRESHDIR ?= .bench-fresh
 
-.PHONY: all build test race race-hot race-session race-daemon race-admit race-reopt race-lazy check smoke cover cover-check bench bench-hotpath bench-json bench-check bench-admit bench-reopt reopt-check bench-lazy lazy-check serve-bench serve-check vet fmt fmt-check lint staticcheck vulncheck fuzz figures examples clean
+.PHONY: all build test race race-hot race-session race-daemon race-admit race-reopt race-lazy check smoke cover cover-check bench bench-hotpath bench-json bench-check bench-kernel bench-admit bench-reopt reopt-check bench-lazy lazy-check serve-bench serve-check vet fmt fmt-check lint staticcheck vulncheck fuzz figures examples clean
 
 all: build test
 
@@ -128,6 +128,22 @@ bench-check:
 		| $(GO) run ./cmd/benchjson -compare results/BENCH_hotpath.json \
 			-match '$(GATEBENCH)' -normalize 'BenchmarkAllPairs/engine=map/n=120' -threshold 1.25
 
+# Tiered-kernel gate: the per-row shortest-widest sweep across bandwidth
+# palette sizes (tiers 1, 3, 6, 12 on a 2000-node GenerateLarge-shaped
+# graph), gated against the committed BENCH_hotpath.json baseline. The tier
+# sweep is what the phase-2 early exit and the monotone bucket queue exist
+# for, so it gets its own CI leg; the same calibration normalization as
+# bench-check cancels runner speed out. The sweep also matches HOTBENCH (the
+# regex BenchmarkShortestWidest is a prefix of its name), so bench-json
+# records its baseline alongside the other kernels.
+KERNELBENCH ?= BenchmarkShortestWidestTiers|BenchmarkAllPairs
+bench-kernel:
+	@mkdir -p $(FRESHDIR)
+	$(GO) test -run '^$$' -bench '$(KERNELBENCH)' -benchtime 0.2s -count $(BENCHCOUNT) ./internal/qos/ \
+		| tee $(FRESHDIR)/bench-kernel.txt \
+		| $(GO) run ./cmd/benchjson -compare results/BENCH_hotpath.json \
+			-match 'BenchmarkShortestWidestTiers' -normalize 'BenchmarkAllPairs/engine=map/n=120' -threshold 1.25
+
 # Admission-throughput record: sequential and parallel admit+release cycles
 # through the capacity allocator, serialized with benchjson (min ns/op over
 # $(BENCHCOUNT) runs). Regenerate and commit when the allocator changes on
@@ -240,9 +256,10 @@ vulncheck:
 	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
 
 # Short-budget fuzzing of the codec trust boundaries (TCP frame reader,
-# protocol wire codec and the reliability wrapper, CSR freeze round-trip)
-# and the two incremental-invalidation oracles (link-state views, lazy
-# routing rows).
+# protocol wire codec and the reliability wrapper, CSR freeze round-trip),
+# the two incremental-invalidation oracles (link-state views, lazy routing
+# rows — the latter with a bounded LRU table running the same trace), and
+# the bucket-vs-heap kernel equivalence over fuzz-built graphs.
 fuzz:
 	$(GO) test ./internal/transport -run '^$$' -fuzz FuzzReadFrame -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/transport -run '^$$' -fuzz FuzzFrameRoundTrip -fuzztime $(FUZZTIME)
@@ -251,6 +268,7 @@ fuzz:
 	$(GO) test ./internal/linkstate -run '^$$' -fuzz FuzzLinkstateIncremental -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/csr -run '^$$' -fuzz FuzzFreezeRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/qos -run '^$$' -fuzz FuzzLazyInvalidation -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/qos -run '^$$' -fuzz FuzzBucketQueue -fuzztime $(FUZZTIME)
 
 # Regenerate every reproduced figure (tables + CSV + SVG under results/).
 figures:

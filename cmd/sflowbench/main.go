@@ -54,6 +54,8 @@ func run(args []string, out io.Writer) error {
 			"serve net/http/pprof on this address (e.g. localhost:6060) for the duration of the run")
 		lazy = fs.Bool("lazy", false,
 			"demand-driven single-solve mode: for each -sizes entry, generate a large overlay directly (ring backbone + random links, path requirement) and federate it once with lazy routing, printing rows computed and wall time; ignores -fig")
+		maxRows = fs.Int("max-rows", 0,
+			"with -lazy: solve through a session whose resident row cache is bounded to this many rows (LRU eviction; 0 = unbounded stateless solve)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -120,7 +122,10 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *lazy {
-		return runLazy(out, sz, *seed, *services, *workers)
+		return runLazy(out, sz, *seed, *services, *workers, *maxRows)
+	}
+	if *maxRows > 0 {
+		return fmt.Errorf("-max-rows bounds the lazy row cache and requires -lazy")
 	}
 
 	var series []*sflow.Series
@@ -209,10 +214,17 @@ func sizesFlagSet(fs *flag.FlagSet) bool {
 
 // runLazy is the -lazy single-solve mode: one demand-driven federation per
 // overlay size, demonstrating interactive solves in the 10k–100k-node regime
-// (cost scales with the rows read — slot instances — not overlay size).
-func runLazy(out io.Writer, sizes []int, seed int64, services, workers int) error {
-	fmt.Fprintf(out, "%-12s %12s %12s %12s %14s %12s\n",
-		"nodes", "links", "rows", "bandwidth", "latency", "wall")
+// (cost scales with the rows read — slot instances — not overlay size). With
+// maxRows > 0 the solve runs through a session whose row cache is bounded,
+// and the table gains an lru_evicted column showing what the bound dropped.
+func runLazy(out io.Writer, sizes []int, seed int64, services, workers, maxRows int) error {
+	if maxRows > 0 {
+		fmt.Fprintf(out, "%-12s %12s %12s %12s %12s %14s %12s\n",
+			"nodes", "links", "rows", "lru_evicted", "bandwidth", "latency", "wall")
+	} else {
+		fmt.Fprintf(out, "%-12s %12s %12s %12s %14s %12s\n",
+			"nodes", "links", "rows", "bandwidth", "latency", "wall")
+	}
 	for _, n := range sizes {
 		sc, err := sflow.GenerateLargeScenario(sflow.LargeScenarioConfig{
 			Seed: seed, Nodes: n, Services: services,
@@ -222,20 +234,37 @@ func runLazy(out io.Writer, sizes []int, seed int64, services, workers int) erro
 		}
 		reg := sflow.NewMetrics()
 		start := time.Now()
-		sol, err := sflow.Solve("heuristic", sc.Overlay, sc.Req, sc.SourceNID,
-			sflow.SolveOptions{Lazy: true, Workers: workers, Metrics: reg})
+		var sol *sflow.Solution
+		if maxRows > 0 {
+			sess := sflow.NewSession(sc.Overlay, sflow.SessionOptions{
+				Lazy: true, MaxRows: maxRows, Workers: workers, Metrics: reg,
+			})
+			sol, err = sess.Solve("heuristic", sc.Req, sc.SourceNID,
+				sflow.SolveOptions{Workers: workers})
+		} else {
+			sol, err = sflow.Solve("heuristic", sc.Overlay, sc.Req, sc.SourceNID,
+				sflow.SolveOptions{Lazy: true, Workers: workers, Metrics: reg})
+		}
 		wall := time.Since(start)
 		if err != nil {
 			return fmt.Errorf("n=%d: %w", n, err)
 		}
-		var rows int64
+		var rows, lruEvicted int64
 		for _, c := range reg.Snapshot().Counters {
-			if c.Key == "qos_lazy_rows_computed_total" {
+			switch c.Key {
+			case "qos_lazy_rows_computed_total":
 				rows = c.Value
+			case "qos_lazy_lru_evicted_rows_total":
+				lruEvicted = c.Value
 			}
 		}
-		fmt.Fprintf(out, "%-12d %12d %12d %12d %14d %12s\n",
-			n, sc.Overlay.NumLinks(), rows, sol.Metric.Bandwidth, sol.Metric.Latency, wall.Round(time.Millisecond))
+		if maxRows > 0 {
+			fmt.Fprintf(out, "%-12d %12d %12d %12d %12d %14d %12s\n",
+				n, sc.Overlay.NumLinks(), rows, lruEvicted, sol.Metric.Bandwidth, sol.Metric.Latency, wall.Round(time.Millisecond))
+		} else {
+			fmt.Fprintf(out, "%-12d %12d %12d %12d %14d %12s\n",
+				n, sc.Overlay.NumLinks(), rows, sol.Metric.Bandwidth, sol.Metric.Latency, wall.Round(time.Millisecond))
+		}
 	}
 	return nil
 }

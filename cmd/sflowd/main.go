@@ -78,6 +78,7 @@ func run(args []string) error {
 		workers   = fs.Int("workers", 0, "recompute fan-out (0 = GOMAXPROCS)")
 		lazy      = fs.Bool("lazy", false, "demand-driven routing: no all-pairs computation at boot, rows materialize on first read, churn evicts instead of recomputing (for -large overlays)")
 		large     = fs.Int("large", 0, "serve a directly generated large overlay with this many nodes instead of the underlay scenario (path requirement; pair with -lazy)")
+		maxRows   = fs.Int("max-rows", 0, "bound the lazy row cache: keep at most this many materialized routing rows, LRU-evicting beyond it (0 = unbounded; requires -lazy)")
 
 		classes = fs.Int("classes", 1, "number of admission priority classes")
 		quota   = fs.String("quota", "", "per-class admission quotas, comma-separated (0 = unlimited), e.g. 100,50")
@@ -95,6 +96,9 @@ func run(args []string) error {
 	quotas, err := parseQuotas(*quota)
 	if err != nil {
 		return err
+	}
+	if *maxRows > 0 && !*lazy {
+		return fmt.Errorf("-max-rows bounds the lazy row cache and requires -lazy")
 	}
 
 	k, err := sflow.ParseScenarioKind(*kind)
@@ -122,6 +126,7 @@ func run(args []string) error {
 	srv := daemon.New(sc.Overlay, daemon.Options{
 		Workers: *workers,
 		Lazy:    *lazy,
+		MaxRows: *maxRows,
 		Metrics: reg,
 		Admission: provision.AllocatorOptions{
 			Classes:          *classes,

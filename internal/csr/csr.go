@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 )
 
 // Arc is one out-edge in thawed (adjacency-list) form.
@@ -39,8 +40,24 @@ type Graph struct {
 	BW  []int64 // arc bandwidths (Kbit/s); <= 0 means unusable, kept verbatim
 	Lat []int64 // arc latencies (microseconds)
 
+	// MinLat and MaxLat bound the latencies of the usable arcs (BW > 0),
+	// computed once at freeze time. Kernel implementations use them to pick a
+	// queue discipline — a bounded non-negative integer range admits a
+	// monotone bucket queue. Both are zero when no usable arc exists.
+	MinLat int64
+	MaxLat int64
+
+	// Gen is a process-unique freeze generation, bumped on every (re-)freeze.
+	// FreezeInto reuses Graph values in place, so callers caching data derived
+	// from a frozen graph key their caches on (pointer, Gen), not the pointer
+	// alone. Never consulted by any computation — purely a cache-validity tag.
+	Gen uint64
+
 	idx map[int]int32 // external node id -> dense index
 }
+
+// freezeGen numbers freezes process-wide (see Graph.Gen).
+var freezeGen atomic.Uint64
 
 // Freeze builds the CSR form of a digraph. nodes lists the external node
 // identifiers in the order that becomes the dense index order; arcs must call
@@ -84,6 +101,8 @@ func FreezeInto(g *Graph, nodes []int, arcs func(u int, emit func(to int, bw, la
 	g.To = g.To[:0]
 	g.BW = g.BW[:0]
 	g.Lat = g.Lat[:0]
+	g.MinLat = math.MaxInt64
+	g.MaxLat = math.MinInt64
 	emit := func(to int, bw, lat int64) {
 		j, ok := g.idx[to]
 		if !ok {
@@ -100,6 +119,14 @@ func FreezeInto(g *Graph, nodes []int, arcs func(u int, emit func(to int, bw, la
 		g.To = append(g.To, j)
 		g.BW = append(g.BW, bw)
 		g.Lat = append(g.Lat, lat)
+		if bw > 0 {
+			if lat < g.MinLat {
+				g.MinLat = lat
+			}
+			if lat > g.MaxLat {
+				g.MaxLat = lat
+			}
+		}
 	}
 	for _, u := range nodes {
 		arcs(u, emit)
@@ -109,6 +136,10 @@ func FreezeInto(g *Graph, nodes []int, arcs func(u int, emit func(to int, bw, la
 	for len(g.Off) < len(g.IDs)+1 {
 		g.Off = append(g.Off, int32(len(g.To)))
 	}
+	if g.MinLat > g.MaxLat { // no usable arc
+		g.MinLat, g.MaxLat = 0, 0
+	}
+	g.Gen = freezeGen.Add(1)
 	return g
 }
 

@@ -64,6 +64,11 @@ type Options struct {
 	// materialize the first time a solve reads them, churn evicts instead of
 	// recomputing. Served answers are byte-identical to eager mode.
 	Lazy bool
+	// MaxRows bounds the lazy session's resident row cache (see
+	// session.Options.MaxRows): under a drifting read-set load the server
+	// holds at most MaxRows materialized rows per table, evicting the least
+	// recently read. <= 0 means unbounded; ignored unless Lazy is set.
+	MaxRows int
 	// Metrics, when non-nil, receives server counters and latency
 	// histograms in addition to the session's own instrumentation.
 	Metrics *metrics.Registry
@@ -170,7 +175,10 @@ func New(ov *overlay.Overlay, opts Options) *Server {
 		opts.Admission.Observer = ledger
 	}
 	s := &Server{
-		sess:      session.New(ov, session.Options{Workers: opts.Workers, Metrics: opts.Metrics, Lazy: opts.Lazy}),
+		sess: session.New(ov, session.Options{
+			Workers: opts.Workers, Metrics: opts.Metrics,
+			Lazy: opts.Lazy, MaxRows: opts.MaxRows,
+		}),
 		hook:      opts.PublishHook,
 		alloc:     provision.NewAllocator(ov, opts.Admission),
 		ledger:    ledger,
@@ -188,6 +196,7 @@ func New(ov *overlay.Overlay, opts Options) *Server {
 		MaxMovesPerLink: opts.Reopt.MaxMovesPerLink,
 		Workers:         opts.Workers,
 		Lazy:            opts.Lazy,
+		MaxRows:         opts.MaxRows,
 		Metrics:         opts.Metrics,
 	})
 	if reg := opts.Metrics; reg != nil {

@@ -155,6 +155,65 @@ func BenchmarkComputeAllPairsWorkers(b *testing.B) {
 	}
 }
 
+// largeTierGraph builds a GenerateLarge-shaped graph without importing the
+// scenario package: a ring backbone plus `degree` random extra links per
+// node, bandwidths drawn from an evenly spaced palette of `tiers` distinct
+// values and latencies in [1, 100] — the same shape (and the same small
+// integer latency range) the large-overlay generator produces.
+func largeTierGraph(n, degree, tiers int) *testGraph {
+	rng := rand.New(rand.NewSource(int64(31*n + tiers)))
+	palette := make([]int64, tiers)
+	for i := range palette {
+		if tiers == 1 {
+			palette[i] = 1000
+			continue
+		}
+		palette[i] = int64(100 + i*(9900/(tiers-1)))
+	}
+	g := newTestGraph()
+	for i := 0; i < n; i++ {
+		g.addNode(i)
+	}
+	link := func(u, v int) {
+		bw := palette[rng.Intn(tiers)]
+		lat := int64(1 + rng.Intn(100))
+		g.addArc(u, v, bw, lat)
+		g.addArc(v, u, bw, lat)
+	}
+	for i := 0; i < n; i++ {
+		link(i, (i+1)%n)
+	}
+	for i := 0; i < n; i++ {
+		for d := 0; d < degree; d++ {
+			if j := rng.Intn(n); j != i {
+				link(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// BenchmarkShortestWidestTiers prices one full shortest-widest row on a
+// GenerateLarge-shaped graph as the bandwidth palette widens: each distinct
+// width class costs one (early-exited) phase-2 latency run, so the tier count
+// is the kernel's per-row multiplier. tiers=1 is the single-class floor,
+// tiers=6 the GenerateLarge default the `make bench-kernel` gate watches,
+// tiers=12 the stress end.
+func BenchmarkShortestWidestTiers(b *testing.B) {
+	for _, tiers := range []int{1, 3, 6, 12} {
+		g := largeTierGraph(2000, 3, tiers)
+		b.Run(fmt.Sprintf("tiers=%d/n=2000", tiers), func(b *testing.B) {
+			cg := FreezeGraph(g)
+			sc := NewScratch()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ShortestWidestCSR(cg, i%2000, sc)
+			}
+		})
+	}
+}
+
 // BenchmarkIncrementalFlush prices the steady-state single-link-churn flush
 // the sessions run on: one out-list re-weighted, exact dirty set recomputed
 // on the re-frozen CSR with persistent per-worker scratches.

@@ -1,0 +1,70 @@
+package qos
+
+import (
+	"testing"
+)
+
+// FuzzBucketQueue pins bucket-vs-heap kernel Result byte equality over
+// fuzz-built graphs: every four bytes declare one arc (source, target,
+// bandwidth tier, latency) over a small fixed node set, and both the
+// shortest-widest and the latency kernel must answer identically — settle
+// order, distances, paths and the relaxation tally — with the queue
+// discipline forced each way. Latencies decode non-negative and small, so
+// every fuzz graph is inside the bucket regime (the auto heuristic would pick
+// the bucket queue too; forcing just removes the heuristic from the test).
+func FuzzBucketQueue(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 1, 1, 1, 2, 1, 1, 2, 0, 1, 1})               // triangle
+	f.Add([]byte{0, 1, 3, 0, 1, 2, 3, 0, 2, 3, 3, 0})               // zero-latency chain
+	f.Add([]byte{0, 1, 1, 5, 0, 1, 2, 5, 0, 1, 1, 9})               // parallel arcs
+	f.Add([]byte{0, 1, 0, 1, 1, 0, 1, 1, 2, 3, 2, 2})               // dead arc + island pair
+	f.Add([]byte{5, 0, 7, 40, 0, 5, 7, 40, 3, 4, 2, 0, 4, 3, 2, 0}) // two 2-cycles
+	f.Fuzz(func(t *testing.T, trace []byte) {
+		if len(trace) > 64 { // 16 arcs over 8 nodes is plenty of shape space
+			trace = trace[:64]
+		}
+		const n = 8
+		g := newTestGraph()
+		for i := 0; i < n; i++ {
+			g.addNode(i * 3) // gappy external ids
+		}
+		for i := 0; i+3 < len(trace); i += 4 {
+			u := int(trace[i]%n) * 3
+			v := int(trace[i+1]%n) * 3
+			// Bandwidth tier 0 decodes as a dead arc; latency stays in
+			// [0, 63] so the bucket window is small and zero-latency
+			// same-bucket settling is exercised.
+			bw := int64(trace[i+2] % 8)
+			lat := int64(trace[i+3] % 64)
+			if u != v {
+				g.addArc(u, v, bw*10, lat)
+			}
+		}
+
+		cg := FreezeGraph(g)
+		heapSC, bucketSC := NewScratch(), NewScratch()
+		heapSC.forceKernel = kernelHeap
+		bucketSC.forceKernel = kernelBucket
+		for _, src := range g.Nodes() {
+			idx, _ := cg.Index(src)
+			var relHeap, relBucket int64
+			heapSC.ensure(cg.Len())
+			bucketSC.ensure(cg.Len())
+			heapSC.denseWidest(cg, idx, &relHeap)
+			bucketSC.denseWidest(cg, idx, &relBucket)
+			if relHeap != relBucket {
+				t.Fatalf("src %d: widest relaxations diverged: heap %d, bucket %d", src, relHeap, relBucket)
+			}
+
+			hw := shortestWidestDense(cg, idx, heapSC, instr{})
+			bw := shortestWidestDense(cg, idx, bucketSC, instr{})
+			requireResultsEqual(t, "fuzz widest", bw, hw)
+			requireResultsEqual(t, "fuzz widest vs oracle", bw, ShortestWidest(g, src))
+
+			hl := ShortestLatencyCSR(cg, src, heapSC)
+			bl := ShortestLatencyCSR(cg, src, bucketSC)
+			requireResultsEqual(t, "fuzz latency", bl, hl)
+			requireResultsEqual(t, "fuzz latency vs oracle", bl, ShortestLatency(g, src))
+		}
+	})
+}

@@ -90,10 +90,17 @@ func NewIncremental(g Graph, workers int, reg *metrics.Registry) *Incremental {
 // Prefetch/Materialize fan-out. The mutation-report contract (OutChanged /
 // NodeAdded / NodeRemoved, single writer) is identical to eager mode.
 func NewIncrementalLazy(g Graph, workers int, reg *metrics.Registry) *Incremental {
+	return NewIncrementalLazyOpts(g, workers, LazyOptions{Metrics: reg})
+}
+
+// NewIncrementalLazyOpts is NewIncrementalLazy with the full lazy-table option
+// set (notably LazyOptions.MaxRows, the bounded row cache).
+func NewIncrementalLazyOpts(g Graph, workers int, opts LazyOptions) *Incremental {
+	reg := opts.Metrics
 	inc := &Incremental{
 		g:       g,
 		workers: workers,
-		lazy:    NewLazyAllPairs(g, reg),
+		lazy:    NewLazyAllPairsOpts(g, opts),
 	}
 	if reg != nil {
 		inc.flushes = reg.Counter("qos_incremental_flushes_total")

@@ -102,10 +102,32 @@ func TablesEqual(a, b Table) bool {
 }
 
 // lazyRow is the single-flight latch of one memoized row: the goroutine that
-// created the row computes res and closes done; everyone else waits on done.
+// created the row computes res (published under the table mutex) and closes
+// done; everyone else waits on done.
 type lazyRow struct {
 	done chan struct{}
 	res  *Result
+}
+
+// lruNode is one completed row's position in the recency list (most recent at
+// head). Nodes live outside lazyRow because snapshots share row pointers with
+// their parent but keep independent recency state.
+type lruNode struct {
+	src        int
+	prev, next *lruNode
+}
+
+// LazyOptions configures a LazyAllPairs beyond the graph it reads.
+type LazyOptions struct {
+	// Metrics, when non-nil, receives qos_lazy_* counters alongside the
+	// usual routing instrumentation.
+	Metrics *metrics.Registry
+	// MaxRows bounds how many completed rows stay memoized; <= 0 means
+	// unbounded. When a row completes and the bound is exceeded, the least
+	// recently read completed rows are evicted (readers-index entries
+	// included) — an evicted row simply recomputes, byte-identically, on its
+	// next read. Rows still in flight never count against the bound.
+	MaxRows int
 }
 
 // LazyStats is a point-in-time summary of what a LazyAllPairs did, for tests
@@ -121,6 +143,9 @@ type LazyStats struct {
 	DedupWaits int64
 	// Evicted counts rows invalidated by mutations.
 	Evicted int64
+	// LRUEvicted counts rows dropped by the MaxRows bound (distinct from
+	// mutation-driven eviction above).
+	LRUEvicted int64
 }
 
 // LazyAllPairs is the demand-driven Table: rows materialize on first read and
@@ -145,6 +170,13 @@ type LazyAllPairs struct {
 	dirty map[int]struct{}
 	stale bool
 
+	// maxRows bounds the completed rows kept memoized (<= 0 unbounded); lru
+	// tracks their recency, most recent at lruHead. Every completed row is in
+	// lru when the bound is active; in-flight rows never are.
+	maxRows          int
+	lru              map[int]*lruNode
+	lruHead, lruTail *lruNode
+
 	// pool shares dense-kernel scratch buffers between concurrent row
 	// computations; shared with snapshots (Scratch use is exclusive while
 	// checked out).
@@ -156,31 +188,46 @@ type LazyAllPairs struct {
 	hits       atomic.Int64
 	dedupWaits atomic.Int64
 	evicted    atomic.Int64
+	lruEvicted atomic.Int64
 
-	rowsComputed, rowHits, dedups, evictions *metrics.Counter
+	rowsComputed, rowHits, dedups, evictions, lruEvictions *metrics.Counter
 }
 
-// NewLazyAllPairs returns a demand-driven table over g. No routing runs
-// until the first row is read. reg, when non-nil, receives qos_lazy_*
-// counters alongside the usual routing instrumentation.
+// NewLazyAllPairs returns a demand-driven table over g with an unbounded row
+// cache. No routing runs until the first row is read. reg, when non-nil,
+// receives qos_lazy_* counters alongside the usual routing instrumentation.
 func NewLazyAllPairs(g Graph, reg *metrics.Registry) *LazyAllPairs {
+	return NewLazyAllPairsOpts(g, LazyOptions{Metrics: reg})
+}
+
+// NewLazyAllPairsOpts is NewLazyAllPairs with the full option set.
+func NewLazyAllPairsOpts(g Graph, opts LazyOptions) *LazyAllPairs {
+	reg := opts.Metrics
 	l := &LazyAllPairs{
 		g:       g,
 		rows:    make(map[int]*lazyRow),
 		readers: make(map[int]map[int]struct{}),
 		dirty:   make(map[int]struct{}),
 		stale:   true,
+		maxRows: opts.MaxRows,
 		pool:    &sync.Pool{New: func() any { return NewScratch() }},
 		ins:     instrFor(reg),
+	}
+	if l.maxRows > 0 {
+		l.lru = make(map[int]*lruNode)
 	}
 	if reg != nil {
 		l.rowsComputed = reg.Counter("qos_lazy_rows_computed_total")
 		l.rowHits = reg.Counter("qos_lazy_row_hits_total")
 		l.dedups = reg.Counter("qos_lazy_dedup_waits_total")
 		l.evictions = reg.Counter("qos_lazy_evicted_rows_total")
+		l.lruEvictions = reg.Counter("qos_lazy_lru_evicted_rows_total")
 	}
 	return l
 }
+
+// MaxRows returns the configured row-cache bound (<= 0 means unbounded).
+func (l *LazyAllPairs) MaxRows() int { return l.maxRows }
 
 // Stats returns what the table has done so far.
 func (l *LazyAllPairs) Stats() LazyStats {
@@ -189,6 +236,76 @@ func (l *LazyAllPairs) Stats() LazyStats {
 		Hits:       l.hits.Load(),
 		DedupWaits: l.dedupWaits.Load(),
 		Evicted:    l.evicted.Load(),
+		LRUEvicted: l.lruEvicted.Load(),
+	}
+}
+
+// lruTouchLocked moves src to the head of the recency list, inserting it if
+// absent. No-op when the cache is unbounded. Caller holds l.mu.
+func (l *LazyAllPairs) lruTouchLocked(src int) {
+	if l.maxRows <= 0 {
+		return
+	}
+	n, ok := l.lru[src]
+	if ok {
+		if n == l.lruHead {
+			return
+		}
+		l.lruUnlinkLocked(n)
+	} else {
+		n = &lruNode{src: src}
+		l.lru[src] = n
+	}
+	n.prev = nil
+	n.next = l.lruHead
+	if l.lruHead != nil {
+		l.lruHead.prev = n
+	}
+	l.lruHead = n
+	if l.lruTail == nil {
+		l.lruTail = n
+	}
+}
+
+// lruUnlinkLocked removes n from the recency list (not from the lru map).
+func (l *LazyAllPairs) lruUnlinkLocked(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		l.lruHead = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		l.lruTail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+// lruDropLocked forgets src's recency state (row eviction by other means).
+func (l *LazyAllPairs) lruDropLocked(src int) {
+	if n, ok := l.lru[src]; ok {
+		l.lruUnlinkLocked(n)
+		delete(l.lru, src)
+	}
+}
+
+// lruEnforceLocked evicts least-recently-read completed rows until the cache
+// fits maxRows again. Only completed rows are in the list, so an eviction
+// always has a readers registration to undo. Caller holds l.mu.
+func (l *LazyAllPairs) lruEnforceLocked() {
+	for l.maxRows > 0 && len(l.lru) > l.maxRows {
+		victim := l.lruTail
+		l.lruUnlinkLocked(victim)
+		delete(l.lru, victim.src)
+		if row, ok := l.rows[victim.src]; ok {
+			delete(l.rows, victim.src)
+			if row.res != nil {
+				l.unregisterLocked(victim.src, row.res)
+			}
+		}
+		l.lruEvicted.Add(1)
+		l.lruEvictions.Inc()
 	}
 }
 
@@ -202,6 +319,7 @@ func (l *LazyAllPairs) applyPendingLocked() {
 			if row.res != nil {
 				l.unregisterLocked(src, row.res)
 			}
+			l.lruDropLocked(src)
 			l.evicted.Add(1)
 			l.evictions.Inc()
 		}
@@ -261,16 +379,21 @@ func (l *LazyAllPairs) From(src int) *Result {
 		return nil
 	}
 	if row, ok := l.rows[src]; ok {
-		l.mu.Unlock()
-		select {
-		case <-row.done:
+		if row.res != nil {
+			// Completed row: a hit, and the freshest entry of the LRU list.
+			l.lruTouchLocked(src)
+			l.mu.Unlock()
 			l.hits.Add(1)
 			l.rowHits.Inc()
-		default:
-			l.dedupWaits.Add(1)
-			l.dedups.Inc()
-			<-row.done
+			return row.res
 		}
+		// In flight: wait for the computing goroutine's result. res is
+		// published under l.mu before done is closed, so the read below is
+		// ordered by the channel close.
+		l.mu.Unlock()
+		l.dedupWaits.Add(1)
+		l.dedups.Inc()
+		<-row.done
 		return row.res
 	}
 	row := &lazyRow{done: make(chan struct{})}
@@ -283,14 +406,18 @@ func (l *LazyAllPairs) From(src int) *Result {
 	l.pool.Put(sc)
 
 	l.mu.Lock()
+	row.res = res
 	// The row may have been evicted while computing (only possible for a
 	// mutation racing a read, which the single-writer contract forbids on
 	// the live table; be defensive anyway): register only if still current.
+	// Registration, recency and the MaxRows bound move in one critical
+	// section, so no reader can observe a row outside the bound.
 	if l.rows[src] == row {
 		l.registerLocked(src, res)
+		l.lruTouchLocked(src)
+		l.lruEnforceLocked()
 	}
 	l.mu.Unlock()
-	row.res = res
 	close(row.done)
 	l.computed.Add(1)
 	l.rowsComputed.Inc()
@@ -468,22 +595,51 @@ func (l *LazyAllPairs) Materialize(workers int) *AllPairs {
 // the single-flight dedup still applies within the snapshot. Pending
 // invalidation is applied first, so the snapshot reflects every mutation
 // reported before the call.
+//
+// The snapshot inherits the parent's MaxRows bound with its own recency
+// state, seeded in the parent's order; from there the two caches age
+// independently. Rows still in flight in the parent are not carried over
+// (they recompute in the snapshot if read), keeping every shared row
+// immutable at the handoff.
 func (l *LazyAllPairs) Snapshot() *LazyAllPairs {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.applyPendingLocked()
 	rows := make(map[int]*lazyRow, len(l.rows))
 	for src, row := range l.rows {
-		rows[src] = row
+		if row.res != nil {
+			rows[src] = row
+		}
 	}
-	return &LazyAllPairs{
+	s := &LazyAllPairs{
 		g:       nil,
 		frozen:  l.frozen,
 		nodes:   l.nodes,
 		rows:    rows,
 		readers: make(map[int]map[int]struct{}),
 		dirty:   make(map[int]struct{}),
+		maxRows: l.maxRows,
 		pool:    l.pool,
 		ins:     l.ins,
+
+		// Counters are shared with the parent (they are concurrency-safe),
+		// so rows computed or evicted while serving a pinned epoch still
+		// land in the session's qos_lazy_* totals.
+		rowsComputed: l.rowsComputed,
+		rowHits:      l.rowHits,
+		dedups:       l.dedups,
+		evictions:    l.evictions,
+		lruEvictions: l.lruEvictions,
 	}
+	if s.maxRows > 0 {
+		s.lru = make(map[int]*lruNode, len(rows))
+		// Walk the parent's recency list oldest-first so the snapshot ends up
+		// in the same order. Bounded parents register every completed row, so
+		// the walk covers exactly the rows copied above.
+		for n := l.lruTail; n != nil; n = n.prev {
+			s.lruTouchLocked(n.src)
+		}
+		s.lruEnforceLocked()
+	}
+	return s
 }

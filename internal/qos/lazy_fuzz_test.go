@@ -5,11 +5,12 @@ import (
 )
 
 // applyLazyFuzzOp decodes one mutation from three fuzz bytes, applies it to
-// the adjacency-map ground truth and reports it to the lazy table the way a
-// session would (node removals announce every former in-neighbor first).
-// Reads are part of the op space too: laziness means which rows happen to be
-// materialized when a mutation lands is itself interesting state.
-func applyLazyFuzzOp(g *testGraph, lt *LazyAllPairs, op, x, y byte, next *int) {
+// the adjacency-map ground truth and reports it to every lazy table under
+// test the way a session would (node removals announce every former
+// in-neighbor first). Reads are part of the op space too: laziness means
+// which rows happen to be materialized when a mutation lands is itself
+// interesting state.
+func applyLazyFuzzOp(g *testGraph, lts []*LazyAllPairs, op, x, y byte, next *int) {
 	nodes := g.Nodes()
 	if len(nodes) == 0 {
 		return
@@ -20,43 +21,60 @@ func applyLazyFuzzOp(g *testGraph, lt *LazyAllPairs, op, x, y byte, next *int) {
 		u, v := pick(x), pick(y)
 		if u != v {
 			g.setArc(u, v, int64(x%32)+1, int64(y%16)+1)
-			lt.OutChanged(u)
+			for _, lt := range lts {
+				lt.OutChanged(u)
+			}
 		}
 	case 1: // drop an arc
 		u := pick(x)
 		g.dropArcTo(u, pick(y))
-		lt.OutChanged(u)
+		for _, lt := range lts {
+			lt.OutChanged(u)
+		}
 	case 2: // a fresh node joins with one arc each way
 		n := *next
 		*next++
 		g.addNode(n)
-		lt.NodeAdded(n)
 		g.addArc(n, pick(x), int64(y%32)+1, int64(x%16)+1)
-		lt.OutChanged(n)
 		u := pick(y)
 		if u != n {
 			g.addArc(u, n, int64(x%32)+1, int64(y%16)+1)
-			lt.OutChanged(u)
+		}
+		for _, lt := range lts {
+			lt.NodeAdded(n)
+			lt.OutChanged(n)
+			if u != n {
+				lt.OutChanged(u)
+			}
 		}
 	case 3: // a node leaves (keep a couple so rows stay interesting)
 		if len(nodes) > 2 {
 			n := pick(x)
-			for _, u := range g.removeNode(n) {
-				lt.OutChanged(u)
+			ins := g.removeNode(n)
+			for _, lt := range lts {
+				for _, u := range ins {
+					lt.OutChanged(u)
+				}
+				lt.NodeRemoved(n)
 			}
-			lt.NodeRemoved(n)
 		}
 	case 4: // read one row
-		lt.From(pick(x))
+		for _, lt := range lts {
+			lt.From(pick(x))
+		}
 	case 5: // explicit flush (evict-only; must run no routing)
-		before := lt.Stats().Computed
-		lt.Flush()
-		if after := lt.Stats().Computed; after != before {
-			panic("lazy flush ran routing kernels")
+		for _, lt := range lts {
+			before := lt.Stats().Computed
+			lt.Flush()
+			if after := lt.Stats().Computed; after != before {
+				panic("lazy flush ran routing kernels")
+			}
 		}
 	case 6: // read a metric and a path
-		lt.Metric(pick(x), pick(y))
-		lt.Path(pick(y), pick(x))
+		for _, lt := range lts {
+			lt.Metric(pick(x), pick(y))
+			lt.Path(pick(y), pick(x))
+		}
 	}
 }
 
@@ -64,7 +82,10 @@ func applyLazyFuzzOp(g *testGraph, lt *LazyAllPairs, op, x, y byte, next *int) {
 // small graph: after every op, every row the lazy table answers must equal
 // the from-scratch eager oracle on the current ground truth — if eviction
 // ever under-approximates the readers of a changed node, a stale memoized
-// row survives and the comparison catches it. Any byte string is a valid
+// row survives and the comparison catches it. An unbounded and a MaxRows=2
+// bounded table run the same trace side by side, so LRU eviction interleaved
+// with mutation-driven invalidation is fuzzed against the same oracle, and
+// the bound itself is asserted after every op. Any byte string is a valid
 // trace: three bytes per op, first byte selects the op.
 func FuzzLazyInvalidation(f *testing.F) {
 	f.Add([]byte{})
@@ -73,6 +94,7 @@ func FuzzLazyInvalidation(f *testing.F) {
 	f.Add([]byte{2, 9, 1, 3, 0, 0, 2, 2, 7})          // join, leave, join
 	f.Add([]byte{4, 1, 0, 5, 0, 0, 0, 1, 9, 4, 1, 0}) // read, flush, mutate, read
 	f.Add([]byte{3, 1, 1, 3, 2, 2, 3, 3, 3, 3, 4, 4}) // drain the graph
+	f.Add([]byte{4, 0, 0, 4, 1, 1, 4, 2, 2, 0, 1, 2}) // fill past the bound, mutate
 	f.Fuzz(func(t *testing.T, trace []byte) {
 		if len(trace) > 48 { // 16 ops x full-table oracle compare is plenty
 			trace = trace[:48]
@@ -80,12 +102,19 @@ func FuzzLazyInvalidation(f *testing.F) {
 		g := chainGraph()
 		g.addArc(4, 1, 60, 7) // cycle, so readers sets overlap
 		lt := NewLazyAllPairs(g, nil)
+		bounded := NewLazyAllPairsOpts(g, LazyOptions{MaxRows: 2})
 		next := 100
 		for i := 0; i+2 < len(trace); i += 3 {
-			applyLazyFuzzOp(g, lt, trace[i], trace[i+1], trace[i+2], &next)
+			applyLazyFuzzOp(g, []*LazyAllPairs{lt, bounded}, trace[i], trace[i+1], trace[i+2], &next)
 			want := ComputeAllPairsWorkers(g, 1)
 			if !TablesEqual(lt, want) || !TablesEqual(want, lt) {
 				t.Fatalf("op %d (byte %d): lazy table diverged from eager oracle", i/3, trace[i]%7)
+			}
+			if rows := bounded.ComputedRows(); len(rows) > 2 {
+				t.Fatalf("op %d: bounded table holds %v, over MaxRows 2", i/3, rows)
+			}
+			if !TablesEqual(bounded, want) || !TablesEqual(want, bounded) {
+				t.Fatalf("op %d (byte %d): bounded lazy table diverged from eager oracle", i/3, trace[i]%7)
 			}
 		}
 	})

@@ -32,6 +32,9 @@ type PlannerConfig struct {
 	// planner over a 10k–100k-node overlay costs nothing until a hotspot
 	// actually fires.
 	Lazy bool
+	// MaxRows bounds the mirror session's resident row cache in Lazy mode
+	// (see session.Options.MaxRows). <= 0 means unbounded.
+	MaxRows int
 	// Metrics, when non-nil, receives planner counters
 	// (reopt_migrations_total, reopt_vetoes_total, reopt_failures_total,
 	// reopt_steps_total).
@@ -100,11 +103,14 @@ func NewPlanner(alloc *provision.Allocator, ledger *Ledger, boot *overlay.Overla
 	cfg = cfg.withDefaults()
 	reg := cfg.Metrics
 	return &Planner{
-		alloc:      alloc,
-		ledger:     ledger,
-		det:        NewDetector(cfg.Detector),
-		cfg:        cfg,
-		sess:       session.New(boot, session.Options{Workers: cfg.Workers, Lazy: cfg.Lazy, Metrics: cfg.Metrics}),
+		alloc:  alloc,
+		ledger: ledger,
+		det:    NewDetector(cfg.Detector),
+		cfg:    cfg,
+		sess: session.New(boot, session.Options{
+			Workers: cfg.Workers, Lazy: cfg.Lazy,
+			MaxRows: cfg.MaxRows, Metrics: cfg.Metrics,
+		}),
 		applied:    make(map[Link]int64),
 		steps:      reg.Counter("reopt_steps_total"),
 		migrations: reg.Counter("reopt_migrations_total"),

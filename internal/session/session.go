@@ -49,6 +49,12 @@ type Options struct {
 	// eager mode for every row read. This is the mode for 10k–100k-node
 	// overlays, where the full N² table is neither affordable nor needed.
 	Lazy bool
+	// MaxRows bounds how many lazily computed rows stay memoized in Lazy
+	// mode (<= 0 means unbounded): beyond the bound, the least recently read
+	// row is dropped and recomputes byte-identically on its next read —
+	// capping resident memory under drifting read sets. Ignored when Lazy is
+	// false.
+	MaxRows int
 }
 
 // Stats accumulates what a session did over its lifetime. All fields are
@@ -122,13 +128,16 @@ func (s *Session) exit() { s.inUse.Store(0) }
 // caller's overlay do not affect the session, and vice versa).
 func New(ov *overlay.Overlay, opts Options) *Session {
 	own := ov.Clone()
-	inc := qos.NewIncremental
+	var inc *qos.Incremental
 	if opts.Lazy {
-		inc = qos.NewIncrementalLazy
+		inc = qos.NewIncrementalLazyOpts(own, opts.Workers,
+			qos.LazyOptions{Metrics: opts.Metrics, MaxRows: opts.MaxRows})
+	} else {
+		inc = qos.NewIncremental(own, opts.Workers, opts.Metrics)
 	}
 	s := &Session{
 		ov:      own,
-		inc:     inc(own, opts.Workers, opts.Metrics),
+		inc:     inc,
 		lazy:    opts.Lazy,
 		workers: opts.Workers,
 		reg:     opts.Metrics,
